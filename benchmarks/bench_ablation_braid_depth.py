@@ -1,0 +1,63 @@
+"""Ablation — braid merge depth (§IV-B's coverage vs region-size trade-off).
+
+Sweeping the number of paths a braid may absorb shows coverage rising
+monotonically while the region grows; coverage-per-op tells whether the
+added paths pay for their area.
+"""
+
+from repro.regions import build_braids
+from repro.reporting import format_table
+
+from .conftest import save_result
+
+TARGETS = ["453.povray", "186.crafty", "blackscholes", "swaptions"]
+DEPTHS = [1, 2, 4, 8, None]
+
+
+def _compute(analyses):
+    by_name = {a.name: a for a in analyses}
+    rows = []
+    for name in TARGETS:
+        a = by_name[name]
+        for depth in DEPTHS:
+            braids = build_braids(
+                a.profiled.function, a.ranked, max_paths_per_braid=depth
+            )
+            top = braids[0]
+            rows.append(
+                (
+                    name,
+                    depth if depth is not None else "all",
+                    top.n_paths,
+                    round(top.coverage * 100, 1),
+                    top.region.op_count,
+                    round(top.region.coverage_per_op * 1000, 2),
+                    len(top.region.guard_branches()),
+                    len(top.region.internal_branches()),
+                )
+            )
+    return rows
+
+
+def test_ablation_braid_merge_depth(benchmark, analyses):
+    rows = benchmark.pedantic(_compute, args=(analyses,), rounds=1, iterations=1)
+    text = format_table(
+        ["workload", "depth", "merged", "cov %", "ops", "cov/op (x1e3)",
+         "guards", "IFs"],
+        rows,
+        title="Ablation: braid merge depth (coverage vs size)",
+    )
+    save_result("ablation_braid_depth", text)
+
+    # per workload: coverage grows monotonically with depth, ops too
+    for name in TARGETS:
+        series = [r for r in rows if r[0] == name]
+        covs = [r[3] for r in series]
+        ops = [r[4] for r in series]
+        assert all(a <= b + 1e-9 for a, b in zip(covs, covs[1:])), name
+        assert all(a <= b for a, b in zip(ops, ops[1:])), name
+    # merging more paths never decreases internal IF count
+    for name in TARGETS:
+        series = [r for r in rows if r[0] == name]
+        ifs = [r[7] for r in series]
+        assert ifs[0] <= ifs[-1]

@@ -1,0 +1,47 @@
+"""Fig. 5 — fraction of cold operations folded into Hyperblocks.
+
+If-conversion makes a local decision per branch; the ops it drags in from
+rarely-executed sides waste accelerator area and energy.
+"""
+
+from repro.regions import (
+    build_hyperblock,
+    build_loop_hyperblock,
+    hottest_innermost_loop,
+    hyperblock_cold_stats,
+)
+from repro.reporting import format_table, histogram
+
+from .conftest import save_result
+
+
+def _compute(analyses):
+    rows = []
+    for a in analyses:
+        fn = a.profiled.function
+        ep = a.profiled.edges
+        loop = hottest_innermost_loop(fn, ep)
+        if loop is not None:
+            hb = build_loop_hyperblock(fn, loop, ep)
+        else:
+            hb = build_hyperblock(fn, ep)
+        stats = hyperblock_cold_stats(hb, ep, cold_threshold=0.5)
+        rows.append(
+            (a.name, stats.total_ops, stats.cold_ops, stats.cold_fraction)
+        )
+    return rows
+
+
+def test_fig5_hyperblock_cold_ops(benchmark, analyses):
+    rows = benchmark.pedantic(_compute, args=(analyses,), rounds=1, iterations=1)
+    table = format_table(
+        ["workload", "HB ops", "cold ops", "cold %"],
+        [(n, t, c, f * 100) for n, t, c, f in rows],
+        title="Fig. 5: cold operations included in hyperblocks",
+    )
+    chart = histogram([(n, f) for n, _, _, f in rows], title="Fig. 5 (chart)")
+    save_result("fig5", table + "\n\n" + chart)
+
+    # hyperblocks fold in cold ops for a good share of the suite
+    assert sum(1 for _, _, c, _ in rows if c > 0) >= 8
+    assert all(0.0 <= f <= 1.0 for _, _, _, f in rows)

@@ -1,0 +1,50 @@
+"""§VI HLS — Cyclone V synthesis feasibility of the Braid frames.
+
+Paper: all but four workloads use < 20% of the ~85K ALMs; lbm peaks at 72%
+(double precision); ModelSim power is 5-60mW for most, with namd 80mW,
+lbm 175mW and swaptions 305mW at the top.
+"""
+
+from repro.reporting import format_table
+
+from .conftest import save_result
+
+
+def _compute(evaluations):
+    rows = []
+    for ev in evaluations:
+        r = ev.hls
+        rows.append(
+            (ev.name, r.ops, r.alms, r.alm_fraction, r.total_power_mw)
+        )
+    return rows
+
+
+def test_hls_area_and_power(benchmark, evaluations):
+    rows = benchmark.pedantic(
+        _compute, args=(evaluations,), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["workload", "frame ops", "ALMs", "ALM %", "power mW"],
+        [(n, o, a, f * 100, p) for n, o, a, f, p in rows],
+        title="HLS feasibility on Cyclone V (braid frames)",
+    )
+    save_result("hls", table)
+
+    by_name = {r[0]: r for r in rows}
+    fractions = {n: f for n, _, _, f, _ in rows}
+    powers = {n: p for n, _, _, _, p in rows}
+
+    # most workloads fit comfortably (paper: <20% for all but four)
+    small = sum(1 for f in fractions.values() if f < 0.25)
+    assert small >= 20
+    # lbm is the area outlier thanks to double precision
+    assert fractions["470.lbm"] == max(fractions.values())
+    assert fractions["470.lbm"] > 0.5
+    # the power ordering of the paper's three outliers holds
+    assert powers["swaptions"] > powers["470.lbm"] * 0.8
+    assert powers["470.lbm"] > powers["444.namd"] * 0.9
+    assert powers["444.namd"] > 30
+    # most of the suite sits in the paper's 5-60mW band
+    in_band = sum(1 for p in powers.values() if 4 <= p <= 70)
+    assert in_band >= 18

@@ -1,0 +1,75 @@
+"""Table IV — Braid characteristics.
+
+C1 braid count, C2 avg paths per braid, C3 top braid coverage, C4 ops,
+C5 guards, C6 internal IFs introduced by merging, C7 live values.
+"""
+
+from repro.profiling import rank_paths
+from repro.regions import braid_table_row, build_braids
+from repro.reporting import format_table
+
+from .conftest import save_result
+
+
+def _compute(analyses):
+    rows = []
+    for a in analyses:
+        # Table IV reports the full merge (every executed path groups into
+        # some braid), unlike the offload selection which keeps hot paths
+        braids = build_braids(a.profiled.function, a.ranked)
+        row = braid_table_row(a.profiled.function, braids)
+        rows.append(
+            (
+                a.name,
+                row.n_braids,
+                round(row.avg_paths_per_braid, 1),
+                round(row.top_coverage * 100),
+                row.top_ops,
+                row.top_guards,
+                row.top_ifs,
+                "%d,%d" % (row.live_ins, row.live_outs),
+            )
+        )
+    return rows
+
+
+def test_table4_braid_characteristics(benchmark, analyses):
+    rows = benchmark.pedantic(_compute, args=(analyses,), rounds=1, iterations=1)
+    text = format_table(
+        ["workload", "C1 braids", "C2 paths/braid", "C3 cov%", "C4 ins",
+         "C5 guards", "C6 IFs", "C7 in,out"],
+        rows,
+        title="Table IV: Braid characteristics",
+    )
+    save_result("table4", text)
+
+    by_name = {r[0]: r for r in rows}
+    # merging raises coverage beyond the single hottest path everywhere a
+    # workload has sibling paths
+    for a_name in ("186.crafty", "458.sjeng", "blackscholes"):
+        assert by_name[a_name][2] > 1.0
+    # braids introduce internal IFs when they merge control flow
+    assert sum(1 for r in rows if r[6] > 0) >= 10
+    # swaptions is the big outlier braid (paper: 1704 ins)
+    assert by_name["swaptions"][4] > 300
+
+
+def test_braids_have_fewer_guards_than_paths(analyses):
+    """§IV-B: on many applications the braid needs fewer guards than its
+    hottest constituent path (merging internalises branches)."""
+    from repro.regions import path_guard_count, path_to_region
+
+    fewer = 0
+    total = 0
+    for a in analyses:
+        braids = build_braids(a.profiled.function, a.ranked)
+        if not braids or not a.ranked:
+            continue
+        total += 1
+        braid_guards = len(braids[0].region.guard_branches())
+        path_guards = path_guard_count(
+            path_to_region(a.profiled.function, a.ranked[0])
+        )
+        if braid_guards <= path_guards:
+            fewer += 1
+    assert fewer >= total * 0.6

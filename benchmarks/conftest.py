@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+One :class:`~repro.pipeline.NeedlePipeline` is shared across every
+benchmark in the session, so profiling/analysis happens once per workload
+regardless of how many tables and figures consume it.  Rendered outputs are
+both printed (visible with ``pytest -s``) and written under
+``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import NeedlePipeline, workloads
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return NeedlePipeline()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return workloads.all_workloads()
+
+
+@pytest.fixture(scope="session")
+def analyses(pipeline, suite):
+    return pipeline.analyse_all(suite)
+
+
+@pytest.fixture(scope="session")
+def evaluations(pipeline, suite):
+    return pipeline.evaluate_all(suite)
+
+
+def save_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    return path

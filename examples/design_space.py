@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Accelerator design-space exploration over a Needle frame (Fig. 1, Step 3).
+
+The same braid frame feeds two backends: the Table V CGRA model (how fast
+does the shared fabric run it?) and the Aladdin-style pre-RTL estimator
+(how would a fixed-function unit sized for exactly this frame trade latency
+against power?).  The printed Pareto frontier is the sizing menu an
+architect reads off.
+
+Run:  python examples/design_space.py [workload]
+"""
+
+import sys
+
+from repro import NeedlePipeline, workloads
+from repro.accel import AladdinEstimator, CGRAScheduler
+from repro.reporting import format_table
+
+
+def main(argv=None):
+    name = (argv or sys.argv[1:] or ["456.hmmer"])[0]
+    w = workloads.get(name)
+    pipeline = NeedlePipeline()
+    analysis = pipeline.analyse(w)
+    frame = analysis.braid_frame
+    print("%s: braid frame with %d ops (%d guards, %d memory ops)"
+          % (w.name, frame.op_count, frame.guard_count, frame.store_count))
+
+    # backend 1: the shared CGRA fabric
+    sched = CGRAScheduler().schedule(frame)
+    print("\nCGRA backend  : makespan %d cycles, II %d, %d configuration(s)"
+          % (sched.cycles, sched.initiation_interval, sched.n_configs))
+
+    # backend 2: fixed-function sizing via the Aladdin-style estimator
+    est = AladdinEstimator()
+    frontier = est.pareto(est.sweep(frame))
+    rows = [
+        (
+            r.config.int_alus,
+            r.config.fp_alus,
+            r.config.mem_ports,
+            r.latency_cycles,
+            round(r.power_mw, 2),
+            round(r.area_mm2, 3),
+        )
+        for r in frontier
+    ]
+    print("\nAladdin backend (latency/power Pareto):")
+    print(format_table(
+        ["ALUs", "FPUs", "mem ports", "latency", "power mW", "area mm2"],
+        rows,
+    ))
+    best = frontier[0]
+    print("\nfastest point: %d cycles at %.1f mW — %.2fx the CGRA's makespan"
+          % (best.latency_cycles, best.power_mw,
+             best.latency_cycles / max(1, sched.cycles)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

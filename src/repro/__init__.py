@@ -1,0 +1,39 @@
+"""Needle (HPCA 2017) reproduction.
+
+A from-scratch Python implementation of the Needle toolchain — Ball–Larus
+path profiling, Braid formation, software-frame generation — plus every
+substrate the paper's evaluation depends on: a mini SSA IR and interpreter,
+Superblock/Hyperblock baselines, a CGRA + OOO-core + MESI-cache cycle
+simulator, an energy model, an HLS feasibility estimator, and a 29-workload
+synthetic suite shaped after SPEC/PARSEC/PERFECT.
+
+Typical entry points::
+
+    from repro import NeedlePipeline, workloads
+    pipeline = NeedlePipeline()
+    evaluation = pipeline.evaluate(workloads.get("470.lbm"))
+    print(evaluation.braid.performance_improvement)
+"""
+
+from . import analysis, frames, interp, ir, profiling, regions, reporting, sim
+from . import accel, transforms, workloads
+from .pipeline import NeedlePipeline, WorkloadAnalysis, WorkloadEvaluation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NeedlePipeline",
+    "WorkloadAnalysis",
+    "WorkloadEvaluation",
+    "accel",
+    "analysis",
+    "frames",
+    "interp",
+    "ir",
+    "profiling",
+    "regions",
+    "reporting",
+    "sim",
+    "transforms",
+    "workloads",
+]

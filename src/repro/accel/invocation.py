@@ -1,0 +1,117 @@
+"""Accelerator invocation prediction (paper §V).
+
+Before execution reaches an offload region's entry block the host must
+decide whether to invoke the accelerator: a wrong invocation costs the whole
+frame plus rollback.  The paper uses an *invocation history table* keyed by
+recent control-flow history; we key it by the ids of the recently completed
+paths (equivalent information, since a path id encodes the branch outcomes
+that led here).  An Oracle predictor bounds the attainable benefit in
+Fig. 9.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+
+class OraclePredictor:
+    """Knows the future: invoke exactly when the next path is offloadable."""
+
+    def __init__(self, target_paths: Set[int]):
+        self.targets = set(target_paths)
+
+    def predict(self, history: Tuple[int, ...], actual_next: int) -> bool:
+        return actual_next in self.targets
+
+    def update(self, history: Tuple[int, ...], outcome: bool) -> None:
+        pass
+
+
+class HistoryPredictor:
+    """2-bit saturating counters indexed by the last-k path ids.
+
+    The predictor is deliberately *conservative*: it invokes only on a
+    saturated counter (state 3), because a wrong invocation costs the whole
+    frame plus rollback while a missed one merely runs the path on the host.
+    Counters increment on offloadable outcomes and decrement otherwise.
+    """
+
+    def __init__(
+        self,
+        history_length: int = 3,
+        init_counter: int = 1,
+        invoke_threshold: int = 3,
+    ):
+        self.history_length = history_length
+        self.init_counter = init_counter
+        self.invoke_threshold = invoke_threshold
+        self.table: Dict[Tuple[int, ...], int] = {}
+
+    def predict(self, history: Tuple[int, ...], actual_next: int = -1) -> bool:
+        return self.table.get(history, self.init_counter) >= self.invoke_threshold
+
+    def update(self, history: Tuple[int, ...], outcome: bool) -> None:
+        c = self.table.get(history, self.init_counter)
+        c = min(3, c + 1) if outcome else max(0, c - 1)
+        self.table[history] = c
+
+
+@dataclass
+class PredictorEvaluation:
+    """Invocation decisions over a path trace, with accuracy statistics."""
+
+    decisions: List[bool] = field(default_factory=list)  # invoke at step k?
+    outcomes: List[bool] = field(default_factory=list)  # was path k offloadable?
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        d = self.true_positives + self.false_positives
+        return self.true_positives / d if d else 1.0
+
+    @property
+    def recall(self) -> float:
+        d = self.true_positives + self.false_negatives
+        return self.true_positives / d if d else 0.0
+
+    @property
+    def invocations(self) -> int:
+        return self.true_positives + self.false_positives
+
+
+def evaluate_predictor(
+    trace: Sequence[int],
+    target_paths: Set[int],
+    predictor,
+    history_length: int = 3,
+) -> PredictorEvaluation:
+    """Replay a path trace through a predictor, training online.
+
+    At step ``k`` the predictor sees the ids of the previous
+    ``history_length`` paths and decides whether to launch the accelerator
+    for the upcoming one.
+    """
+    ev = PredictorEvaluation()
+    history: deque = deque(maxlen=history_length)
+    for pid in trace:
+        key = tuple(history)
+        invoke = predictor.predict(key, pid)
+        offloadable = pid in target_paths
+        ev.decisions.append(invoke)
+        ev.outcomes.append(offloadable)
+        if invoke and offloadable:
+            ev.true_positives += 1
+        elif invoke:
+            ev.false_positives += 1
+        elif offloadable:
+            ev.false_negatives += 1
+        else:
+            ev.true_negatives += 1
+        predictor.update(key, offloadable)
+        history.append(pid)
+    return ev

@@ -1,0 +1,46 @@
+"""Static analyses over the mini IR: CFG, dominators, loops, liveness,
+dataflow graphs, and the control-flow characterisation used by Table I."""
+
+from .alias import may_alias, must_alias, same_value
+from .cfg import CFG
+from .dominators import DominatorTree, PostDominatorTree, VIRTUAL_EXIT
+from .loops import Loop, LoopInfo, back_edges
+from .liveness import Liveness, region_live_values
+from .dfg import DataflowGraph, DFGNode
+from .dependence import (
+    BranchMemStats,
+    backward_slice,
+    branch_memory_stats,
+    control_dependence,
+)
+from .predication import (
+    HyperblockSizeStats,
+    PredicationStats,
+    hyperblock_size_stats,
+    predication_stats,
+)
+
+__all__ = [
+    "CFG",
+    "BranchMemStats",
+    "DataflowGraph",
+    "DFGNode",
+    "DominatorTree",
+    "HyperblockSizeStats",
+    "Liveness",
+    "Loop",
+    "LoopInfo",
+    "PostDominatorTree",
+    "PredicationStats",
+    "VIRTUAL_EXIT",
+    "back_edges",
+    "backward_slice",
+    "branch_memory_stats",
+    "control_dependence",
+    "hyperblock_size_stats",
+    "may_alias",
+    "must_alias",
+    "predication_stats",
+    "region_live_values",
+    "same_value",
+]

@@ -1,0 +1,114 @@
+"""Lightweight alias analysis for memory dependence pruning.
+
+The conservative DFG serialises every load after every store.  Most of
+that ordering is noise: accesses to *different global arrays* can never
+alias (distinct allocations), and ``a[i]`` vs ``a[i+1]`` differ by a known
+constant.  This module proves such pairs disjoint so the dataflow graph —
+and with it the host ILP model and CGRA schedule — only keeps real memory
+dependences.
+
+The analysis is strictly *may-alias*: ``may_alias`` returning True never
+breaks correctness, it only costs parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..ir.instructions import BinaryOp, Gep, Instruction, Load, Store
+from ..ir.values import Constant, GlobalArray, Value
+
+#: structural-equality recursion bound
+_MAX_DEPTH = 8
+
+
+def same_value(a: Value, b: Value, depth: int = _MAX_DEPTH) -> bool:
+    """Structural SSA equality: identical defs, or syntactically equal
+    expression trees over identical leaves."""
+    if a is b:
+        return True
+    if depth <= 0:
+        return False
+    if isinstance(a, Constant) and isinstance(b, Constant):
+        return a.type == b.type and a.value == b.value
+    if isinstance(a, BinaryOp) and isinstance(b, BinaryOp):
+        if a.opcode != b.opcode:
+            return False
+        return all(
+            same_value(x, y, depth - 1)
+            for x, y in zip(a.operands, b.operands)
+        )
+    if isinstance(a, Gep) and isinstance(b, Gep):
+        return (
+            a.elem_size == b.elem_size
+            and same_value(a.base, b.base, depth - 1)
+            and same_value(a.index, b.index, depth - 1)
+        )
+    return False
+
+
+def _base_and_offset(index: Value) -> Tuple[Value, Optional[int]]:
+    """Decompose ``x + c`` / ``x`` into (x, c); (index, None) if unknown."""
+    if isinstance(index, BinaryOp) and index.opcode == "add":
+        lhs, rhs = index.operands
+        if isinstance(rhs, Constant):
+            return lhs, int(rhs.value)
+        if isinstance(lhs, Constant):
+            return rhs, int(lhs.value)
+    return index, 0 if not isinstance(index, Constant) else None
+
+
+def _address_of(inst: Instruction) -> Optional[Value]:
+    if isinstance(inst, Load):
+        return inst.address
+    if isinstance(inst, Store):
+        return inst.address
+    return None
+
+
+def may_alias(a: Instruction, b: Instruction) -> bool:
+    """Can the memory ops ``a`` and ``b`` touch overlapping bytes?
+
+    Proven-disjoint cases (returns False):
+
+    * both addresses are ``gep`` s off *different* global arrays;
+    * same base and element size with indices ``x + c1`` vs ``x + c2``
+      where ``x`` is structurally identical and ``c1 != c2``;
+    * both indices constant and different.
+    """
+    addr_a = _address_of(a)
+    addr_b = _address_of(b)
+    if addr_a is None or addr_b is None:
+        return True
+    if not isinstance(addr_a, Gep) or not isinstance(addr_b, Gep):
+        # identical SSA address => definitely aliases; otherwise unknown
+        return True
+
+    base_a, base_b = addr_a.base, addr_b.base
+    if isinstance(base_a, GlobalArray) and isinstance(base_b, GlobalArray):
+        if base_a is not base_b:
+            return False
+    elif not same_value(base_a, base_b):
+        return True  # unknown bases: assume aliasing
+
+    if addr_a.elem_size != addr_b.elem_size:
+        return True  # mixed strides: byte-overlap math is not worth it
+
+    ia, ib = addr_a.index, addr_b.index
+    if isinstance(ia, Constant) and isinstance(ib, Constant):
+        return ia.value == ib.value
+
+    xa, ca = _base_and_offset(ia)
+    xb, cb = _base_and_offset(ib)
+    if ca is not None and cb is not None and same_value(xa, xb):
+        return ca == cb
+    return True
+
+
+def must_alias(a: Instruction, b: Instruction) -> bool:
+    """Do ``a`` and ``b`` certainly touch the same address?"""
+    addr_a = _address_of(a)
+    addr_b = _address_of(b)
+    if addr_a is None or addr_b is None:
+        return False
+    return same_value(addr_a, addr_b)

@@ -1,0 +1,94 @@
+"""Control-flow graph view over an IR function.
+
+:class:`CFG` is a cheap, immutable-by-convention snapshot of block
+successor/predecessor structure plus the standard orderings (reverse
+post-order) that the dominator and loop analyses need.  Build a fresh CFG
+after mutating a function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+
+
+class CFG:
+    """Successor/predecessor maps and orderings for one function."""
+
+    def __init__(self, fn: Function):
+        self.function = fn
+        self.blocks: List[BasicBlock] = list(fn.blocks)
+        self.successors: Dict[BasicBlock, List[BasicBlock]] = {}
+        self.predecessors: Dict[BasicBlock, List[BasicBlock]] = {
+            b: [] for b in self.blocks
+        }
+        for block in self.blocks:
+            succs = block.successors
+            self.successors[block] = succs
+            for s in succs:
+                self.predecessors[s].append(block)
+        self._rpo: List[BasicBlock] = self._compute_rpo()
+        self._rpo_index: Dict[BasicBlock, int] = {
+            b: i for i, b in enumerate(self._rpo)
+        }
+
+    # -- orderings ------------------------------------------------------------
+
+    def _compute_rpo(self) -> List[BasicBlock]:
+        """Reverse post-order via iterative DFS from the entry block."""
+        if not self.blocks:
+            return []
+        post: List[BasicBlock] = []
+        visited = set()
+        # Iterative DFS keeping an explicit successor cursor per frame.
+        stack: List[Tuple[BasicBlock, int]] = [(self.function.entry, 0)]
+        visited.add(self.function.entry)
+        while stack:
+            block, idx = stack[-1]
+            succs = self.successors[block]
+            if idx < len(succs):
+                stack[-1] = (block, idx + 1)
+                nxt = succs[idx]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                post.append(block)
+                stack.pop()
+        return list(reversed(post))
+
+    @property
+    def rpo(self) -> List[BasicBlock]:
+        """Blocks in reverse post-order (entry first)."""
+        return self._rpo
+
+    def rpo_index(self, block: BasicBlock) -> int:
+        return self._rpo_index[block]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.function.entry
+
+    def exits(self) -> List[BasicBlock]:
+        """Blocks with no successors (``ret`` blocks)."""
+        return [b for b in self.blocks if not self.successors[b]]
+
+    def edges(self) -> Iterable[Tuple[BasicBlock, BasicBlock]]:
+        for block in self.blocks:
+            for succ in self.successors[block]:
+                yield (block, succ)
+
+    def preds(self, block: BasicBlock) -> List[BasicBlock]:
+        return self.predecessors[block]
+
+    def succs(self, block: BasicBlock) -> List[BasicBlock]:
+        return self.successors[block]
+
+    def __repr__(self) -> str:
+        return "<CFG of %s: %d blocks, %d edges>" % (
+            self.function.name,
+            len(self.blocks),
+            sum(len(s) for s in self.successors.values()),
+        )

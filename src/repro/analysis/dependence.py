@@ -1,0 +1,118 @@
+"""Branch <-> memory dependence statistics (paper Table I).
+
+Two per-function statistics drive the paper's argument that accelerators
+need full (memory-inclusive) speculation support:
+
+* **Branch=>Mem** — for each conditional branch, the number of memory
+  operations *control-dependent* on it (Ferrante–Ottenstein–Warren control
+  dependence via post-dominators).  Averaged over branches.
+* **Mem=>Branch** — for each conditional branch, the number of memory
+  operations its condition *data-depends* on, transitively through the SSA
+  backward slice of the condition.  Averaged over branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import CondBranch, Instruction, Load, Phi
+from .cfg import CFG
+from .dominators import PostDominatorTree
+
+
+def control_dependence(fn_or_cfg) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map each conditional-branch block to the blocks control-dependent on it.
+
+    Block ``n`` is control-dependent on branch block ``b`` iff ``b`` has a
+    successor ``s`` with ``n`` post-dominating ``s`` (or ``n is s``) while
+    ``n`` does not post-dominate ``b``.
+    """
+    cfg = fn_or_cfg if isinstance(fn_or_cfg, CFG) else CFG(fn_or_cfg)
+    pdom = PostDominatorTree.compute(cfg)
+    result: Dict[BasicBlock, List[BasicBlock]] = {}
+    for block in cfg.blocks:
+        if not isinstance(block.terminator, CondBranch):
+            continue
+        dependent: List[BasicBlock] = []
+        for n in cfg.blocks:
+            if pdom.post_dominates(n, block):
+                continue
+            for s in cfg.succs(block):
+                if n is s or pdom.post_dominates(n, s):
+                    dependent.append(n)
+                    break
+        result[block] = dependent
+    return result
+
+
+def backward_slice(value: Instruction, max_depth: int = 10_000) -> Set[Instruction]:
+    """Transitive SSA backward slice of ``value`` (instructions only)."""
+    seen: Set[Instruction] = set()
+    stack = [value]
+    while stack and len(seen) < max_depth:
+        inst = stack.pop()
+        if inst in seen:
+            continue
+        seen.add(inst)
+        operands = (
+            [v for _, v in inst.incoming] if isinstance(inst, Phi) else inst.operands
+        )
+        for op in operands:
+            if isinstance(op, Instruction) and op not in seen:
+                stack.append(op)
+    return seen
+
+
+@dataclass
+class BranchMemStats:
+    """Per-function Table I row."""
+
+    function: str
+    branch_count: int
+    avg_mem_dependent_on_branch: float  # Branch => Mem
+    avg_mem_branch_depends_on: float  # Mem => Branch
+    max_mem_dependent_on_branch: int
+    max_mem_branch_depends_on: int
+
+
+def branch_memory_stats(fn: Function) -> BranchMemStats:
+    """Compute both Table I dependence statistics for one function."""
+    cfg = CFG(fn)
+    cd = control_dependence(cfg)
+
+    branch_to_mem: List[int] = []
+    mem_to_branch: List[int] = []
+    for block in cfg.blocks:
+        term = block.terminator
+        if not isinstance(term, CondBranch):
+            continue
+        dependent_blocks = cd.get(block, [])
+        n_mem = sum(
+            1
+            for dblk in dependent_blocks
+            for inst in dblk.instructions
+            if inst.is_memory
+        )
+        branch_to_mem.append(n_mem)
+
+        cond = term.cond
+        if isinstance(cond, Instruction):
+            slice_ = backward_slice(cond)
+            mem_to_branch.append(sum(1 for i in slice_ if isinstance(i, Load)))
+        else:
+            mem_to_branch.append(0)
+
+    def avg(xs: List[int]) -> float:
+        return sum(xs) / len(xs) if xs else 0.0
+
+    return BranchMemStats(
+        function=fn.name,
+        branch_count=len(branch_to_mem),
+        avg_mem_dependent_on_branch=avg(branch_to_mem),
+        avg_mem_branch_depends_on=avg(mem_to_branch),
+        max_mem_dependent_on_branch=max(branch_to_mem, default=0),
+        max_mem_branch_depends_on=max(mem_to_branch, default=0),
+    )

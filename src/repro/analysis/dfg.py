@@ -1,0 +1,150 @@
+"""Dataflow graph (DFG) construction over instruction sequences.
+
+The DFG is the program representation both execution models consume: the
+OOO host extracts ILP from it within a ROB window, and the CGRA scheduler
+maps it onto the fabric.  Nodes are instructions; edges are
+
+* SSA data dependences (operand -> user),
+* memory ordering dependences (conservative: store -> later load/store,
+  load -> later store), and
+* control dependences from guards when requested by the frame builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.instructions import Instruction, Load, Phi, Store
+
+
+@dataclass
+class DFGNode:
+    """One instruction plus its dependence edges (by node index)."""
+
+    index: int
+    inst: Instruction
+    deps: List[int] = field(default_factory=list)
+    users: List[int] = field(default_factory=list)
+
+
+class DataflowGraph:
+    """A dependence DAG over a straight-line instruction sequence."""
+
+    def __init__(self, nodes: List[DFGNode]):
+        self.nodes = nodes
+        self._by_inst: Dict[Instruction, DFGNode] = {n.inst: n for n in nodes}
+
+    @classmethod
+    def build(
+        cls,
+        instructions: Sequence[Instruction],
+        memory_ordering: bool = True,
+        speculative_memory: bool = False,
+        use_alias_analysis: bool = False,
+    ) -> "DataflowGraph":
+        """Build the DFG of ``instructions`` (program order).
+
+        Args:
+            memory_ordering: add conservative store/load ordering edges.
+            speculative_memory: when True (software-frame semantics), loads
+                may hoist above earlier stores — only store->store ordering
+                is kept, because the undo log serialises store commit order.
+            use_alias_analysis: prune ordering edges between memory ops the
+                alias analysis proves disjoint (different global arrays,
+                same-base indices differing by a constant).
+        """
+        nodes = [DFGNode(i, inst) for i, inst in enumerate(instructions)]
+        index_of = {inst: i for i, inst in enumerate(instructions)}
+
+        def add_edge(src: int, dst: int) -> None:
+            if src == dst:
+                return
+            node = nodes[dst]
+            if src not in node.deps:
+                node.deps.append(src)
+                nodes[src].users.append(dst)
+
+        for i, inst in enumerate(instructions):
+            operands = (
+                [v for _, v in inst.incoming] if isinstance(inst, Phi) else inst.operands
+            )
+            for op in operands:
+                j = index_of.get(op)
+                if j is not None and j < i:
+                    add_edge(j, i)
+
+        if memory_ordering:
+            if use_alias_analysis:
+                from .alias import may_alias
+            else:
+                may_alias = None
+            all_stores: List[int] = []
+            last_store: Optional[int] = None
+            pending_loads: List[int] = []
+            for i, inst in enumerate(instructions):
+                if isinstance(inst, Load):
+                    if not speculative_memory:
+                        if may_alias is None:
+                            if last_store is not None:
+                                add_edge(last_store, i)
+                        else:
+                            for s in all_stores:
+                                if may_alias(instructions[s], inst):
+                                    add_edge(s, i)
+                    pending_loads.append(i)
+                elif isinstance(inst, Store):
+                    if may_alias is None:
+                        if last_store is not None:
+                            add_edge(last_store, i)
+                    else:
+                        for s in all_stores:
+                            if may_alias(instructions[s], inst):
+                                add_edge(s, i)
+                    if not speculative_memory:
+                        for l in pending_loads:
+                            if may_alias is None or may_alias(
+                                instructions[l], inst
+                            ):
+                                add_edge(l, i)
+                    pending_loads = [] if may_alias is None else pending_loads
+                    all_stores.append(i)
+                    last_store = i
+        return cls(nodes)
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node_for(self, inst: Instruction) -> DFGNode:
+        return self._by_inst[inst]
+
+    def roots(self) -> List[DFGNode]:
+        return [n for n in self.nodes if not n.deps]
+
+    def critical_path_length(self, latency=None) -> int:
+        """Length (cycles) of the longest latency-weighted dependence chain."""
+        if latency is None:
+            latency = lambda inst: inst.latency
+        finish = [0] * len(self.nodes)
+        for node in self.nodes:  # nodes are in program order = topo order
+            start = max((finish[d] for d in node.deps), default=0)
+            finish[node.index] = start + max(1, latency(node.inst))
+        return max(finish, default=0)
+
+    def depth_levels(self) -> List[int]:
+        """ASAP level (unit latency) of each node."""
+        level = [0] * len(self.nodes)
+        for node in self.nodes:
+            level[node.index] = 1 + max((level[d] for d in node.deps), default=-1)
+        return level
+
+    def average_parallelism(self) -> float:
+        """Instruction count / critical path with unit latencies — a cheap
+        ILP figure of merit used to characterise frames."""
+        if not self.nodes:
+            return 0.0
+        depth = max(self.depth_levels()) + 1 if self.nodes else 1
+        # depth_levels are 0-based; the +1 above converts to a level count
+        return len(self.nodes) / float(max(1, depth))

@@ -1,0 +1,194 @@
+"""Dominator and post-dominator trees (Cooper–Harvey–Kennedy algorithm).
+
+Both trees share the same iterative-idom core; the post-dominator variant
+runs it over the reversed CFG with a virtual sink joining all exit blocks
+(functions may have several ``ret`` blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from .cfg import CFG
+
+Node = Hashable
+
+#: Virtual node used as the single sink for post-dominance.
+VIRTUAL_EXIT = "<virtual-exit>"
+
+
+def _compute_idoms(
+    order: Sequence[Node],
+    preds: Callable[[Node], Sequence[Node]],
+    entry: Node,
+) -> Dict[Node, Node]:
+    """Cooper–Harvey–Kennedy iterative idom computation.
+
+    ``order`` must be a reverse post-order starting with ``entry``.
+    Returns an idom map where ``idom[entry] is entry``.
+    """
+    index = {node: i for i, node in enumerate(order)}
+    idom: Dict[Node, Optional[Node]] = {node: None for node in order}
+    idom[entry] = entry
+
+    def intersect(a: Node, b: Node) -> Node:
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node is entry:
+                continue
+            candidates = [p for p in preds(node) if idom.get(p) is not None]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom[node] is not new_idom:
+                idom[node] = new_idom
+                changed = True
+    return {n: d for n, d in idom.items() if d is not None}
+
+
+class DominatorTree:
+    """Dominator tree over a function's CFG."""
+
+    def __init__(self, cfg: CFG, idom: Dict[Node, Node]):
+        self.cfg = cfg
+        self.idom = idom
+        self.children: Dict[Node, List[Node]] = {n: [] for n in idom}
+        for node, parent in idom.items():
+            if node is not parent:
+                self.children[parent].append(node)
+        self._depth: Dict[Node, int] = {}
+        self._compute_depths()
+
+    @classmethod
+    def compute(cls, fn_or_cfg) -> "DominatorTree":
+        cfg = fn_or_cfg if isinstance(fn_or_cfg, CFG) else CFG(fn_or_cfg)
+        idom = _compute_idoms(cfg.rpo, cfg.preds, cfg.entry)
+        return cls(cfg, idom)
+
+    def _compute_depths(self) -> None:
+        roots = [n for n, p in self.idom.items() if n is p]
+        stack = [(r, 0) for r in roots]
+        while stack:
+            node, d = stack.pop()
+            self._depth[node] = d
+            for c in self.children.get(node, []):
+                stack.append((c, d + 1))
+
+    def depth(self, node: Node) -> int:
+        return self._depth[node]
+
+    def dominates(self, a: Node, b: Node) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexively)."""
+        while True:
+            if a is b:
+                return True
+            parent = self.idom.get(b)
+            if parent is None or parent is b:
+                return False
+            b = parent
+
+    def strictly_dominates(self, a: Node, b: Node) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def immediate_dominator(self, node: Node) -> Optional[Node]:
+        parent = self.idom.get(node)
+        return None if parent is node else parent
+
+    def dominance_frontier(self) -> Dict[Node, List[Node]]:
+        """Classic dominance frontiers (per Cooper–Harvey–Kennedy)."""
+        df: Dict[Node, List[Node]] = {n: [] for n in self.idom}
+        for block in self.cfg.blocks:
+            preds = self.cfg.preds(block)
+            if len(preds) < 2:
+                continue
+            for p in preds:
+                runner = p
+                while runner is not self.idom[block] and runner in self.idom:
+                    if block not in df[runner]:
+                        df[runner].append(block)
+                    if runner is self.idom[runner]:
+                        break
+                    runner = self.idom[runner]
+        return df
+
+
+class PostDominatorTree:
+    """Post-dominator tree computed over the reversed CFG.
+
+    A virtual sink (:data:`VIRTUAL_EXIT`) joins all exit blocks so that
+    functions with multiple returns — or infinite loops, which simply end up
+    unpostdominated — are handled uniformly.
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        exits = cfg.exits()
+        nodes: List[Node] = [VIRTUAL_EXIT] + list(cfg.blocks)
+
+        def rsuccs(n: Node) -> Sequence[Node]:
+            # successors in the *reversed* graph = predecessors in the CFG
+            if n is VIRTUAL_EXIT:
+                return exits
+            return cfg.preds(n)
+
+        # reverse post-order of the reversed graph, from the virtual exit
+        post: List[Node] = []
+        visited = {VIRTUAL_EXIT}
+        order_stack: List[tuple] = [(VIRTUAL_EXIT, 0)]
+        while order_stack:
+            node, i = order_stack[-1]
+            nxt_list = rsuccs(node)
+            if i < len(nxt_list):
+                order_stack[-1] = (node, i + 1)
+                nxt = nxt_list[i]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    order_stack.append((nxt, 0))
+            else:
+                post.append(node)
+                order_stack.pop()
+        rpo = list(reversed(post))
+
+        # Predecessors in the reversed graph = CFG successors; exit blocks'
+        # only reversed-graph predecessor is the virtual sink.
+        def rpreds(n: Node) -> Sequence[Node]:
+            if n is VIRTUAL_EXIT:
+                return []
+            succs = cfg.succs(n)
+            if not succs:
+                return [VIRTUAL_EXIT]
+            return succs
+
+        self.ipdom = _compute_idoms(rpo, rpreds, VIRTUAL_EXIT)
+
+    @classmethod
+    def compute(cls, fn_or_cfg) -> "PostDominatorTree":
+        cfg = fn_or_cfg if isinstance(fn_or_cfg, CFG) else CFG(fn_or_cfg)
+        return cls(cfg)
+
+    def post_dominates(self, a: Node, b: Node) -> bool:
+        """True iff ``a`` post-dominates ``b`` (reflexively)."""
+        while True:
+            if a is b:
+                return True
+            parent = self.ipdom.get(b)
+            if parent is None or parent is b:
+                return False
+            b = parent
+
+    def immediate_post_dominator(self, node: Node) -> Optional[Node]:
+        parent = self.ipdom.get(node)
+        return None if parent is node else parent

@@ -1,0 +1,134 @@
+"""Liveness: per-block live-in/out sets and region live value computation.
+
+Region live-ins/outs size the accelerator's data transfer (Table II:C5 and
+Table IV:C7): live-ins are values defined outside the region (or arguments)
+used inside it; live-outs are values defined inside the region that are used
+after it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Phi
+from ..ir.values import Argument, Value
+from .cfg import CFG
+
+
+def _uses_of(inst: Instruction) -> Iterable[Value]:
+    return inst.operands
+
+
+class Liveness:
+    """Classic backward may-liveness over SSA values."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.live_in: Dict[BasicBlock, Set[Value]] = {}
+        self.live_out: Dict[BasicBlock, Set[Value]] = {}
+        self._compute()
+
+    @classmethod
+    def compute(cls, fn_or_cfg) -> "Liveness":
+        cfg = fn_or_cfg if isinstance(fn_or_cfg, CFG) else CFG(fn_or_cfg)
+        return cls(cfg)
+
+    def _block_use_def(self, block: BasicBlock) -> Tuple[Set[Value], Set[Value]]:
+        """(upward-exposed uses, defs) of a block.
+
+        φ-uses are charged to the incoming edge (handled in :meth:`_compute`),
+        not here.
+        """
+        uses: Set[Value] = set()
+        defs: Set[Value] = set()
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                defs.add(inst)
+                continue
+            for op in _uses_of(inst):
+                if isinstance(op, (Instruction, Argument)) and op not in defs:
+                    uses.add(op)
+            if not inst.type.is_void:
+                defs.add(inst)
+        return uses, defs
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        use: Dict[BasicBlock, Set[Value]] = {}
+        dfn: Dict[BasicBlock, Set[Value]] = {}
+        for b in cfg.blocks:
+            use[b], dfn[b] = self._block_use_def(b)
+        live_in = {b: set() for b in cfg.blocks}
+        live_out = {b: set() for b in cfg.blocks}
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(cfg.rpo):
+                out: Set[Value] = set()
+                for succ in cfg.succs(block):
+                    # ordinary live-ins of the successor, minus its φ defs
+                    out |= live_in[succ]
+                    # φ operands flowing along this particular edge are live
+                    # at the end of this block
+                    for phi in succ.phis:
+                        val = phi.incoming_for(block)
+                        if isinstance(val, (Instruction, Argument)):
+                            out.add(val)
+                new_in = use[block] | (out - dfn[block])
+                if out != live_out[block] or new_in != live_in[block]:
+                    live_out[block] = out
+                    live_in[block] = new_in
+                    changed = True
+        self.live_in = live_in
+        self.live_out = live_out
+
+
+def region_live_values(
+    fn: Function, region_blocks: Sequence[BasicBlock]
+) -> Tuple[List[Value], List[Value]]:
+    """(live_ins, live_outs) of a block region.
+
+    live-ins: arguments or out-of-region instruction results used in-region
+    (including φ incoming values along in-region edges).
+    live-outs: in-region instruction results used by out-of-region
+    instructions (including as φ incomings of out-of-region blocks).
+    """
+    region = set(region_blocks)
+    in_region_defs: Set[Value] = set()
+    for block in region_blocks:
+        for inst in block.instructions:
+            if not inst.type.is_void:
+                in_region_defs.add(inst)
+
+    live_ins: List[Value] = []
+    seen_in: Set[Value] = set()
+    for block in region_blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                candidates = [
+                    v for b, v in inst.incoming if b in region
+                ] or [v for _, v in inst.incoming]
+            else:
+                candidates = inst.operands
+            for op in candidates:
+                if (
+                    isinstance(op, (Instruction, Argument))
+                    and op not in in_region_defs
+                    and op not in seen_in
+                ):
+                    seen_in.add(op)
+                    live_ins.append(op)
+
+    live_outs: List[Value] = []
+    seen_out: Set[Value] = set()
+    for block in fn.blocks:
+        if block in region:
+            continue
+        for inst in block.instructions:
+            for op in inst.operands:
+                if op in in_region_defs and op not in seen_out:
+                    seen_out.add(op)
+                    live_outs.append(op)
+    return live_ins, live_outs

@@ -1,0 +1,132 @@
+"""Natural loop detection and loop-nest structure.
+
+A back edge is an edge ``u -> v`` where ``v`` dominates ``u``.  The natural
+loop of a back edge is ``v`` plus all blocks that can reach ``u`` without
+passing through ``v``.  Loops sharing a header are merged, and nesting is
+derived by body inclusion.  Table I's "number of backward branches in the
+hot function" statistic comes straight from :func:`back_edges`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from .cfg import CFG
+from .dominators import DominatorTree
+
+
+@dataclass
+class Loop:
+    """A natural loop: header, body blocks, latches, and nesting links."""
+
+    header: BasicBlock
+    blocks: Set[BasicBlock] = field(default_factory=set)
+    latches: List[BasicBlock] = field(default_factory=list)
+    parent: Optional["Loop"] = None
+    children: List["Loop"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        d, cur = 1, self.parent
+        while cur is not None:
+            d += 1
+            cur = cur.parent
+        return d
+
+    @property
+    def is_innermost(self) -> bool:
+        return not self.children
+
+    def exits(self, cfg: CFG) -> List[Tuple[BasicBlock, BasicBlock]]:
+        """Edges leaving the loop body."""
+        out = []
+        for block in self.blocks:
+            for succ in cfg.succs(block):
+                if succ not in self.blocks:
+                    out.append((block, succ))
+        return out
+
+    def __repr__(self) -> str:
+        return "<Loop header=%s blocks=%d depth=%d>" % (
+            self.header.name,
+            len(self.blocks),
+            self.depth,
+        )
+
+
+def back_edges(fn_or_cfg, dom: Optional[DominatorTree] = None) -> List[Tuple[BasicBlock, BasicBlock]]:
+    """All back edges ``(source, header)`` of the function."""
+    cfg = fn_or_cfg if isinstance(fn_or_cfg, CFG) else CFG(fn_or_cfg)
+    if dom is None:
+        dom = DominatorTree.compute(cfg)
+    edges = []
+    for u, v in cfg.edges():
+        if dom.dominates(v, u):
+            edges.append((u, v))
+    return edges
+
+
+class LoopInfo:
+    """All natural loops of a function, with nesting."""
+
+    def __init__(self, cfg: CFG, loops: List[Loop]):
+        self.cfg = cfg
+        self.loops = loops
+        self._header_map: Dict[BasicBlock, Loop] = {l.header: l for l in loops}
+
+    @classmethod
+    def compute(cls, fn_or_cfg) -> "LoopInfo":
+        cfg = fn_or_cfg if isinstance(fn_or_cfg, CFG) else CFG(fn_or_cfg)
+        dom = DominatorTree.compute(cfg)
+        by_header: Dict[BasicBlock, Loop] = {}
+        for latch, header in back_edges(cfg, dom):
+            loop = by_header.setdefault(header, Loop(header=header))
+            loop.latches.append(latch)
+            loop.blocks.add(header)
+            # walk predecessors back from the latch up to the header
+            stack = [latch]
+            while stack:
+                block = stack.pop()
+                if block in loop.blocks:
+                    continue
+                loop.blocks.add(block)
+                stack.extend(cfg.preds(block))
+        loops = list(by_header.values())
+        # nesting: smallest enclosing loop by body inclusion
+        for inner in loops:
+            best: Optional[Loop] = None
+            for outer in loops:
+                if outer is inner:
+                    continue
+                if inner.header in outer.blocks and inner.blocks <= outer.blocks:
+                    if best is None or len(outer.blocks) < len(best.blocks):
+                        best = outer
+            inner.parent = best
+            if best is not None:
+                best.children.append(inner)
+        return cls(cfg, loops)
+
+    def loop_for_header(self, header: BasicBlock) -> Optional[Loop]:
+        return self._header_map.get(header)
+
+    def innermost_loop_containing(self, block: BasicBlock) -> Optional[Loop]:
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if block in loop.blocks:
+                if best is None or len(loop.blocks) < len(best.blocks):
+                    best = loop
+        return best
+
+    def innermost_loops(self) -> List[Loop]:
+        return [l for l in self.loops if l.is_innermost]
+
+    @property
+    def backward_branch_count(self) -> int:
+        """Number of back edges (Table I "Loops" statistic)."""
+        return sum(len(l.latches) for l in self.loops)
+
+    def __repr__(self) -> str:
+        return "<LoopInfo %d loops>" % len(self.loops)

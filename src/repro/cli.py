@@ -1,0 +1,130 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list                 enumerate the 29-workload suite
+analyze WORKLOAD     per-workload Needle report (paths, braids, frames)
+evaluate [WORKLOAD]  Fig. 9 / Fig. 10 style numbers (one workload or all)
+dump WORKLOAD        print the workload's hot function as IR text
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import workloads
+from .ir import format_function
+from .pipeline import NeedlePipeline
+from .reporting import format_table
+
+
+def _cmd_list(_args) -> int:
+    rows = []
+    for name in workloads.all_names():
+        w = workloads.get(name)
+        rows.append((name, w.suite, w.flavor, w.description))
+    print(format_table(["workload", "suite", "flavor", "description"], rows))
+    return 0
+
+
+def _cmd_dump(args) -> int:
+    w = workloads.get(args.workload)
+    module, fn, _ = w.build()
+    from .ir import format_module
+
+    print(format_module(module))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .interp import Interpreter, OpMixTracer
+
+    pipeline = NeedlePipeline()
+    w = workloads.get(args.workload)
+    a = pipeline.analyse(w)
+    print("%s: %d executed paths, top braid merges %d paths for %.1f%% coverage"
+          % (w.name, a.profiled.paths.executed_paths,
+             a.top_braid.n_paths if a.top_braid else 0,
+             (a.top_braid.coverage if a.top_braid else 0) * 100))
+
+    module, fn, run_args = w.build()
+    tracer = OpMixTracer([fn])
+    Interpreter(module, tracer=tracer).run(fn, run_args)
+    mix = tracer.mix_for(fn)
+    print("dynamic mix: %.0f%% int, %.0f%% fp, %.0f%% memory, %.0f%% control"
+          % (mix.int_share * 100, mix.fp_share * 100,
+             mix.memory_share * 100, mix.control_share * 100))
+    rows = [
+        (p.path_id, p.freq, p.ops, p.branch_count, p.memory_op_count,
+         p.coverage * 100)
+        for p in a.ranked[: args.top]
+    ]
+    print(format_table(
+        ["path", "freq", "ops", "branches", "mem", "coverage %"], rows))
+    if a.braid_frame is not None:
+        f = a.braid_frame
+        print("braid frame: %d ops, %d guards, %d psi, %d live-in, %d live-out"
+              % (f.op_count, f.guard_count, len(f.psis),
+                 len(f.live_ins), len(f.live_outs)))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    pipeline = NeedlePipeline()
+    names = [args.workload] if args.workload else workloads.all_names()
+    rows = []
+    for name in names:
+        ev = pipeline.evaluate(workloads.get(name))
+        rows.append(
+            (
+                name,
+                ev.path_oracle.performance_improvement * 100,
+                ev.path_history.performance_improvement * 100,
+                ev.braid.performance_improvement * 100,
+                ev.braid.energy_reduction * 100,
+                ev.hls.alm_fraction * 100,
+            )
+        )
+    print(format_table(
+        ["workload", "path oracle %", "path hist %", "braid %",
+         "energy %", "ALM %"],
+        rows,
+        title="Needle offload evaluation",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Needle (HPCA 2017) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite").set_defaults(
+        func=_cmd_list
+    )
+
+    p = sub.add_parser("dump", help="print a workload's hot function IR")
+    p.add_argument("workload")
+    p.set_defaults(func=_cmd_dump)
+
+    p = sub.add_parser("analyze", help="per-workload Needle analysis")
+    p.add_argument("workload")
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("evaluate", help="simulate offload (Fig. 9/10 numbers)")
+    p.add_argument("workload", nargs="?", default=None)
+    p.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

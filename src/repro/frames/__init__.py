@@ -1,0 +1,32 @@
+"""Software frames: guarded, atomic, fully speculative offload units."""
+
+from .frame import (
+    Frame,
+    FrameBuildError,
+    FrameOp,
+    Guard,
+    PsiOp,
+    build_frame,
+)
+from .executor import (
+    FrameExecutionError,
+    FrameExecutor,
+    FrameResult,
+    UndoLog,
+)
+from .outline import OutlinedFrame, outline_frame
+
+__all__ = [
+    "OutlinedFrame",
+    "outline_frame",
+    "Frame",
+    "FrameBuildError",
+    "FrameExecutionError",
+    "FrameExecutor",
+    "FrameOp",
+    "FrameResult",
+    "Guard",
+    "PsiOp",
+    "UndoLog",
+    "build_frame",
+]

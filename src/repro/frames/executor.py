@@ -1,0 +1,269 @@
+"""Executable semantics of software frames: atomic run-or-rollback.
+
+:class:`FrameExecutor` runs a frame against live-in values and a
+:class:`~repro.interp.memory.Memory`.  Stores populate an undo log; if
+control tries to leave the region anywhere other than the exit block, the
+frame aborts and the undo log restores memory exactly — the property the
+paper's software speculation depends on, and the one our property tests
+verify byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..interp.interpreter import (
+    _FCMP_FNS,
+    _FP_BINOP_FNS,
+    _ICMP_FNS,
+    _INT_BINOP_FNS,
+)
+from ..interp.memory import Memory
+from ..ir.block import BasicBlock
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Compare,
+    CondBranch,
+    Gep,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UnaryOp,
+)
+from ..ir.values import Constant, GlobalArray, UndefValue, Value
+from .frame import Frame
+
+
+class FrameExecutionError(Exception):
+    """Frame execution hit an unexecutable construct."""
+
+
+@dataclass
+class UndoLog:
+    """Old-value log used to revert speculative stores."""
+
+    entries: List[Tuple[int, Optional[Tuple[int, object]]]] = field(
+        default_factory=list
+    )
+
+    def record(self, memory: Memory, addr: int) -> None:
+        self.entries.append((addr, memory.read_raw(addr)))
+
+    def rollback(self, memory: Memory) -> None:
+        """Restore logged locations, newest first."""
+        for addr, old in reversed(self.entries):
+            if old is None:
+                memory.erase(addr)
+            else:
+                memory.write_raw(addr, old[0], old[1])
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class FrameResult:
+    """Outcome of one frame invocation."""
+
+    success: bool
+    live_outs: Dict[Value, object] = field(default_factory=dict)
+    exit_successor: Optional[BasicBlock] = None  # host resume point
+    failed_guard_block: Optional[BasicBlock] = None
+    ops_executed: int = 0
+    stores_logged: int = 0
+    blocks_executed: int = 0
+
+
+class FrameExecutor:
+    """Runs frames atomically over a shared memory."""
+
+    def __init__(self, memory: Memory, global_base: Dict[GlobalArray, int]):
+        self.memory = memory
+        self.global_base = global_base
+
+    def run(self, frame: Frame, live_in_values: Dict[Value, object]) -> FrameResult:
+        """Execute ``frame``; on guard failure memory is rolled back.
+
+        ``live_in_values`` must supply every value in ``frame.live_ins``.
+        """
+        missing = [v for v in frame.live_ins if v not in live_in_values]
+        if missing:
+            raise FrameExecutionError(
+                "missing live-in values: %s"
+                % ", ".join(getattr(v, "name", "?") for v in missing)
+            )
+        env: Dict[Value, object] = dict(live_in_values)
+        undo = UndoLog()
+        region = frame.region
+        order = region.blocks
+        is_path = region.kind in ("bl-path", "superblock", "expanded")
+        block_set = region.block_set
+
+        result = FrameResult(success=False)
+        block = region.entry
+        prev: Optional[BasicBlock] = None
+        path_index = 0
+
+        while True:
+            result.blocks_executed += 1
+            # φs: entry φs come from live-ins; interior φs resolve from the
+            # incoming edge actually taken (ψ semantics for braids).
+            staged = []
+            for phi in block.phis:
+                if phi in env and block is region.entry:
+                    continue  # live-in supplied value
+                if prev is None:
+                    raise FrameExecutionError(
+                        "entry φ %%%s not supplied as live-in" % phi.name
+                    )
+                val = phi.incoming_for(prev)
+                if val is None:
+                    raise FrameExecutionError(
+                        "φ %%%s has no incoming for %s" % (phi.name, prev.name)
+                    )
+                staged.append((phi, self._eval(val, env)))
+            for phi, v in staged:
+                env[phi] = v
+
+            next_block: Optional[BasicBlock] = None
+            leave = False
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    continue
+                if isinstance(inst, (Branch, CondBranch, Ret)):
+                    succ = self._next_successor(inst, env)
+                    if block is (order[-1] if order else None):
+                        # frame completes; host resumes at succ (or return)
+                        result.exit_successor = succ
+                        leave = True
+                        break
+                    if succ is None:
+                        # a return mid-region: treat as leaving the region
+                        result.failed_guard_block = block
+                        undo.rollback(self.memory)
+                        return result
+                    if is_path:
+                        expected = order[path_index + 1]
+                        if succ is not expected:
+                            result.failed_guard_block = block
+                            undo.rollback(self.memory)
+                            return result
+                        next_block = succ
+                    else:
+                        if succ not in block_set:
+                            result.failed_guard_block = block
+                            undo.rollback(self.memory)
+                            return result
+                        next_block = succ
+                    break
+                result.ops_executed += 1
+                self._execute(inst, env, undo, result)
+
+            if leave:
+                break
+            if next_block is None:
+                raise FrameExecutionError(
+                    "block %s has no terminator" % block.name
+                )
+            prev, block = block, next_block
+            if is_path:
+                path_index += 1
+
+        # success: gather live-outs
+        result.success = True
+        result.stores_logged = len(undo)
+        for v in frame.live_outs:
+            if v in env:
+                result.live_outs[v] = env[v]
+        return result
+
+    # -- instruction semantics (shared tables with the interpreter) -------------
+
+    def _execute(self, inst: Instruction, env, undo: UndoLog, result: FrameResult) -> None:
+        if isinstance(inst, BinaryOp):
+            a = self._eval(inst.operands[0], env)
+            b = self._eval(inst.operands[1], env)
+            fn = _INT_BINOP_FNS.get(inst.opcode) or _FP_BINOP_FNS[inst.opcode]
+            env[inst] = inst.type.wrap(fn(a, b))
+        elif isinstance(inst, Compare):
+            a = self._eval(inst.operands[0], env)
+            b = self._eval(inst.operands[1], env)
+            table = _ICMP_FNS if inst.opcode == "icmp" else _FCMP_FNS
+            env[inst] = 1 if table[inst.predicate](a, b) else 0
+        elif isinstance(inst, Load):
+            addr = self._eval(inst.address, env)
+            env[inst] = self.memory.read(addr, inst.type)
+        elif isinstance(inst, Store):
+            addr = self._eval(inst.address, env)
+            undo.record(self.memory, addr)
+            result.stores_logged += 1
+            self.memory.write(addr, inst.value.type, self._eval(inst.value, env))
+        elif isinstance(inst, Gep):
+            env[inst] = self._eval(inst.base, env) + self._eval(
+                inst.index, env
+            ) * inst.elem_size
+        elif isinstance(inst, Select):
+            c = self._eval(inst.operands[0], env)
+            env[inst] = self._eval(inst.operands[1 if c else 2], env)
+        elif isinstance(inst, UnaryOp):
+            env[inst] = self._eval_unop(inst, env)
+        elif isinstance(inst, Alloca):
+            env[inst] = self.memory.alloc(inst.size_bytes)
+        elif isinstance(inst, Call):
+            raise FrameExecutionError(
+                "call inside a frame: inline before region formation"
+            )
+        else:  # pragma: no cover
+            raise FrameExecutionError("cannot execute %r in frame" % inst.opcode)
+
+    def _next_successor(self, inst, env) -> Optional[BasicBlock]:
+        if isinstance(inst, Branch):
+            return inst.target
+        if isinstance(inst, CondBranch):
+            return (
+                inst.true_target
+                if self._eval(inst.cond, env)
+                else inst.false_target
+            )
+        return None  # Ret
+
+    def _eval(self, value: Value, env):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, GlobalArray):
+            return self.global_base[value]
+        if isinstance(value, UndefValue):
+            return 0
+        try:
+            return env[value]
+        except KeyError:
+            raise FrameExecutionError(
+                "value %%%s not available in frame" % getattr(value, "name", "?")
+            ) from None
+
+    def _eval_unop(self, inst: UnaryOp, env):
+        a = self._eval(inst.operands[0], env)
+        op = inst.opcode
+        if op == "fneg":
+            return -a
+        if op == "fabs":
+            return abs(a)
+        if op == "fsqrt":
+            return math.sqrt(a) if a >= 0 else float("nan")
+        if op == "sitofp":
+            return float(a)
+        if op == "fptosi":
+            return inst.type.wrap(int(a))
+        if op == "zext":
+            src_bits = inst.operands[0].type.bits
+            return inst.type.wrap(a & ((1 << src_bits) - 1))
+        return inst.type.wrap(a)  # sext / trunc

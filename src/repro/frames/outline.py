@@ -1,0 +1,359 @@
+"""Outlining: extract a software frame into a real IR offload function.
+
+This is the paper's "NEEDLE extracts each hot region into a separate
+*frame*" made literal: the generated function
+
+* takes every frame live-in as an argument,
+* executes the region's blocks (cloned) with φs rewired to the arguments,
+* instruments every store with an **IR-level undo log** (old value + address
+  appended to dedicated globals; one log per stored scalar type),
+* converts guard branches into jumps to a **rollback block** that walks the
+  undo logs backwards restoring memory, then returns the failing guard's
+  1-based index,
+* writes every live-out to an output buffer global and returns 0 on
+  success.
+
+Because the result is ordinary IR, the standard interpreter runs it — the
+outlined function and :class:`~repro.frames.executor.FrameExecutor` are two
+independent implementations of the frame semantics, and the tests check
+they agree on success results, failure codes and memory effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import (
+    Branch,
+    Call,
+    CondBranch,
+    Instruction,
+    Phi,
+    Ret,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.types import I32, I64, Type
+from ..ir.values import Constant, GlobalArray, Value
+from ..transforms.clone import clone_instruction
+from .frame import Frame, FrameBuildError
+
+#: capacity of each generated undo log (entries)
+UNDO_CAPACITY = 256
+
+
+@dataclass
+class _UndoLog:
+    """One per stored scalar type: value slots, address slots, counter."""
+
+    elem_type: Type
+    values: GlobalArray
+    addrs: GlobalArray
+    counter: GlobalArray
+
+
+@dataclass
+class OutlinedFrame:
+    """The generated offload function plus its calling convention."""
+
+    function: Function
+    frame: Frame
+    #: frame live-in Value -> argument index
+    arg_index: Dict[Value, int]
+    #: frame live-out Value -> slot index in the output buffer global
+    out_slot: Dict[Value, int]
+    out_buffer: GlobalArray
+
+    @property
+    def n_args(self) -> int:
+        return len(self.arg_index)
+
+    def args_from(self, live_in_values: Dict[Value, object]) -> List[object]:
+        """Order a live-in value dict into the function's argument list."""
+        out: List[object] = [None] * self.n_args
+        for live, index in self.arg_index.items():
+            out[index] = live_in_values[live]
+        return out
+
+
+def outline_frame(frame: Frame, module: Module, name: Optional[str] = None) -> OutlinedFrame:
+    """Generate the offload function for ``frame`` inside ``module``.
+
+    The function returns ``0`` on success and the failing guard's 1-based
+    index after rolling back.
+    """
+    region = frame.region
+    if not region.blocks:
+        raise FrameBuildError("cannot outline an empty region")
+    base = name or (
+        "%s_%s_frame" % (region.function.name, region.kind.replace("-", "_"))
+    )
+    while base in module.functions:
+        base += "_"
+
+    def fresh_global(suffix: str, elem: Type, count: int) -> GlobalArray:
+        gname = "%s.%s" % (base, suffix)
+        k = 0
+        while gname in module.globals:
+            k += 1
+            gname = "%s.%s%d" % (base, suffix, k)
+        return module.add_global(gname, elem, count)
+
+    out_buffer = fresh_global("out", I64, max(1, len(frame.live_outs)))
+    undo_logs: Dict[Type, _UndoLog] = {}
+
+    def undo_log_for(t: Type) -> _UndoLog:
+        log = undo_logs.get(t)
+        if log is None:
+            tag = str(t)
+            log = _UndoLog(
+                elem_type=t,
+                values=fresh_global("undo_val_" + tag, t, UNDO_CAPACITY),
+                addrs=fresh_global("undo_addr_" + tag, I64, UNDO_CAPACITY),
+                counter=fresh_global("undo_n_" + tag, I32, 1),
+            )
+            undo_logs[t] = log
+        return log
+
+    # pre-create logs for every stored type so entry can reset the counters
+    for fop in frame.ops:
+        if fop.kind == "op" and isinstance(fop.inst, Store):
+            undo_log_for(fop.inst.value.type)
+
+    # -- function skeleton -----------------------------------------------------
+    arg_index: Dict[Value, int] = {}
+    arg_specs: List[Tuple[str, Type]] = []
+    for i, live in enumerate(frame.live_ins):
+        arg_index[live] = i
+        arg_specs.append(("in%d" % i, live.type))
+    fn = module.add_function(base, arg_specs, I32)
+    b = IRBuilder(fn)
+
+    entry = b.add_block("entry")
+    value_map: Dict[Value, Value] = {
+        live: fn.args[i] for live, i in arg_index.items()
+    }
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    for blk in region.blocks:
+        block_map[blk] = fn.add_block("r." + blk.name)
+
+    rollback_entry = b.add_block("rollback")
+    fail_blocks: Dict[int, BasicBlock] = {}
+    no_guard_code = len(frame.guards) + 1  # off-region exit without a guard tag
+
+    b.set_block(entry)
+    for log in undo_logs.values():
+        b.store(0, b.gep(log.counter, 0, 4))
+    b.br(block_map[region.entry])
+
+    # -- clone the region with frame semantics -----------------------------------
+    order = list(region.blocks)
+    is_path = region.kind in ("bl-path", "superblock", "expanded")
+    next_on_path = {a: bl for a, bl in zip(order, order[1:])}
+    region_set = region.block_set
+    guard_of_block = {g.block: gi + 1 for gi, g in enumerate(frame.guards)}
+
+    for blk in order:
+        clone = block_map[blk]
+        b.set_block(clone)
+        terminated = False
+        for inst in blk.instructions:
+            if isinstance(inst, Phi):
+                res = frame.phi_resolution.get(inst)
+                if res == "live-in":
+                    if inst in value_map:
+                        continue
+                    raise FrameBuildError(
+                        "entry phi %%%s missing from live-ins" % inst.name
+                    )
+                if isinstance(res, Value):
+                    value_map[inst] = _subst(res, value_map)
+                    continue
+                new_phi = Phi(inst.type, fn.unique_name(inst.name))
+                for in_blk, val in inst.incoming:
+                    if in_blk in region_set:
+                        new_phi.add_incoming(block_map[in_blk], _subst(val, value_map))
+                clone.insert(len(clone.phis), new_phi)
+                value_map[inst] = new_phi
+                continue
+
+            if isinstance(inst, Store):
+                _emit_logged_store(b, inst, value_map, undo_log_for(inst.value.type))
+                continue
+
+            if isinstance(inst, CondBranch):
+                terminated = True
+                if blk is order[-1]:
+                    _emit_success(b, frame, value_map, out_buffer)
+                    break
+                cond = _subst(inst.cond, value_map)
+                code = guard_of_block.get(blk, no_guard_code)
+                if is_path:
+                    stay = next_on_path.get(blk)
+                    fail_target = _fail_block(fn, fail_blocks, rollback_entry, code)
+                    if inst.true_target is stay:
+                        clone.append(CondBranch(cond, block_map[stay], fail_target))
+                    elif inst.false_target is stay:
+                        clone.append(CondBranch(cond, fail_target, block_map[stay]))
+                    else:
+                        raise FrameBuildError(
+                            "path block %s does not continue the path" % blk.name
+                        )
+                    break
+                t, f = inst.true_target, inst.false_target
+                t_clone = (
+                    block_map[t]
+                    if t in region_set
+                    else _fail_block(fn, fail_blocks, rollback_entry, code)
+                )
+                f_clone = (
+                    block_map[f]
+                    if f in region_set
+                    else _fail_block(fn, fail_blocks, rollback_entry, code)
+                )
+                clone.append(CondBranch(cond, t_clone, f_clone))
+                break
+
+            if isinstance(inst, Branch):
+                terminated = True
+                if blk is order[-1] or inst.target not in region_set:
+                    _emit_success(b, frame, value_map, out_buffer)
+                else:
+                    clone.append(Branch(block_map[inst.target]))
+                break
+
+            if isinstance(inst, Ret):
+                terminated = True
+                _emit_success(b, frame, value_map, out_buffer)
+                break
+
+            if isinstance(inst, Call):
+                raise FrameBuildError("calls must be inlined before outlining")
+
+            new = clone_instruction(inst, value_map, block_map)
+            if new.name:
+                new.name = fn.unique_name(new.name)
+            clone.append(new)
+
+        if not terminated and clone.terminator is None:
+            nxt = next_on_path.get(blk)
+            if nxt is None:
+                _emit_success(b, frame, value_map, out_buffer)
+            else:
+                clone.append(Branch(block_map[nxt]))
+
+    # -- rollback machinery: one reverse-walk loop per undo log ------------------
+    b.set_block(rollback_entry)
+    fail_code = b.phi(I32, "failcode")
+    chain_start = rollback_entry
+    done = b.add_block("rb.done")
+    logs = list(undo_logs.values())
+    cursor = rollback_entry
+    for li, log in enumerate(logs):
+        head = b.add_block("rb.head%d" % li)
+        body = b.add_block("rb.body%d" % li)
+        nxt = b.add_block("rb.next%d" % li) if li + 1 < len(logs) else done
+
+        b.set_block(cursor)
+        n0 = b.load(I32, b.gep(log.counter, 0, 4))
+        b.br(head)
+        pre = b.block
+
+        b.set_block(head)
+        idx = b.phi(I32, "rb.i%d" % li)
+        more = b.icmp("sgt", idx, 0)
+        b.condbr(more, body, nxt)
+
+        b.set_block(body)
+        prev = b.sub(idx, 1)
+        addr = b.load(I64, b.gep(log.addrs, prev, 8))
+        old = b.load(log.elem_type, b.gep(log.values, prev, log.elem_type.size_bytes))
+        b.store(old, addr)
+        b.br(head)
+
+        idx.add_incoming(pre, n0)
+        idx.add_incoming(body, prev)
+        cursor = nxt
+    if not logs:
+        b.set_block(rollback_entry)
+        b.br(done)
+    b.set_block(done)
+    b.ret(fail_code)
+
+    for code, fb in fail_blocks.items():
+        fail_code.add_incoming(fb, Constant(I32, code))
+
+    _prune_unreachable(fn)
+    from ..ir.verifier import verify_function
+
+    verify_function(fn)
+    return OutlinedFrame(
+        function=fn,
+        frame=frame,
+        arg_index=arg_index,
+        out_slot={v: i for i, v in enumerate(frame.live_outs)},
+        out_buffer=out_buffer,
+    )
+
+
+def _subst(value: Value, value_map: Dict[Value, Value]) -> Value:
+    seen = 0
+    while value in value_map and seen < 64:
+        nxt = value_map[value]
+        if nxt is value:
+            break
+        value = nxt
+        seen += 1
+    return value
+
+
+def _fail_block(fn: Function, fail_blocks, rollback_entry, code: int) -> BasicBlock:
+    fb = fail_blocks.get(code)
+    if fb is None:
+        fb = fn.add_block("fail.g%d" % code)
+        fb.append(Branch(rollback_entry))
+        fail_blocks[code] = fb
+    return fb
+
+
+def _emit_logged_store(b: IRBuilder, inst: Store, value_map, log: _UndoLog) -> None:
+    """store -> (read old, append to the type's log, bump counter, store)."""
+    address = _subst(inst.address, value_map)
+    value = _subst(inst.value, value_map)
+    old = b.load(inst.value.type, address)
+    nptr = b.gep(log.counter, 0, 4)
+    n = b.load(I32, nptr)
+    b.store(old, b.gep(log.values, n, log.elem_type.size_bytes))
+    b.store(address, b.gep(log.addrs, n, 8))
+    b.store(b.add(n, 1), nptr)
+    b.store(value, address)
+
+
+def _emit_success(b: IRBuilder, frame: Frame, value_map, out_buffer) -> None:
+    """Write live-outs to the output buffer and return 0."""
+    for i, live in enumerate(frame.live_outs):
+        v = _subst(live, value_map)
+        slot = b.gep(out_buffer, i, 8)
+        b.store(v, slot)
+    b.ret(0)
+
+
+def _prune_unreachable(fn: Function) -> None:
+    reachable = set()
+    stack = [fn.entry]
+    while stack:
+        blk = stack.pop()
+        if blk in reachable:
+            continue
+        reachable.add(blk)
+        stack.extend(blk.successors)
+    for blk in list(fn.blocks):
+        if blk not in reachable:
+            for succ in blk.successors:
+                for phi in succ.phis:
+                    phi.remove_incoming(blk)
+            fn.remove_block(blk)

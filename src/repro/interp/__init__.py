@@ -1,0 +1,20 @@
+"""Concrete execution of the mini IR: memory model, interpreter, tracing."""
+
+from .memory import Memory, MemoryError_
+from .events import FunctionTrace, MultiTracer, TraceRecorder, Tracer
+from .interpreter import FuelExhausted, Interpreter, InterpreterError
+from .stats import OpMix, OpMixTracer
+
+__all__ = [
+    "FuelExhausted",
+    "FunctionTrace",
+    "Interpreter",
+    "InterpreterError",
+    "Memory",
+    "MemoryError_",
+    "MultiTracer",
+    "OpMix",
+    "OpMixTracer",
+    "TraceRecorder",
+    "Tracer",
+]

@@ -1,0 +1,137 @@
+"""Trace event types and collecting tracers for the interpreter.
+
+The interpreter reports execution through a tracer object; any subset of the
+hook methods may be implemented.  :class:`TraceRecorder` captures the full
+dynamic structure (block sequence + memory address stream) that profiling
+and the cycle simulators replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+
+
+class Tracer:
+    """Base tracer: all hooks are no-ops.  Subclass and override."""
+
+    def on_function_entry(self, fn: Function) -> None:  # pragma: no cover
+        pass
+
+    def on_function_exit(self, fn: Function) -> None:  # pragma: no cover
+        pass
+
+    def on_block(self, fn: Function, block: BasicBlock, prev: Optional[BasicBlock]) -> None:
+        pass
+
+    def on_branch(self, fn: Function, block: BasicBlock, taken: bool) -> None:
+        pass
+
+    def on_memory(self, fn: Function, opcode: str, address: int) -> None:
+        pass
+
+
+class MultiTracer(Tracer):
+    """Fan a trace out to several tracers."""
+
+    def __init__(self, *tracers: Tracer):
+        self.tracers = list(tracers)
+
+    def on_function_entry(self, fn):
+        for t in self.tracers:
+            t.on_function_entry(fn)
+
+    def on_function_exit(self, fn):
+        for t in self.tracers:
+            t.on_function_exit(fn)
+
+    def on_block(self, fn, block, prev):
+        for t in self.tracers:
+            t.on_block(fn, block, prev)
+
+    def on_branch(self, fn, block, taken):
+        for t in self.tracers:
+            t.on_branch(fn, block, taken)
+
+    def on_memory(self, fn, opcode, address):
+        for t in self.tracers:
+            t.on_memory(fn, opcode, address)
+
+
+@dataclass
+class FunctionTrace:
+    """Dynamic record of one function's execution(s).
+
+    ``blocks`` is the concatenated block sequence over all invocations, with
+    ``None`` sentinels separating invocations.  ``memory`` is the address
+    stream, in program order, as ``(opcode, address)`` pairs.
+    """
+
+    function: Function
+    blocks: List[Optional[BasicBlock]] = field(default_factory=list)
+    memory: List[Tuple[str, int]] = field(default_factory=list)
+    invocations: int = 0
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return sum(len(b) for b in self.blocks if b is not None)
+
+    def block_counts(self) -> Dict[BasicBlock, int]:
+        counts: Dict[BasicBlock, int] = {}
+        for b in self.blocks:
+            if b is not None:
+                counts[b] = counts.get(b, 0) + 1
+        return counts
+
+    def invocation_sequences(self) -> List[List[BasicBlock]]:
+        """Split the block stream back into per-invocation sequences."""
+        out: List[List[BasicBlock]] = []
+        current: List[BasicBlock] = []
+        for b in self.blocks:
+            if b is None:
+                if current:
+                    out.append(current)
+                current = []
+            else:
+                current.append(b)
+        if current:
+            out.append(current)
+        return out
+
+
+class TraceRecorder(Tracer):
+    """Records a :class:`FunctionTrace` per traced function."""
+
+    def __init__(self, functions: Optional[List[Function]] = None):
+        #: restrict recording to these functions (None = all)
+        self.filter = set(functions) if functions is not None else None
+        self.traces: Dict[Function, FunctionTrace] = {}
+
+    def _trace(self, fn: Function) -> Optional[FunctionTrace]:
+        if self.filter is not None and fn not in self.filter:
+            return None
+        trace = self.traces.get(fn)
+        if trace is None:
+            trace = FunctionTrace(fn)
+            self.traces[fn] = trace
+        return trace
+
+    def on_function_entry(self, fn: Function) -> None:
+        trace = self._trace(fn)
+        if trace is not None:
+            trace.invocations += 1
+            if trace.blocks:
+                trace.blocks.append(None)
+
+    def on_block(self, fn, block, prev) -> None:
+        trace = self._trace(fn)
+        if trace is not None:
+            trace.blocks.append(block)
+
+    def on_memory(self, fn, opcode, address) -> None:
+        trace = self._trace(fn)
+        if trace is not None:
+            trace.memory.append((opcode, address))

@@ -1,0 +1,280 @@
+"""Concrete interpreter for the mini IR.
+
+Executes modules instruction-by-instruction with LLVM-like semantics
+(two's-complement integers, truncating division, parallel φ copies) and
+reports dynamic behaviour through a :class:`~repro.interp.events.Tracer`.
+This is the stand-in for native execution of the instrumented benchmark
+binaries in the paper's toolchain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Compare,
+    CondBranch,
+    Gep,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UnaryOp,
+)
+from ..ir.module import Module
+from ..ir.types import F32, F64, I1, I32, I64, PTR, Type
+from ..ir.values import Argument, Constant, GlobalArray, UndefValue, Value
+from .events import Tracer
+from .memory import Memory
+
+
+class InterpreterError(Exception):
+    """Semantic error during execution (div by zero, bad call...)."""
+
+
+class FuelExhausted(InterpreterError):
+    """The run exceeded its dynamic-instruction budget."""
+
+
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _srem(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer remainder by zero")
+    return a - _sdiv(a, b) * b
+
+
+_INT_BINOP_FNS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "sdiv": _sdiv,
+    "srem": _srem,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 63),
+    "lshr": lambda a, b: (a & ((1 << 64) - 1)) >> (b & 63),
+    "ashr": lambda a, b: a >> (b & 63),
+    "smin": min,
+    "smax": max,
+}
+
+_FP_BINOP_FNS = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": lambda a, b: a / b if b != 0.0 else math.inf * (1 if a >= 0 else -1),
+    "fmin": min,
+    "fmax": max,
+}
+
+_ICMP_FNS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: (a & ((1 << 64) - 1)) < (b & ((1 << 64) - 1)),
+    "ugt": lambda a, b: (a & ((1 << 64) - 1)) > (b & ((1 << 64) - 1)),
+}
+
+_FCMP_FNS = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+
+class Interpreter:
+    """Executes functions of one module over a shared :class:`Memory`."""
+
+    def __init__(
+        self,
+        module: Module,
+        tracer: Optional[Tracer] = None,
+        fuel: int = 50_000_000,
+    ):
+        self.module = module
+        self.memory = Memory()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.fuel = fuel
+        self.executed_instructions = 0
+        self.global_base: Dict[GlobalArray, int] = {}
+        self._materialise_globals()
+
+    # -- setup -----------------------------------------------------------------
+
+    def _materialise_globals(self) -> None:
+        for g in self.module.globals.values():
+            base = self.memory.alloc(g.size_bytes)
+            self.global_base[g] = base
+            if g.init is not None:
+                self.memory.write_array(base, g.elem_type, g.init)
+
+    def address_of(self, global_name: str) -> int:
+        """Base address of a module global (for writing inputs)."""
+        return self.global_base[self.module.get_global(global_name)]
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, fn: "Function | str", args: Sequence = ()):
+        """Execute ``fn`` with ``args``; returns the function's return value."""
+        if isinstance(fn, str):
+            fn = self.module.get_function(fn)
+        return self._run_function(fn, list(args))
+
+    def _run_function(self, fn: Function, args: List):
+        if len(args) != len(fn.args):
+            raise InterpreterError(
+                "%s expects %d args, got %d" % (fn.name, len(fn.args), len(args))
+            )
+        env: Dict[Value, object] = {}
+        for formal, actual in zip(fn.args, args):
+            env[formal] = formal.type.wrap(actual)
+
+        self.tracer.on_function_entry(fn)
+        block = fn.entry
+        prev: Optional[BasicBlock] = None
+        tracer = self.tracer
+        memory = self.memory
+
+        while True:
+            tracer.on_block(fn, block, prev)
+
+            # φ-nodes: parallel copy from the incoming edge
+            phis = block.phis
+            if phis:
+                staged = []
+                for phi in phis:
+                    val = phi.incoming_for(prev)
+                    if val is None:
+                        raise InterpreterError(
+                            "phi %%%s in %s has no incoming for %s"
+                            % (phi.name, block.name, prev.name if prev else "<entry>")
+                        )
+                    staged.append((phi, self._eval(val, env)))
+                for phi, v in staged:
+                    env[phi] = v
+
+            next_block: Optional[BasicBlock] = None
+            for inst in block.instructions[len(phis):]:
+                self.executed_instructions += 1
+                if self.executed_instructions > self.fuel:
+                    raise FuelExhausted(
+                        "exceeded %d dynamic instructions" % self.fuel
+                    )
+
+                if isinstance(inst, BinaryOp):
+                    a = self._eval(inst.operands[0], env)
+                    b = self._eval(inst.operands[1], env)
+                    fn_ = _INT_BINOP_FNS.get(inst.opcode) or _FP_BINOP_FNS[inst.opcode]
+                    env[inst] = inst.type.wrap(fn_(a, b))
+                elif isinstance(inst, Compare):
+                    a = self._eval(inst.operands[0], env)
+                    b = self._eval(inst.operands[1], env)
+                    table = _ICMP_FNS if inst.opcode == "icmp" else _FCMP_FNS
+                    env[inst] = 1 if table[inst.predicate](a, b) else 0
+                elif isinstance(inst, Load):
+                    addr = self._eval(inst.address, env)
+                    tracer.on_memory(fn, "load", addr)
+                    env[inst] = memory.read(addr, inst.type)
+                elif isinstance(inst, Store):
+                    addr = self._eval(inst.address, env)
+                    val = self._eval(inst.value, env)
+                    tracer.on_memory(fn, "store", addr)
+                    memory.write(addr, inst.value.type, val)
+                elif isinstance(inst, Gep):
+                    base = self._eval(inst.base, env)
+                    index = self._eval(inst.index, env)
+                    env[inst] = base + index * inst.elem_size
+                elif isinstance(inst, Select):
+                    c = self._eval(inst.operands[0], env)
+                    env[inst] = self._eval(inst.operands[1 if c else 2], env)
+                elif isinstance(inst, UnaryOp):
+                    env[inst] = self._eval_unop(inst, env)
+                elif isinstance(inst, Alloca):
+                    env[inst] = memory.alloc(inst.size_bytes)
+                elif isinstance(inst, CondBranch):
+                    c = self._eval(inst.cond, env)
+                    taken = bool(c)
+                    tracer.on_branch(fn, block, taken)
+                    next_block = inst.true_target if taken else inst.false_target
+                    break
+                elif isinstance(inst, Branch):
+                    next_block = inst.target
+                    break
+                elif isinstance(inst, Ret):
+                    result = (
+                        self._eval(inst.value, env) if inst.value is not None else None
+                    )
+                    tracer.on_function_exit(fn)
+                    return result
+                elif isinstance(inst, Call):
+                    call_args = [self._eval(a, env) for a in inst.operands]
+                    result = self._run_function(inst.callee, call_args)
+                    if not inst.type.is_void:
+                        env[inst] = result
+                else:  # pragma: no cover - inventory is closed
+                    raise InterpreterError("cannot execute opcode %r" % inst.opcode)
+
+            if next_block is None:
+                raise InterpreterError(
+                    "block %s in %s fell through without a terminator"
+                    % (block.name, fn.name)
+                )
+            prev, block = block, next_block
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _eval(self, value: Value, env: Dict[Value, object]):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, GlobalArray):
+            return self.global_base[value]
+        if isinstance(value, UndefValue):
+            return 0
+        try:
+            return env[value]
+        except KeyError:
+            raise InterpreterError(
+                "use of %s before definition" % getattr(value, "name", value)
+            ) from None
+
+    def _eval_unop(self, inst: UnaryOp, env: Dict[Value, object]):
+        a = self._eval(inst.operands[0], env)
+        op = inst.opcode
+        if op == "fneg":
+            return -a
+        if op == "fabs":
+            return abs(a)
+        if op == "fsqrt":
+            return math.sqrt(a) if a >= 0 else float("nan")
+        if op == "sitofp":
+            return float(a)
+        if op == "fptosi":
+            return inst.type.wrap(int(a))
+        if op in ("zext", "sext", "trunc"):
+            if op == "zext":
+                src_bits = inst.operands[0].type.bits
+                return inst.type.wrap(a & ((1 << src_bits) - 1))
+            return inst.type.wrap(a)
+        raise InterpreterError("cannot execute unop %r" % op)  # pragma: no cover

@@ -1,0 +1,78 @@
+"""Dynamic instruction-mix statistics tracer.
+
+Characterises what a workload actually executes — INT vs FP vs memory vs
+control — which is the first thing an accelerator architect asks about a
+candidate region (and what drives the energy split in Fig. 10's
+discussion of FP workloads).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import is_float_op
+from .events import Tracer
+
+
+@dataclass
+class OpMix:
+    """Dynamic opcode census of one function."""
+
+    function: Function
+    opcodes: Counter = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        return sum(self.opcodes.values())
+
+    def _share(self, predicate) -> float:
+        if not self.total:
+            return 0.0
+        return sum(c for op, c in self.opcodes.items() if predicate(op)) / self.total
+
+    @property
+    def fp_share(self) -> float:
+        return self._share(is_float_op)
+
+    @property
+    def memory_share(self) -> float:
+        return self._share(lambda op: op in ("load", "store"))
+
+    @property
+    def control_share(self) -> float:
+        return self._share(lambda op: op in ("br", "condbr", "ret", "phi"))
+
+    @property
+    def int_share(self) -> float:
+        return max(
+            0.0, 1.0 - self.fp_share - self.memory_share - self.control_share
+        )
+
+    def top(self, n: int = 5):
+        return self.opcodes.most_common(n)
+
+
+class OpMixTracer(Tracer):
+    """Accumulates per-function dynamic opcode counts."""
+
+    def __init__(self, functions=None):
+        self.filter = set(functions) if functions is not None else None
+        self.mixes: Dict[Function, OpMix] = {}
+
+    def mix_for(self, fn: Function) -> OpMix:
+        mix = self.mixes.get(fn)
+        if mix is None:
+            mix = OpMix(fn)
+            self.mixes[fn] = mix
+        return mix
+
+    def on_block(self, fn: Function, block: BasicBlock, prev) -> None:
+        if self.filter is not None and fn not in self.filter:
+            return
+        mix = self.mix_for(fn)
+        for inst in block.instructions:
+            mix.opcodes[inst.opcode] += 1

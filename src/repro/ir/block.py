@@ -1,0 +1,74 @@
+"""Basic blocks: straight-line instruction sequences ended by a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .instructions import Instruction, Phi
+
+
+class BasicBlock:
+    """A basic block within a function.
+
+    Instructions are stored in execution order.  φ-nodes, if any, must be a
+    prefix of the instruction list; the block must end with exactly one
+    terminator (enforced by the verifier, not the container).
+    """
+
+    __slots__ = ("name", "instructions", "parent")
+
+    def __init__(self, name: str, parent=None):
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self.parent = parent
+
+    # -- structure -----------------------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The block's terminator, or None if the block is still open."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def successors(self) -> list:
+        term = self.terminator
+        return list(term.successors) if term is not None else []
+
+    @property
+    def phis(self) -> List[Phi]:
+        out = []
+        for inst in self.instructions:
+            if isinstance(inst, Phi):
+                out.append(inst)
+            else:
+                break
+        return out
+
+    @property
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, Phi)]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return "<BasicBlock %s (%d insts)>" % (self.name, len(self.instructions))

@@ -1,0 +1,175 @@
+"""IRBuilder: the ergonomic construction API used by workloads and tests.
+
+The builder tracks an insertion block and exposes one method per opcode.
+Python ints/floats passed where a :class:`Value` is expected are coerced to
+:class:`Constant` s of the appropriate type, which keeps workload kernels
+compact and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Compare,
+    CondBranch,
+    FP_BINOPS,
+    Gep,
+    INT_BINOPS,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UnaryOp,
+)
+from .types import F64, I32, Type
+from .values import Constant, Value
+
+Operand = Union[Value, int, float]
+
+
+class IRBuilder:
+    """Builds instructions at the end of a current block."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.block: Optional[BasicBlock] = None
+
+    # -- positioning ---------------------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def add_block(self, name: str) -> BasicBlock:
+        """Create a block (does not change the insertion point)."""
+        return self.function.add_block(name)
+
+    # -- operand coercion ----------------------------------------------------
+
+    def _coerce(self, value: Operand, like: Optional[Value] = None, type_: Optional[Type] = None) -> Value:
+        if isinstance(value, Value):
+            return value
+        if type_ is None:
+            if like is not None and isinstance(like, Value):
+                type_ = like.type
+            elif isinstance(value, float):
+                type_ = F64
+            else:
+                type_ = I32
+        return Constant(type_, value)
+
+    def _insert(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("IRBuilder has no insertion block")
+        if self.block.terminator is not None:
+            raise RuntimeError(
+                "appending %s after terminator in block %s"
+                % (inst.opcode, self.block.name)
+            )
+        if inst.name:
+            inst.name = self.function.unique_name(inst.name)
+        elif not inst.type.is_void:
+            inst.name = self.function.unique_name(inst.opcode)
+        return self.block.append(inst)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def binop(self, opcode: str, lhs: Operand, rhs: Operand, name: str = "") -> Instruction:
+        lhs_v = self._coerce(lhs)
+        rhs_v = self._coerce(rhs, like=lhs_v)
+        if not isinstance(lhs, Value):
+            lhs_v = self._coerce(lhs, like=rhs_v)
+        return self._insert(BinaryOp(opcode, lhs_v, rhs_v, name))
+
+    def unop(self, opcode: str, operand: Operand, result_type: Type, name: str = "") -> Instruction:
+        return self._insert(UnaryOp(opcode, self._coerce(operand), result_type, name))
+
+    def icmp(self, predicate: str, lhs: Operand, rhs: Operand, name: str = "") -> Instruction:
+        lhs_v = self._coerce(lhs)
+        rhs_v = self._coerce(rhs, like=lhs_v)
+        if not isinstance(lhs, Value):
+            lhs_v = self._coerce(lhs, like=rhs_v)
+        return self._insert(Compare("icmp", predicate, lhs_v, rhs_v, name))
+
+    def fcmp(self, predicate: str, lhs: Operand, rhs: Operand, name: str = "") -> Instruction:
+        lhs_v = self._coerce(lhs, type_=F64 if not isinstance(lhs, Value) else None)
+        rhs_v = self._coerce(rhs, like=lhs_v)
+        return self._insert(Compare("fcmp", predicate, lhs_v, rhs_v, name))
+
+    def select(self, cond: Value, true_val: Operand, false_val: Operand, name: str = "") -> Instruction:
+        tv = self._coerce(true_val)
+        fv = self._coerce(false_val, like=tv)
+        return self._insert(Select(cond, tv, fv, name))
+
+    # -- memory ---------------------------------------------------------------
+
+    def load(self, type_: Type, address: Value, name: str = "") -> Instruction:
+        return self._insert(Load(type_, address, name))
+
+    def store(self, value: Operand, address: Value) -> Instruction:
+        return self._insert(Store(self._coerce(value), address))
+
+    def gep(self, base: Value, index: Operand, elem_size: int, name: str = "") -> Instruction:
+        return self._insert(Gep(base, self._coerce(index), elem_size, name))
+
+    def alloca(self, elem_type: Type, count: int = 1, name: str = "") -> Instruction:
+        return self._insert(Alloca(elem_type, count, name))
+
+    # -- ssa ------------------------------------------------------------------
+
+    def phi(self, type_: Type, name: str = "") -> Phi:
+        """Insert a φ at the *start* of the current block."""
+        if self.block is None:
+            raise RuntimeError("IRBuilder has no insertion block")
+        node = Phi(type_, self.function.unique_name(name or "phi"))
+        index = len(self.block.phis)
+        self.block.insert(index, node)
+        return node
+
+    # -- control flow ----------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._insert(Branch(target))
+
+    def condbr(self, cond: Value, true_target: BasicBlock, false_target: BasicBlock) -> Instruction:
+        return self._insert(CondBranch(cond, true_target, false_target))
+
+    def ret(self, value: Optional[Operand] = None) -> Instruction:
+        v = None if value is None else self._coerce(value, type_=self.function.return_type)
+        return self._insert(Ret(v))
+
+    def call(self, callee: Function, args: Sequence[Operand], name: str = "") -> Instruction:
+        coerced = [
+            self._coerce(a, like=formal) for a, formal in zip(args, callee.args)
+        ]
+        if len(coerced) != len(callee.args):
+            raise ValueError(
+                "call to %s expects %d args, got %d"
+                % (callee.name, len(callee.args), len(args))
+            )
+        return self._insert(Call(callee, coerced, name))
+
+    # -- sugar: every binop as a method --------------------------------------
+
+
+def _make_binop_method(opcode: str):
+    def method(self: IRBuilder, lhs: Operand, rhs: Operand, name: str = "") -> Instruction:
+        return self.binop(opcode, lhs, rhs, name)
+
+    method.__name__ = opcode.rstrip("_")
+    method.__doc__ = "Emit a %r instruction." % opcode
+    return method
+
+
+for _op in sorted(INT_BINOPS | FP_BINOPS):
+    _name = {"and": "and_", "or": "or_"}.get(_op, _op)
+    setattr(IRBuilder, _name, _make_binop_method(_op))

@@ -1,0 +1,99 @@
+"""Functions: ordered collections of basic blocks with typed arguments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .block import BasicBlock
+from .instructions import CondBranch, Instruction
+from .types import Type, VOID
+from .values import Argument
+
+
+class Function:
+    """An IR function.
+
+    The first block in ``blocks`` is the entry block.  Predecessor maps and
+    other derived structure live in :mod:`repro.analysis.cfg`; the function
+    itself stores only the program text.
+    """
+
+    __slots__ = ("name", "args", "return_type", "blocks", "module", "_names")
+
+    def __init__(
+        self,
+        name: str,
+        arg_types: Sequence[Tuple[str, Type]] = (),
+        return_type: Type = VOID,
+        module=None,
+    ):
+        self.name = name
+        self.args: List[Argument] = [
+            Argument(t, n, i) for i, (n, t) in enumerate(arg_types)
+        ]
+        self.return_type = return_type
+        self.blocks: List[BasicBlock] = []
+        self.module = module
+        self._names: Dict[str, int] = {}
+
+    # -- blocks --------------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError("function %s has no blocks" % self.name)
+        return self.blocks[0]
+
+    def add_block(self, name: str) -> BasicBlock:
+        block = BasicBlock(self.unique_name(name), parent=self)
+        self.blocks.append(block)
+        return block
+
+    def get_block(self, name: str) -> BasicBlock:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise KeyError("no block named %r in %s" % (name, self.name))
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    # -- naming --------------------------------------------------------------
+
+    def unique_name(self, hint: str) -> str:
+        """Return ``hint``, suffixed if needed to be unique in the function."""
+        base = hint or "v"
+        n = self._names.get(base)
+        if n is None:
+            self._names[base] = 1
+            return base
+        self._names[base] = n + 1
+        return "%s.%d" % (base, n)
+
+    # -- queries -------------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def branches(self) -> List[CondBranch]:
+        """All conditional branches in the function."""
+        return [i for i in self.instructions() if isinstance(i, CondBranch)]
+
+    def arg(self, name: str) -> Argument:
+        for a in self.args:
+            if a.name == name:
+                return a
+        raise KeyError("no argument named %r in %s" % (name, self.name))
+
+    def __repr__(self) -> str:
+        return "<Function %s (%d blocks, %d insts)>" % (
+            self.name,
+            len(self.blocks),
+            self.instruction_count,
+        )

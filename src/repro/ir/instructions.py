@@ -1,0 +1,401 @@
+"""Instruction set of the mini SSA IR.
+
+The opcode inventory mirrors the LLVM subset Needle operates on: integer and
+floating point arithmetic, comparisons, selects, loads/stores with simple
+address arithmetic (``gep``), φ-nodes, and the three terminators
+(unconditional branch, conditional branch, return).  ``call`` is supported so
+call sequences can be written and then inlined, matching the paper's
+"aggressive inlining of call sequences" before analysis.
+
+Each opcode carries static metadata used throughout the stack:
+
+* ``LATENCY`` — default execution latency in cycles (host FU and CGRA FU),
+* ``ENERGY_CLASS`` — which per-op energy bucket it bills to,
+* category predicates (:func:`is_memory_op`, :func:`is_float_op`, ...).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .types import I1, Type
+from .values import Value
+
+# --------------------------------------------------------------------------
+# Opcode inventory
+# --------------------------------------------------------------------------
+
+INT_BINOPS = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "sdiv",
+        "srem",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "lshr",
+        "ashr",
+        "smin",
+        "smax",
+    }
+)
+
+FP_BINOPS = frozenset({"fadd", "fsub", "fmul", "fdiv", "fmin", "fmax"})
+
+#: unary value-to-value operations, including conversions
+UNOPS = frozenset(
+    {"fneg", "fabs", "fsqrt", "sitofp", "fptosi", "zext", "sext", "trunc"}
+)
+
+ICMP_PREDICATES = frozenset({"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ugt"})
+FCMP_PREDICATES = frozenset({"oeq", "one", "olt", "ole", "ogt", "oge"})
+
+TERMINATORS = frozenset({"br", "condbr", "ret"})
+
+MEMORY_OPS = frozenset({"load", "store"})
+
+ALL_OPCODES = (
+    INT_BINOPS
+    | FP_BINOPS
+    | UNOPS
+    | MEMORY_OPS
+    | TERMINATORS
+    | {"icmp", "fcmp", "select", "gep", "alloca", "phi", "call"}
+)
+
+#: Default per-opcode latency (cycles).  Shared by the OOO host model and the
+#: CGRA scheduler; either may override via its own latency table.
+LATENCY = {
+    "add": 1,
+    "sub": 1,
+    "and": 1,
+    "or": 1,
+    "xor": 1,
+    "shl": 1,
+    "lshr": 1,
+    "ashr": 1,
+    "smin": 1,
+    "smax": 1,
+    "mul": 3,
+    "sdiv": 12,
+    "srem": 12,
+    "fadd": 3,
+    "fsub": 3,
+    "fmin": 2,
+    "fmax": 2,
+    "fmul": 4,
+    "fdiv": 16,
+    "fneg": 1,
+    "fabs": 1,
+    "fsqrt": 20,
+    "sitofp": 3,
+    "fptosi": 3,
+    "zext": 1,
+    "sext": 1,
+    "trunc": 1,
+    "icmp": 1,
+    "fcmp": 2,
+    "select": 1,
+    "gep": 1,
+    "alloca": 1,
+    "phi": 0,
+    "br": 1,
+    "condbr": 1,
+    "ret": 1,
+    "call": 1,
+    "load": 2,  # plus memory-system latency beyond the L1 hit baked in here
+    "store": 1,
+}
+
+
+def is_float_op(opcode: str) -> bool:
+    """True if the opcode executes on a floating point unit."""
+    return opcode in FP_BINOPS or opcode in {
+        "fneg",
+        "fabs",
+        "fsqrt",
+        "fcmp",
+        "sitofp",
+        "fptosi",
+        "fmin",
+        "fmax",
+    }
+
+
+def is_memory_op(opcode: str) -> bool:
+    return opcode in MEMORY_OPS
+
+
+def is_terminator_op(opcode: str) -> bool:
+    return opcode in TERMINATORS
+
+
+# --------------------------------------------------------------------------
+# Instruction classes
+# --------------------------------------------------------------------------
+
+
+class Instruction(Value):
+    """Base class for all instructions.
+
+    An instruction is itself a :class:`Value` (its result).  ``operands``
+    holds data operands only; control successors are separate attributes of
+    terminator subclasses.
+
+    Attributes:
+        opcode: opcode string from :data:`ALL_OPCODES`.
+        operands: list of operand :class:`Value` s.
+        parent: owning :class:`~repro.ir.block.BasicBlock` (set on insert).
+    """
+
+    __slots__ = ("opcode", "operands", "parent")
+
+    def __init__(self, opcode: str, type_: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type_, name)
+        if opcode not in ALL_OPCODES:
+            raise ValueError("unknown opcode: %r" % opcode)
+        self.opcode = opcode
+        self.operands = list(operands)
+        self.parent = None
+
+    # -- category predicates -------------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPS
+
+    @property
+    def is_float(self) -> bool:
+        return is_float_op(self.opcode)
+
+    @property
+    def latency(self) -> int:
+        return LATENCY[self.opcode]
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` among operands; returns count."""
+        n = 0
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                n += 1
+        return n
+
+    def __repr__(self) -> str:
+        return "<%s %s>" % (self.opcode, self.ref)
+
+
+class BinaryOp(Instruction):
+    """Two-operand arithmetic/logical operation."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode not in INT_BINOPS and opcode not in FP_BINOPS:
+            raise ValueError("not a binary opcode: %r" % opcode)
+        super().__init__(opcode, lhs.type, [lhs, rhs], name)
+
+
+class UnaryOp(Instruction):
+    """One-operand operation, including numeric conversions."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, operand: Value, result_type: Type, name: str = ""):
+        if opcode not in UNOPS:
+            raise ValueError("not a unary opcode: %r" % opcode)
+        super().__init__(opcode, result_type, [operand], name)
+
+
+class Compare(Instruction):
+    """Integer (``icmp``) or float (``fcmp``) comparison yielding ``i1``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, opcode: str, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode == "icmp":
+            if predicate not in ICMP_PREDICATES:
+                raise ValueError("bad icmp predicate: %r" % predicate)
+        elif opcode == "fcmp":
+            if predicate not in FCMP_PREDICATES:
+                raise ValueError("bad fcmp predicate: %r" % predicate)
+        else:
+            raise ValueError("not a compare opcode: %r" % opcode)
+        super().__init__(opcode, I1, [lhs, rhs], name)
+        self.predicate = predicate
+
+
+class Select(Instruction):
+    """``select cond, a, b`` — the IR-level conditional move."""
+
+    __slots__ = ()
+
+    def __init__(self, cond: Value, true_val: Value, false_val: Value, name: str = ""):
+        super().__init__("select", true_val.type, [cond, true_val, false_val], name)
+
+
+class Load(Instruction):
+    """Load a scalar of ``type_`` from the address operand."""
+
+    __slots__ = ()
+
+    def __init__(self, type_: Type, address: Value, name: str = ""):
+        super().__init__("load", type_, [address], name)
+
+    @property
+    def address(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """Store ``value`` to ``address``; produces no result."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Value, address: Value):
+        from .types import VOID
+
+        super().__init__("store", VOID, [value, address])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def address(self) -> Value:
+        return self.operands[1]
+
+
+class Gep(Instruction):
+    """Address computation: ``base + index * elem_size`` (flat arrays)."""
+
+    __slots__ = ("elem_size",)
+
+    def __init__(self, base: Value, index: Value, elem_size: int, name: str = ""):
+        from .types import PTR
+
+        super().__init__("gep", PTR, [base, index], name)
+        self.elem_size = int(elem_size)
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class Alloca(Instruction):
+    """Reserve ``count`` elements of ``elem_type`` in the function frame."""
+
+    __slots__ = ("elem_type", "count")
+
+    def __init__(self, elem_type: Type, count: int = 1, name: str = ""):
+        from .types import PTR
+
+        super().__init__("alloca", PTR, [], name)
+        self.elem_type = elem_type
+        self.count = int(count)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.count * self.elem_type.size_bytes
+
+
+class Phi(Instruction):
+    """SSA φ-node.  ``incoming`` pairs (block, value); blocks must be preds."""
+
+    __slots__ = ("incoming",)
+
+    def __init__(self, type_: Type, name: str = ""):
+        super().__init__("phi", type_, [], name)
+        self.incoming: List[Tuple[object, Value]] = []
+
+    def add_incoming(self, block, value: Value) -> None:
+        self.incoming.append((block, value))
+        self.operands.append(value)
+
+    def incoming_for(self, block) -> Optional[Value]:
+        for blk, val in self.incoming:
+            if blk is block:
+                return val
+        return None
+
+    def remove_incoming(self, block) -> None:
+        kept = [(b, v) for (b, v) in self.incoming if b is not block]
+        self.incoming = kept
+        self.operands = [v for (_, v) in kept]
+
+
+class Branch(Instruction):
+    """Unconditional branch."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        from .types import VOID
+
+        super().__init__("br", VOID, [])
+        self.target = target
+
+    @property
+    def successors(self):
+        return [self.target]
+
+
+class CondBranch(Instruction):
+    """Conditional two-way branch on an ``i1`` condition."""
+
+    __slots__ = ("true_target", "false_target")
+
+    def __init__(self, cond: Value, true_target, false_target):
+        from .types import VOID
+
+        super().__init__("condbr", VOID, [cond])
+        self.true_target = true_target
+        self.false_target = false_target
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def successors(self):
+        return [self.true_target, self.false_target]
+
+
+class Ret(Instruction):
+    """Return from the function, optionally with a value."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Optional[Value] = None):
+        from .types import VOID
+
+        super().__init__("ret", VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    @property
+    def successors(self):
+        return []
+
+
+class Call(Instruction):
+    """Direct call to another function in the same module."""
+
+    __slots__ = ("callee",)
+
+    def __init__(self, callee, args: Sequence[Value], name: str = ""):
+        super().__init__("call", callee.return_type, list(args), name)
+        self.callee = callee

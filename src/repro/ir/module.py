@@ -1,0 +1,60 @@
+"""Modules: top-level containers of functions and global arrays."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .function import Function
+from .types import Type, VOID
+from .values import GlobalArray
+
+
+class Module:
+    """A translation unit: named functions plus named global arrays."""
+
+    __slots__ = ("name", "functions", "globals")
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalArray] = {}
+
+    def add_function(
+        self,
+        name: str,
+        arg_types: Sequence[Tuple[str, Type]] = (),
+        return_type: Type = VOID,
+    ) -> Function:
+        if name in self.functions:
+            raise ValueError("duplicate function %r" % name)
+        fn = Function(name, arg_types, return_type, module=self)
+        self.functions[name] = fn
+        return fn
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError("no function named %r in module %s" % (name, self.name)) from None
+
+    def add_global(
+        self, name: str, elem_type: Type, count: int, init=None
+    ) -> GlobalArray:
+        if name in self.globals:
+            raise ValueError("duplicate global %r" % name)
+        g = GlobalArray(name, elem_type, count, init)
+        self.globals[name] = g
+        return g
+
+    def get_global(self, name: str) -> GlobalArray:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise KeyError("no global named %r in module %s" % (name, self.name)) from None
+
+    def __repr__(self) -> str:
+        return "<Module %s (%d functions, %d globals)>" % (
+            self.name,
+            len(self.functions),
+            len(self.globals),
+        )

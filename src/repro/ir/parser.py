@@ -1,0 +1,421 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+Parses the LLVM-flavoured syntax the printer emits, so modules round-trip
+through text.  Useful for writing kernels as text fixtures, diffing
+transformed IR, and persisting extracted regions.
+
+Grammar (one construct per line)::
+
+    ; comment
+    @name = global [N x ty]
+    define ty @fn(ty %a, ty %b) {
+    label:
+      %x = add ty %a, %b          | binops / unops
+      %c = icmp slt ty %a, %b     | fcmp likewise
+      %s = select %c, ty %a, %b
+      %v = load ty, %ptr
+      store ty %v, %ptr
+      %p = gep %base, %i, 8
+      %m = alloca ty, N
+      %f = phi ty [ %v, %bb ], ...
+      br label %bb
+      condbr %c, label %t, label %f
+      ret ty %v                   | ret void
+      %r = call ty @g(ty %a, ...)
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    ALL_OPCODES,
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Compare,
+    CondBranch,
+    FP_BINOPS,
+    Gep,
+    ICMP_PREDICATES,
+    FCMP_PREDICATES,
+    INT_BINOPS,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UNOPS,
+    UnaryOp,
+)
+from .module import Module
+from .types import Type, VOID, type_from_name
+from .values import Constant, UndefValue, Value
+
+
+class ParseError(Exception):
+    """Syntax or semantic error while parsing IR text."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = "line %d: %s" % (line_no, message)
+        super().__init__(message)
+
+
+_GLOBAL_RE = re.compile(r"@([\w.\-]+)\s*=\s*global\s*\[(\d+)\s*x\s*(\w+)\]")
+_DEFINE_RE = re.compile(r"define\s+(\w+)\s+@([\w.\-]+)\((.*)\)\s*\{")
+_LABEL_RE = re.compile(r"([\w.\-]+):\s*$")
+_PHI_INC_RE = re.compile(r"\[\s*([^,\]]+)\s*,\s*%([\w.\-]+)\s*\]")
+
+
+class _FunctionParser:
+    """Parses one function body with forward-reference patching."""
+
+    def __init__(self, module: Module, fn: Function):
+        self.module = module
+        self.fn = fn
+        self.values: Dict[str, Value] = {a.name: a for a in fn.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        #: (instruction, operand slot filler) patched after all lines parse
+        self.pending: List = []
+
+    # -- operand handling --------------------------------------------------------
+
+    def block_ref(self, name: str) -> BasicBlock:
+        block = self.blocks.get(name)
+        if block is None:
+            block = self.fn.add_block(name)
+            self.blocks[name] = block
+        return block
+
+    def operand(self, token: str, type_: Optional[Type], line_no: int) -> Value:
+        token = token.strip()
+        if token == "undef":
+            return UndefValue(type_ or type_from_name("i32"))
+        if token.startswith("%"):
+            name = token[1:]
+            val = self.values.get(name)
+            if val is None:
+                raise ParseError("use of undefined value %%%s" % name, line_no)
+            return val
+        if token.startswith("@"):
+            try:
+                return self.module.get_global(token[1:])
+            except KeyError:
+                raise ParseError(
+                    "reference to undeclared global %s" % token, line_no
+                ) from None
+        # numeric constant
+        try:
+            if type_ is not None and type_.is_float:
+                return Constant(type_, float(token))
+            if "." in token or "e" in token or "inf" in token or "nan" in token:
+                return Constant(type_ or type_from_name("f64"), float(token))
+            return Constant(type_ or type_from_name("i32"), int(token))
+        except ValueError:
+            raise ParseError("bad operand %r" % token, line_no) from None
+
+    def define(self, name: str, value: Value, line_no: int) -> None:
+        if name in self.values:
+            raise ParseError("redefinition of %%%s" % name, line_no)
+        value.name = name
+        self.values[name] = value
+
+
+def parse_module(text: str, name: Optional[str] = None) -> Module:
+    """Parse a whole module from text.
+
+    The printer's leading ``; module <name>`` comment, when present, names
+    the module so print->parse->print is a fixpoint.
+    """
+    if name is None:
+        name = "module"
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            m = re.match(r";\s*module\s+(\S+)", line)
+            if m:
+                name = m.group(1)
+            break
+    return parse_module_into(text, Module(name))
+
+
+def parse_function(text: str, module: Optional[Module] = None) -> Function:
+    """Parse a single ``define ... { ... }`` into (a fresh) module."""
+    module = module or Module("parsed")
+    before = set(module.functions)
+    parse_module_into(text, module)
+    new = [f for n, f in module.functions.items() if n not in before]
+    if len(new) != 1:
+        raise ParseError("expected exactly one function definition")
+    return new[0]
+
+
+def parse_module_into(text: str, module: Module) -> Module:
+    """Parse definitions into an existing module (for multi-step setup)."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = _strip(lines[i])
+        i += 1
+        if not line:
+            continue
+        g = _GLOBAL_RE.match(line)
+        if g:
+            gname, count, elem = g.groups()
+            module.add_global(gname, type_from_name(elem), int(count))
+            continue
+        d = _DEFINE_RE.match(line)
+        if d:
+            i = _parse_function(module, d, lines, i)
+            continue
+        raise ParseError("unexpected top-level syntax: %r" % line, i)
+    return module
+
+
+def _strip(line: str) -> str:
+    if ";" in line:
+        line = line.split(";", 1)[0]
+    return line.strip()
+
+
+def _parse_args(spec: str) -> List[Tuple[str, Type]]:
+    spec = spec.strip()
+    if not spec:
+        return []
+    args = []
+    for part in spec.split(","):
+        tokens = part.split()
+        if len(tokens) != 2 or not tokens[1].startswith("%"):
+            raise ParseError("bad argument spec %r" % part)
+        args.append((tokens[1][1:], type_from_name(tokens[0])))
+    return args
+
+
+def _parse_function(module: Module, header, lines: List[str], i: int) -> int:
+    ret_name, fn_name, arg_spec = header.groups()
+    fn = module.add_function(
+        fn_name, _parse_args(arg_spec), type_from_name(ret_name)
+    )
+    ctx = _FunctionParser(module, fn)
+    current: Optional[BasicBlock] = None
+
+    while i < len(lines):
+        raw = lines[i]
+        line = _strip(raw)
+        i += 1
+        if not line:
+            continue
+        if line == "}":
+            _patch_phis(ctx)
+            _reorder_blocks(ctx, fn)
+            return i
+        label = _LABEL_RE.match(line)
+        if label:
+            current = ctx.block_ref(label.group(1))
+            if current.instructions:
+                raise ParseError("block %s defined twice" % current.name, i)
+            # mark as "defined" by tagging order of appearance
+            ctx.pending.append(("block-order", current))
+            continue
+        if current is None:
+            raise ParseError("instruction before first label", i)
+        _parse_instruction(ctx, current, line, i)
+    raise ParseError("unexpected EOF inside @%s" % fn_name)
+
+
+def _reorder_blocks(ctx: _FunctionParser, fn: Function) -> None:
+    """Blocks appear in `fn.blocks` in first-reference order (forward branch
+    targets get created early); restore textual definition order."""
+    order = [e[1] for e in ctx.pending if e[0] == "block-order"]
+    rest = [b for b in fn.blocks if b not in order]
+    if rest:
+        raise ParseError(
+            "blocks referenced but never defined: %s"
+            % ", ".join(b.name for b in rest)
+        )
+    fn.blocks[:] = order
+
+
+def _patch_phis(ctx: _FunctionParser) -> None:
+    for entry in ctx.pending:
+        if entry[0] != "phi":
+            continue
+        _, phi, pairs, line_no = entry
+        for val_token, blk_name in pairs:
+            block = ctx.blocks.get(blk_name)
+            if block is None:
+                raise ParseError("phi references unknown block %s" % blk_name, line_no)
+            phi.add_incoming(block, ctx.operand(val_token, phi.type, line_no))
+
+
+def _parse_instruction(ctx: _FunctionParser, block: BasicBlock, line: str, ln: int) -> None:
+    fn = ctx.fn
+
+    # -- void instructions --------------------------------------------------
+    if line.startswith("store "):
+        m = re.match(r"store\s+(\w+)\s+([^,]+),\s*(.+)", line)
+        if not m:
+            raise ParseError("bad store: %r" % line, ln)
+        ty = type_from_name(m.group(1))
+        value = ctx.operand(m.group(2), ty, ln)
+        address = ctx.operand(m.group(3), None, ln)
+        block.append(Store(value, address))
+        return
+    if line.startswith("br "):
+        m = re.match(r"br\s+label\s+%([\w.\-]+)", line)
+        if not m:
+            raise ParseError("bad br: %r" % line, ln)
+        block.append(Branch(ctx.block_ref(m.group(1))))
+        return
+    if line.startswith("condbr "):
+        m = re.match(
+            r"condbr\s+([^,]+),\s*label\s+%([\w.\-]+),\s*label\s+%([\w.\-]+)", line
+        )
+        if not m:
+            raise ParseError("bad condbr: %r" % line, ln)
+        cond = ctx.operand(m.group(1), None, ln)
+        block.append(
+            CondBranch(cond, ctx.block_ref(m.group(2)), ctx.block_ref(m.group(3)))
+        )
+        return
+    if line == "ret void":
+        block.append(Ret())
+        return
+    if line.startswith("ret "):
+        m = re.match(r"ret\s+(\w+)\s+(.+)", line)
+        if not m:
+            raise ParseError("bad ret: %r" % line, ln)
+        block.append(Ret(ctx.operand(m.group(2), type_from_name(m.group(1)), ln)))
+        return
+    if line.startswith("call ") or " = call " in line:
+        _parse_call(ctx, block, line, ln)
+        return
+
+    # -- value-producing instructions ------------------------------------------
+    m = re.match(r"%([\w.\-]+)\s*=\s*(.+)", line)
+    if not m:
+        raise ParseError("cannot parse %r" % line, ln)
+    dest, rest = m.groups()
+
+    if rest.startswith("phi "):
+        pm = re.match(r"phi\s+(\w+)\s+(.+)", rest)
+        if not pm:
+            raise ParseError("bad phi: %r" % line, ln)
+        phi = Phi(type_from_name(pm.group(1)))
+        pairs = _PHI_INC_RE.findall(pm.group(2))
+        if not pairs:
+            raise ParseError("phi with no incoming: %r" % line, ln)
+        ctx.define(dest, phi, ln)
+        ctx.pending.append(("phi", phi, pairs, ln))
+        block.append(phi)
+        return
+
+    if rest.startswith(("icmp ", "fcmp ")):
+        cm = re.match(r"(icmp|fcmp)\s+(\w+)\s+(\w+)\s+([^,]+),\s*(.+)", rest)
+        if not cm:
+            raise ParseError("bad compare: %r" % line, ln)
+        op, pred, ty_name, lhs_t, rhs_t = cm.groups()
+        ty = type_from_name(ty_name)
+        inst = Compare(
+            op, pred, ctx.operand(lhs_t, ty, ln), ctx.operand(rhs_t, ty, ln)
+        )
+        ctx.define(dest, inst, ln)
+        block.append(inst)
+        return
+
+    if rest.startswith("select "):
+        sm = re.match(r"select\s+([^,]+),\s*(\w+)\s+([^,]+),\s*(.+)", rest)
+        if not sm:
+            raise ParseError("bad select: %r" % line, ln)
+        cond_t, ty_name, t_t, f_t = sm.groups()
+        ty = type_from_name(ty_name)
+        inst = Select(
+            ctx.operand(cond_t, None, ln),
+            ctx.operand(t_t, ty, ln),
+            ctx.operand(f_t, ty, ln),
+        )
+        ctx.define(dest, inst, ln)
+        block.append(inst)
+        return
+
+    if rest.startswith("load "):
+        lm = re.match(r"load\s+(\w+),\s*(.+)", rest)
+        if not lm:
+            raise ParseError("bad load: %r" % line, ln)
+        inst = Load(type_from_name(lm.group(1)), ctx.operand(lm.group(2), None, ln))
+        ctx.define(dest, inst, ln)
+        block.append(inst)
+        return
+
+    if rest.startswith("gep "):
+        gm = re.match(r"gep\s+([^,]+),\s*([^,]+),\s*(\d+)", rest)
+        if not gm:
+            raise ParseError("bad gep: %r" % line, ln)
+        inst = Gep(
+            ctx.operand(gm.group(1), None, ln),
+            ctx.operand(gm.group(2), None, ln),
+            int(gm.group(3)),
+        )
+        ctx.define(dest, inst, ln)
+        block.append(inst)
+        return
+
+    if rest.startswith("alloca "):
+        am = re.match(r"alloca\s+(\w+),\s*(\d+)", rest)
+        if not am:
+            raise ParseError("bad alloca: %r" % line, ln)
+        inst = Alloca(type_from_name(am.group(1)), int(am.group(2)))
+        ctx.define(dest, inst, ln)
+        block.append(inst)
+        return
+
+    # binop / unop: "<opcode> <ty> <op1>[, <op2>]"
+    om = re.match(r"([\w.]+)\s+(\w+)\s+(.+)", rest)
+    if not om:
+        raise ParseError("cannot parse %r" % line, ln)
+    opcode, ty_name, operand_spec = om.groups()
+    ty = type_from_name(ty_name)
+    operands = [t.strip() for t in operand_spec.split(",")]
+    if opcode in INT_BINOPS or opcode in FP_BINOPS:
+        if len(operands) != 2:
+            raise ParseError("binop needs two operands: %r" % line, ln)
+        inst = BinaryOp(
+            opcode, ctx.operand(operands[0], ty, ln), ctx.operand(operands[1], ty, ln)
+        )
+    elif opcode in UNOPS:
+        if len(operands) != 1:
+            raise ParseError("unop needs one operand: %r" % line, ln)
+        # for conversions the printed type is the *result* type
+        inst = UnaryOp(opcode, ctx.operand(operands[0], None, ln), ty)
+    else:
+        raise ParseError("unknown opcode %r" % opcode, ln)
+    ctx.define(dest, inst, ln)
+    block.append(inst)
+
+
+def _parse_call(ctx: _FunctionParser, block: BasicBlock, line: str, ln: int) -> None:
+    m = re.match(
+        r"(?:%([\w.\-]+)\s*=\s*)?call\s+(\w+)\s+@([\w.\-]+)\((.*)\)", line
+    )
+    if not m:
+        raise ParseError("bad call: %r" % line, ln)
+    dest, ret_ty, callee_name, arg_spec = m.groups()
+    callee = ctx.module.get_function(callee_name)
+    args: List[Value] = []
+    if arg_spec.strip():
+        for part in arg_spec.split(","):
+            tokens = part.strip().split(None, 1)
+            if len(tokens) != 2:
+                raise ParseError("bad call argument %r" % part, ln)
+            args.append(ctx.operand(tokens[1], type_from_name(tokens[0]), ln))
+    inst = Call(callee, args)
+    if dest:
+        ctx.define(dest, inst, ln)
+    block.append(inst)

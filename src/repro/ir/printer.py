@@ -1,0 +1,99 @@
+"""Textual (LLVM-flavoured) printing of IR modules and functions."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function
+from .instructions import (
+    Alloca,
+    Branch,
+    Call,
+    Compare,
+    CondBranch,
+    Gep,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction as a single line of IR text."""
+    if isinstance(inst, Phi):
+        pairs = ", ".join(
+            "[ %s, %%%s ]" % (v.ref, b.name) for b, v in inst.incoming
+        )
+        return "%%%s = phi %s %s" % (inst.name, inst.type, pairs)
+    if isinstance(inst, Compare):
+        return "%%%s = %s %s %s %s, %s" % (
+            inst.name,
+            inst.opcode,
+            inst.predicate,
+            inst.operands[0].type,
+            inst.operands[0].ref,
+            inst.operands[1].ref,
+        )
+    if isinstance(inst, Select):
+        c, t, f = inst.operands
+        return "%%%s = select %s, %s %s, %s" % (inst.name, c.ref, t.type, t.ref, f.ref)
+    if isinstance(inst, Load):
+        return "%%%s = load %s, %s" % (inst.name, inst.type, inst.address.ref)
+    if isinstance(inst, Store):
+        return "store %s %s, %s" % (inst.value.type, inst.value.ref, inst.address.ref)
+    if isinstance(inst, Gep):
+        return "%%%s = gep %s, %s, %d" % (
+            inst.name,
+            inst.base.ref,
+            inst.index.ref,
+            inst.elem_size,
+        )
+    if isinstance(inst, Alloca):
+        return "%%%s = alloca %s, %d" % (inst.name, inst.elem_type, inst.count)
+    if isinstance(inst, Branch):
+        return "br label %%%s" % inst.target.name
+    if isinstance(inst, CondBranch):
+        return "condbr %s, label %%%s, label %%%s" % (
+            inst.cond.ref,
+            inst.true_target.name,
+            inst.false_target.name,
+        )
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return "ret %s %s" % (inst.value.type, inst.value.ref)
+    if isinstance(inst, Call):
+        args = ", ".join("%s %s" % (a.type, a.ref) for a in inst.operands)
+        lhs = "%%%s = " % inst.name if not inst.type.is_void else ""
+        return "%scall %s @%s(%s)" % (lhs, inst.type, inst.callee.name, args)
+    # generic binop/unop
+    ops = ", ".join(o.ref for o in inst.operands)
+    return "%%%s = %s %s %s" % (inst.name, inst.opcode, inst.type, ops)
+
+
+def format_function(fn: Function) -> str:
+    """Render a whole function."""
+    args = ", ".join("%s %%%s" % (a.type, a.name) for a in fn.args)
+    lines: List[str] = ["define %s @%s(%s) {" % (fn.return_type, fn.name, args)]
+    for block in fn.blocks:
+        lines.append("%s:" % block.name)
+        for inst in block.instructions:
+            lines.append("  " + format_instruction(inst))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module) -> str:
+    """Render a whole module: globals then functions."""
+    lines: List[str] = ["; module %s" % module.name]
+    for g in module.globals.values():
+        lines.append(
+            "@%s = global [%d x %s]" % (g.name, g.count, g.elem_type)
+        )
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines)

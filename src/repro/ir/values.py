@@ -1,0 +1,106 @@
+"""Value hierarchy for the mini SSA IR.
+
+Everything an instruction can reference as an operand is a :class:`Value`:
+constants, function arguments, global arrays, and other instructions.
+"""
+
+from __future__ import annotations
+
+from .types import Type
+
+
+class Value:
+    """Base class of all IR values.
+
+    Attributes:
+        type: the :class:`~repro.ir.types.Type` of the value.
+        name: SSA name (without sigils); may be empty for unnamed values.
+    """
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    @property
+    def ref(self) -> str:
+        """Textual reference used when this value appears as an operand."""
+        return "%" + self.name if self.name else "%?"
+
+    def __repr__(self) -> str:
+        return "<%s %s %s>" % (type(self).__name__, self.type, self.ref)
+
+
+class Constant(Value):
+    """An immediate constant of integer, float or pointer type."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type_: Type, value):
+        super().__init__(type_, "")
+        self.value = type_.wrap(value)
+
+    @property
+    def ref(self) -> str:
+        if self.type.is_float:
+            return repr(self.value)
+        return str(self.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constant)
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class Argument(Value):
+    """A formal parameter of a :class:`~repro.ir.function.Function`."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, type_: Type, name: str, index: int):
+        super().__init__(type_, name)
+        self.index = index
+
+
+class GlobalArray(Value):
+    """A module-level array; its value is its base address (``ptr``).
+
+    Attributes:
+        elem_type: scalar element type.
+        count: number of elements.
+        init: optional list of initial element values (padded with zeros).
+    """
+
+    __slots__ = ("elem_type", "count", "init")
+
+    def __init__(self, name: str, elem_type: Type, count: int, init=None):
+        from .types import PTR
+
+        super().__init__(PTR, name)
+        self.elem_type = elem_type
+        self.count = count
+        self.init = list(init) if init is not None else None
+
+    @property
+    def ref(self) -> str:
+        return "@" + self.name
+
+    @property
+    def size_bytes(self) -> int:
+        return self.count * self.elem_type.size_bytes
+
+
+class UndefValue(Value):
+    """An undefined value (used for placeholder phi inputs)."""
+
+    __slots__ = ()
+
+    @property
+    def ref(self) -> str:
+        return "undef"

@@ -1,0 +1,148 @@
+"""Structural and SSA well-formedness checks for IR functions.
+
+The verifier enforces the invariants every downstream analysis assumes:
+
+* each block has exactly one terminator, at the end;
+* φ-nodes appear only as a block prefix;
+* φ incoming blocks exactly match the block's CFG predecessors;
+* all referenced blocks belong to the function;
+* every SSA definition dominates each of its uses (φ uses are checked at the
+  end of the corresponding incoming block);
+* all blocks are reachable from the entry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import Instruction, Phi
+from .values import Argument, Constant, GlobalArray, UndefValue, Value
+
+
+class VerificationError(Exception):
+    """Raised when an IR function violates a structural/SSA invariant."""
+
+    def __init__(self, errors: List[str]):
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def verify_function(fn: Function) -> None:
+    """Verify ``fn``; raises :class:`VerificationError` listing all issues."""
+    errors: List[str] = []
+    block_set = set(fn.blocks)
+
+    preds = {b: [] for b in fn.blocks}
+    for block in fn.blocks:
+        term = block.terminator
+        if term is None:
+            errors.append("block %s has no terminator" % block.name)
+            continue
+        for i, inst in enumerate(block.instructions):
+            if inst.is_terminator and inst is not term:
+                errors.append("block %s has terminator mid-block" % block.name)
+        for succ in block.successors:
+            if succ not in block_set:
+                errors.append(
+                    "block %s branches to foreign block %s" % (block.name, succ.name)
+                )
+            else:
+                preds[succ].append(block)
+
+    # phi placement + incoming consistency
+    for block in fn.blocks:
+        seen_non_phi = False
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    errors.append(
+                        "phi %%%s after non-phi in block %s" % (inst.name, block.name)
+                    )
+            else:
+                seen_non_phi = True
+        bpreds = set(preds.get(block, []))
+        for phi in block.phis:
+            inc_blocks = [b for b, _ in phi.incoming]
+            if len(set(map(id, inc_blocks))) != len(inc_blocks):
+                errors.append("phi %%%s has duplicate incoming blocks" % phi.name)
+            if set(inc_blocks) != bpreds:
+                errors.append(
+                    "phi %%%s incoming blocks do not match predecessors of %s"
+                    % (phi.name, block.name)
+                )
+
+    # reachability
+    reachable = set()
+    if fn.blocks:
+        stack = [fn.entry]
+        while stack:
+            b = stack.pop()
+            if b in reachable:
+                continue
+            reachable.add(b)
+            stack.extend(s for s in b.successors if s in block_set)
+        for block in fn.blocks:
+            if block not in reachable:
+                errors.append("block %s is unreachable" % block.name)
+
+    if errors:
+        raise VerificationError(errors)
+
+    _verify_dominance(fn, preds, errors)
+    if errors:
+        raise VerificationError(errors)
+
+
+def _verify_dominance(fn: Function, preds, errors: List[str]) -> None:
+    """Check defs dominate uses, using the analysis-package dominator tree."""
+    from ..analysis.dominators import DominatorTree  # local import: avoid cycle
+
+    dom = DominatorTree.compute(fn)
+    positions = {}
+    for block in fn.blocks:
+        for i, inst in enumerate(block.instructions):
+            positions[inst] = (block, i)
+
+    def defined_before(defn: Instruction, use_block: BasicBlock, use_index: int) -> bool:
+        dblock, dindex = positions[defn]
+        if dblock is use_block:
+            return dindex < use_index
+        return dom.dominates(dblock, use_block)
+
+    for block in fn.blocks:
+        for index, inst in enumerate(block.instructions):
+            if isinstance(inst, Phi):
+                for in_block, val in inst.incoming:
+                    if isinstance(val, Instruction) and val in positions:
+                        ib, ii = positions[val]
+                        at_end = len(in_block.instructions)
+                        if not defined_before(val, in_block, at_end):
+                            errors.append(
+                                "phi %%%s operand %%%s does not dominate edge %s->%s"
+                                % (inst.name, val.name, in_block.name, block.name)
+                            )
+                continue
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    if op not in positions:
+                        errors.append(
+                            "%%%s uses instruction %%%s outside the function"
+                            % (inst.name or inst.opcode, op.name)
+                        )
+                    elif not defined_before(op, block, index):
+                        errors.append(
+                            "use of %%%s in %s does not follow its definition"
+                            % (op.name, block.name)
+                        )
+                elif not isinstance(
+                    op, (Constant, Argument, GlobalArray, UndefValue, Value)
+                ):
+                    errors.append("non-Value operand on %%%s" % inst.name)
+
+
+def verify_module(module) -> None:
+    """Verify every function in ``module``."""
+    for fn in module.functions.values():
+        verify_function(fn)

@@ -1,0 +1,168 @@
+"""NeedlePipeline: the end-to-end flow of Figure 1.
+
+Step 1 — *what to specialise*: profile the workload, rank Ball–Larus paths
+by Pwt, and merge same-entry/exit paths into Braids.
+
+Step 2 — *software frames*: lower the chosen region (top path or top Braid)
+into a guarded, fully speculative frame.
+
+Step 3 — *accelerator design analysis*: map the frame onto the Table V CGRA,
+simulate whole-workload offload under Oracle and history invocation
+prediction, and price energy — producing exactly the per-workload numbers
+behind Figs. 9 and 10, plus the HLS feasibility estimate of §VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .accel.cgra import CGRAScheduler, ScheduleResult
+from .accel.hls import HLSEstimator, HLSReport
+from .frames.frame import Frame, build_frame
+from .profiling.ranking import RankedPath, rank_paths
+from .regions.braid import Braid, build_braids
+from .regions.path_region import path_to_region
+from .sim.config import DEFAULT_CONFIG, SystemConfig
+from .sim.offload import OffloadOutcome, OffloadSimulator
+from .workloads.base import ProfiledWorkload, Workload, profile_workload
+
+
+@dataclass
+class WorkloadAnalysis:
+    """Step 1 + 2 products for one workload."""
+
+    profiled: ProfiledWorkload
+    ranked: List[RankedPath]
+    braids: List[Braid]
+    path_frame: Optional[Frame]
+    braid_frame: Optional[Frame]
+
+    @property
+    def name(self) -> str:
+        return self.profiled.workload.name
+
+    @property
+    def top_path(self) -> Optional[RankedPath]:
+        return self.ranked[0] if self.ranked else None
+
+    @property
+    def top_braid(self) -> Optional[Braid]:
+        return self.braids[0] if self.braids else None
+
+
+@dataclass
+class WorkloadEvaluation:
+    """Step 3 products: the Fig. 9 / Fig. 10 data points."""
+
+    analysis: WorkloadAnalysis
+    path_oracle: Optional[OffloadOutcome]
+    path_history: Optional[OffloadOutcome]
+    braid: Optional[OffloadOutcome]
+    hls: Optional[HLSReport]
+    braid_schedule: Optional[ScheduleResult]
+
+    @property
+    def name(self) -> str:
+        return self.analysis.name
+
+
+class NeedlePipeline:
+    """Caches analyses/evaluations so every benchmark shares one pass."""
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        self.config = config or DEFAULT_CONFIG
+        self.simulator = OffloadSimulator(self.config)
+        self._analyses: Dict[str, WorkloadAnalysis] = {}
+        self._evaluations: Dict[str, WorkloadEvaluation] = {}
+
+    # -- step 1 + 2 -------------------------------------------------------------
+
+    def analyse(self, workload: Workload) -> WorkloadAnalysis:
+        cached = self._analyses.get(workload.name)
+        if cached is not None:
+            return cached
+        profiled = profile_workload(workload)
+        ranked = rank_paths(profiled.paths)
+        # offload braids merge hot same-entry/exit paths only (cold siblings
+        # would waste fabric area and energy under predication)
+        braids = build_braids(profiled.function, ranked, min_weight_ratio=0.02)
+
+        path_frame = None
+        if ranked:
+            path_frame = build_frame(path_to_region(profiled.function, ranked[0]))
+        braid_frame = None
+        if braids:
+            braid_frame = build_frame(braids[0].region)
+
+        analysis = WorkloadAnalysis(
+            profiled=profiled,
+            ranked=ranked,
+            braids=braids,
+            path_frame=path_frame,
+            braid_frame=braid_frame,
+        )
+        self._analyses[workload.name] = analysis
+        return analysis
+
+    # -- step 3 ---------------------------------------------------------------------
+
+    def evaluate(self, workload: Workload) -> WorkloadEvaluation:
+        cached = self._evaluations.get(workload.name)
+        if cached is not None:
+            return cached
+        analysis = self.analyse(workload)
+        profiled = analysis.profiled
+
+        path_oracle = path_history = braid_outcome = None
+        if analysis.path_frame is not None:
+            path_oracle = self.simulator.simulate_offload(
+                workload.name,
+                profiled.paths,
+                analysis.path_frame,
+                "oracle",
+                profiled.trace,
+            )
+            path_history = self.simulator.simulate_offload(
+                workload.name,
+                profiled.paths,
+                analysis.path_frame,
+                "history",
+                profiled.trace,
+            )
+        if analysis.braid_frame is not None:
+            braid_outcome = self.simulator.simulate_offload(
+                workload.name,
+                profiled.paths,
+                analysis.braid_frame,
+                "oracle",
+                profiled.trace,
+                coverage=analysis.top_braid.coverage,
+            )
+
+        hls = None
+        braid_sched = None
+        if analysis.braid_frame is not None:
+            hls = HLSEstimator().estimate(analysis.braid_frame)
+            braid_sched = CGRAScheduler(self.config.cgra).schedule(
+                analysis.braid_frame
+            )
+
+        evaluation = WorkloadEvaluation(
+            analysis=analysis,
+            path_oracle=path_oracle,
+            path_history=path_history,
+            braid=braid_outcome,
+            hls=hls,
+            braid_schedule=braid_sched,
+        )
+        self._evaluations[workload.name] = evaluation
+        return evaluation
+
+    # -- suite sweeps -----------------------------------------------------------------
+
+    def analyse_all(self, workloads) -> List[WorkloadAnalysis]:
+        return [self.analyse(w) for w in workloads]
+
+    def evaluate_all(self, workloads) -> List[WorkloadEvaluation]:
+        return [self.evaluate(w) for w in workloads]

@@ -1,0 +1,161 @@
+"""Hyperblock construction via if-conversion (baseline, paper §II-B).
+
+Hyperblocks extend superblocks by folding *both* sides of insufficiently
+biased branches into a predicated region.  The paper's critique — which
+Fig. 5 quantifies — is that this local decision drags in cold operations
+that waste accelerator area and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..analysis.cfg import CFG
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import CondBranch
+from ..profiling.ball_larus import BallLarusNumbering
+from ..profiling.edge_profile import EdgeProfile
+from .region import Region, order_blocks_topologically
+
+
+def build_hyperblock(
+    fn: Function,
+    edge_profile: EdgeProfile,
+    seed: Optional[BasicBlock] = None,
+    bias_threshold: float = 0.9,
+    allowed: Optional[Set[BasicBlock]] = None,
+    max_blocks: int = 128,
+) -> Region:
+    """If-convert forward from ``seed`` (default: hottest block).
+
+    At each conditional branch: if its bias is at least ``bias_threshold``
+    only the hot side is followed (superblock-like); otherwise both sides
+    are folded in under predication.  Back edges terminate growth; blocks
+    outside ``allowed`` (when given, e.g. a loop body) are skipped.
+    """
+    numbering = BallLarusNumbering(fn)
+    if seed is None:
+        seed = max(fn.blocks, key=lambda b: edge_profile.block_counts.get(b, 0))
+
+    included: List[BasicBlock] = []
+    included_set: Set[BasicBlock] = set()
+    work = [seed]
+    while work and len(included) < max_blocks:
+        block = work.pop()
+        if block in included_set:
+            continue
+        if allowed is not None and block not in allowed:
+            continue
+        included.append(block)
+        included_set.add(block)
+
+        term = block.terminator
+        succs = [
+            s
+            for s in block.successors
+            if not numbering.is_back_edge(block, s)
+        ]
+        if not succs:
+            continue
+        if isinstance(term, CondBranch) and len(succs) == 2:
+            bias = edge_profile.branch_bias(block)
+            if bias is not None and bias >= bias_threshold:
+                hot = edge_profile.hottest_successor(block)
+                if hot is not None and hot in succs:
+                    work.append(hot)
+                else:
+                    work.extend(succs)
+            else:
+                work.extend(succs)  # fold both sides in (if-conversion)
+        else:
+            work.extend(succs)
+
+    ordered = order_blocks_topologically(fn, included)
+    return Region(
+        kind="hyperblock",
+        function=fn,
+        blocks=ordered,
+        entry=seed,
+        exit=ordered[-1] if ordered else seed,
+        frequency=edge_profile.block_counts.get(seed, 0),
+    )
+
+
+def build_loop_hyperblock(
+    fn: Function,
+    loop: Loop,
+    edge_profile: EdgeProfile,
+    bias_threshold: float = 0.9,
+) -> Region:
+    """Hyperblock of one (innermost) loop body, seeded at the header."""
+    return build_hyperblock(
+        fn,
+        edge_profile,
+        seed=loop.header,
+        bias_threshold=bias_threshold,
+        allowed=set(loop.blocks),
+    )
+
+
+@dataclass
+class HyperblockColdStats:
+    """Fig. 5 data point: wasted (cold) operations in a hyperblock."""
+
+    function: str
+    total_ops: int
+    cold_ops: int
+    predication_branches: int
+    tail_duplication_blocks: int
+
+    @property
+    def cold_fraction(self) -> float:
+        return self.cold_ops / self.total_ops if self.total_ops else 0.0
+
+
+def hyperblock_cold_stats(
+    region: Region,
+    edge_profile: EdgeProfile,
+    cold_threshold: float = 0.5,
+) -> HyperblockColdStats:
+    """Count ops in hyperblock blocks executed less than ``cold_threshold``
+    times per region entry — operations folded in by if-conversion that
+    mostly waste fabric resources (Fig. 5).
+    """
+    entry_count = edge_profile.block_counts.get(region.entry, 0)
+    total = 0
+    cold = 0
+    for block in region.blocks:
+        ops = sum(1 for i in block.instructions if i.opcode != "phi")
+        total += ops
+        count = edge_profile.block_counts.get(block, 0)
+        if entry_count and count < cold_threshold * entry_count:
+            cold += ops
+
+    # tail duplication: non-entry blocks entered from outside the region
+    cfg = CFG(region.function)
+    tail_dup = 0
+    for block in region.blocks:
+        if block is region.entry:
+            continue
+        if any(p not in region.block_set for p in cfg.preds(block)):
+            tail_dup += 1
+
+    return HyperblockColdStats(
+        function=region.function.name,
+        total_ops=total,
+        cold_ops=cold,
+        predication_branches=len(region.internal_branches())
+        + len(region.guard_branches()),
+        tail_duplication_blocks=tail_dup,
+    )
+
+
+def hottest_innermost_loop(fn: Function, edge_profile: EdgeProfile) -> Optional[Loop]:
+    """The innermost loop whose header is hottest (Fig. 5 target)."""
+    loops = LoopInfo.compute(fn).innermost_loops()
+    if not loops:
+        return None
+    return max(loops, key=lambda l: edge_profile.block_counts.get(l.header, 0))

@@ -1,0 +1,145 @@
+"""Superblock construction from edge profiles (baseline, paper §II-B).
+
+Superblocks are grown from a hot seed block along mutually-most-likely
+edges, exactly the local decision procedure whose failure modes the paper
+demonstrates: *infeasible* superblocks (the grown sequence never occurs as
+an executed path) and superblocks that are not the hottest path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..profiling.ball_larus import BallLarusNumbering
+from ..profiling.edge_profile import EdgeProfile
+from ..profiling.path_profile import PathProfile
+from ..profiling.ranking import RankedPath
+from .region import Region
+
+
+def build_superblock(
+    fn: Function,
+    edge_profile: EdgeProfile,
+    seed: Optional[BasicBlock] = None,
+    bias_threshold: float = 0.5,
+    max_blocks: int = 64,
+) -> Region:
+    """Grow a superblock from ``seed`` (default: hottest block).
+
+    Growth follows the mutually-most-likely heuristic: extend the trace from
+    tail ``b`` to successor ``s`` only if ``s`` is ``b``'s most frequent
+    successor, ``b`` is ``s``'s most frequent predecessor, the edge meets the
+    bias threshold, and the extension keeps the trace acyclic.
+    """
+    numbering = BallLarusNumbering(fn)
+    if seed is None:
+        seed = max(
+            fn.blocks,
+            key=lambda b: edge_profile.block_counts.get(b, 0),
+        )
+
+    trace: List[BasicBlock] = [seed]
+    in_trace = {seed}
+    while len(trace) < max_blocks:
+        tail = trace[-1]
+        succs = tail.successors
+        if not succs:
+            break
+        total_out = sum(edge_profile.edge_counts[(tail, s)] for s in succs)
+        if total_out == 0:
+            break
+        best = max(succs, key=lambda s: edge_profile.edge_counts[(tail, s)])
+        best_count = edge_profile.edge_counts[(tail, best)]
+        if best_count / total_out < bias_threshold:
+            break
+        if best in in_trace or numbering.is_back_edge(tail, best):
+            break
+        # mutual check: is tail the most frequent predecessor of best?
+        in_counts = [
+            (p, edge_profile.edge_counts[(p, best)])
+            for p in _predecessors(fn, best)
+        ]
+        if in_counts:
+            hottest_pred = max(in_counts, key=lambda t: t[1])[0]
+            if hottest_pred is not tail:
+                break
+        trace.append(best)
+        in_trace.add(best)
+
+    return Region(
+        kind="superblock",
+        function=fn,
+        blocks=trace,
+        entry=trace[0],
+        exit=trace[-1],
+        coverage=0.0,
+        frequency=edge_profile.block_counts.get(seed, 0),
+    )
+
+
+def _predecessors(fn: Function, block: BasicBlock) -> List[BasicBlock]:
+    return [b for b in fn.blocks if block in b.successors]
+
+
+def superblock_is_feasible(
+    superblock: Region, path_profile: PathProfile
+) -> bool:
+    """True if the superblock's block sequence occurs contiguously inside at
+    least one *executed* BL path (paper §II-B infeasibility test)."""
+    want = [b.name for b in superblock.blocks]
+    n = len(want)
+    if n == 0:
+        return False
+    for pid in path_profile.counts:
+        names = [b.name for b in path_profile.decode(pid)]
+        for i in range(len(names) - n + 1):
+            if names[i : i + n] == want:
+                return True
+    return False
+
+
+@dataclass
+class SuperblockDiagnosis:
+    """§II-B pathology report for one function."""
+
+    function: str
+    feasible: bool
+    matches_hottest_path: bool
+    superblock_blocks: List[str]
+    hottest_path_blocks: List[str]
+
+
+def diagnose_superblock(
+    fn: Function,
+    edge_profile: EdgeProfile,
+    path_profile: PathProfile,
+    ranked_paths: Sequence[RankedPath],
+    **kwargs,
+) -> SuperblockDiagnosis:
+    """Build a superblock and compare it against the path profile."""
+    sb = build_superblock(fn, edge_profile, **kwargs)
+    feasible = superblock_is_feasible(sb, path_profile)
+    hottest = ranked_paths[0].blocks if ranked_paths else []
+    sb_names = [b.name for b in sb.blocks]
+    hot_names = [b.name for b in hottest]
+    # "matches" = the superblock covers the hottest path's block sequence
+    matches = _is_contiguous_subsequence(hot_names, sb_names) or (
+        _is_contiguous_subsequence(sb_names, hot_names)
+    )
+    return SuperblockDiagnosis(
+        function=fn.name,
+        feasible=feasible,
+        matches_hottest_path=matches,
+        superblock_blocks=sb_names,
+        hottest_path_blocks=hot_names,
+    )
+
+
+def _is_contiguous_subsequence(needle: List[str], hay: List[str]) -> bool:
+    if not needle:
+        return False
+    n = len(needle)
+    return any(hay[i : i + n] == needle for i in range(len(hay) - n + 1))

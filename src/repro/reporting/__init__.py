@@ -1,0 +1,13 @@
+"""Table/figure rendering used by the benchmark harness."""
+
+from .tables import format_cell, format_csv, format_table
+from .figures import bar_chart, histogram, stacked_bar_chart
+
+__all__ = [
+    "bar_chart",
+    "format_cell",
+    "format_csv",
+    "format_table",
+    "histogram",
+    "stacked_bar_chart",
+]

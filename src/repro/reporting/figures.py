@@ -1,0 +1,73 @@
+"""ASCII figure rendering: bar charts and stacked bars for the reproduced
+figures (4, 5, 6, 9, 10)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "%",
+    scale: float = 100.0,
+) -> str:
+    """Horizontal bar chart; values are fractions scaled by ``scale``.
+
+    Negative values render to the left of the axis, so Fig. 9's degradation
+    cases are visually distinct.
+    """
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    if not items:
+        return "\n".join(out + ["(no data)"])
+    label_w = max(len(name) for name, _ in items)
+    max_mag = max(abs(v) for _, v in items) or 1.0
+    for name, value in items:
+        bar_len = int(round(abs(value) / max_mag * width))
+        bar = ("#" if value >= 0 else "-") * bar_len
+        out.append(
+            "%s | %s %6.1f%s" % (name.ljust(label_w), bar.ljust(width), value * scale, unit)
+        )
+    return "\n".join(out)
+
+
+def stacked_bar_chart(
+    items: Sequence[Tuple[str, Sequence[float]]],
+    title: Optional[str] = None,
+    width: int = 50,
+    symbols: str = "#*+=o.",
+) -> str:
+    """Stacked horizontal bars of fractions in [0,1] (Fig. 6 style).
+
+    Each stack segment gets the next symbol; the printed number is the
+    cumulative coverage.
+    """
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    if not items:
+        return "\n".join(out + ["(no data)"])
+    label_w = max(len(name) for name, _ in items)
+    for name, parts in items:
+        bar = ""
+        for i, frac in enumerate(parts):
+            bar += symbols[i % len(symbols)] * int(round(frac * width))
+        total = sum(parts)
+        out.append(
+            "%s | %s %5.1f%%" % (name.ljust(label_w), bar[:width].ljust(width), total * 100)
+        )
+    return "\n".join(out)
+
+
+def histogram(
+    buckets: Sequence[Tuple[str, float]],
+    title: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """Simple labelled histogram of fractions (Fig. 4 style)."""
+    return bar_chart(buckets, title=title, width=width)

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for benchmark output.
+
+Everything the benchmark harness prints goes through these helpers so the
+reproduced tables have a consistent, diff-able format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 100 or value == int(value):
+            return "%.0f" % value
+        if abs(value) < 1:
+            return "%.3g" % value
+        return "%.1f" % value
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """CSV rendering (for piping into external plotting)."""
+    out = [",".join(headers)]
+    for row in rows:
+        out.append(",".join(format_cell(c) for c in row))
+    return "\n".join(out)

@@ -1,0 +1,64 @@
+"""Cycle and energy simulation: OOO host model, cache hierarchy with MESI
+coherence, CGRA offload execution, and the Table V system configuration."""
+
+from .config import (
+    CGRAConfig,
+    CacheConfig,
+    DEFAULT_CONFIG,
+    EnergyConfig,
+    HostConfig,
+    MemoryHierarchyConfig,
+    OffloadConfig,
+    SystemConfig,
+)
+from .cache import (
+    AccessResult,
+    BankedL2,
+    Cache,
+    CacheStats,
+    MemorySystem,
+    StreamProfile,
+)
+from .coherence import (
+    CoherenceActions,
+    CoherenceError,
+    EXCLUSIVE,
+    INVALID,
+    MESIDirectory,
+    MODIFIED,
+    SHARED,
+)
+from .core_ooo import OOOModel, OOOResult
+from .energy import EnergyBreakdown, EnergyModel
+from .offload import OffloadOutcome, OffloadSimulator, PathCost
+
+__all__ = [
+    "AccessResult",
+    "BankedL2",
+    "CGRAConfig",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "CoherenceActions",
+    "CoherenceError",
+    "DEFAULT_CONFIG",
+    "EXCLUSIVE",
+    "EnergyBreakdown",
+    "EnergyConfig",
+    "EnergyModel",
+    "HostConfig",
+    "INVALID",
+    "MemoryHierarchyConfig",
+    "MemorySystem",
+    "MESIDirectory",
+    "MODIFIED",
+    "OffloadConfig",
+    "OffloadOutcome",
+    "OffloadSimulator",
+    "OOOModel",
+    "OOOResult",
+    "PathCost",
+    "SHARED",
+    "StreamProfile",
+    "SystemConfig",
+]

@@ -1,0 +1,208 @@
+"""Set-associative cache models: host L1 and the banked NUCA L2.
+
+The caches are trace-driven: :meth:`Cache.access` returns hit/miss and the
+model charges latency accordingly.  :class:`MemorySystem` stacks L1 over the
+banked L2 over DRAM for the host, while the accelerator port bypasses the L1
+(the CGRA is uncore and cache-coherent at L2, per §VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .config import CacheConfig, MemoryHierarchyConfig
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative, write-back, write-allocate cache with LRU."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.sets: List[Dict[int, bool]] = [dict() for _ in range(config.sets)]
+        # each set maps tag -> dirty flag; dict order gives LRU (oldest first)
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.config.line_bytes
+        return line % self.config.sets, line // self.config.sets
+
+    def access(self, addr: int, is_write: bool) -> bool:
+        """Touch ``addr``; returns True on hit.  Allocates on miss."""
+        index, tag = self._locate(addr)
+        ways = self.sets[index]
+        if tag in ways:
+            self.stats.hits += 1
+            dirty = ways.pop(tag) or is_write
+            ways[tag] = dirty  # re-insert as most recent
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.config.associativity:
+            victim_tag = next(iter(ways))
+            victim_dirty = ways.pop(victim_tag)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+        ways[tag] = is_write
+        return False
+
+    def contains(self, addr: int) -> bool:
+        index, tag = self._locate(addr)
+        return tag in self.sets[index]
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line; returns True if it was dirty (writeback needed)."""
+        index, tag = self._locate(addr)
+        ways = self.sets[index]
+        if tag in ways:
+            return ways.pop(tag)
+        return False
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+
+class BankedL2:
+    """The NUCA L2: 8 banks selected by line address (Table V)."""
+
+    def __init__(self, hierarchy: MemoryHierarchyConfig):
+        self.hierarchy = hierarchy
+        per_bank = CacheConfig(
+            size_bytes=hierarchy.l2.size_bytes // hierarchy.l2_banks,
+            associativity=hierarchy.l2.associativity,
+            line_bytes=hierarchy.l2.line_bytes,
+            latency=hierarchy.l2.latency,
+        )
+        self.banks = [Cache(per_bank) for _ in range(hierarchy.l2_banks)]
+
+    def bank_for(self, addr: int) -> Cache:
+        line = addr // self.hierarchy.l2.line_bytes
+        return self.banks[line % len(self.banks)]
+
+    def access(self, addr: int, is_write: bool) -> bool:
+        return self.bank_for(addr).access(addr, is_write)
+
+    @property
+    def stats(self) -> CacheStats:
+        total = CacheStats()
+        for bank in self.banks:
+            total.hits += bank.stats.hits
+            total.misses += bank.stats.misses
+            total.evictions += bank.stats.evictions
+            total.writebacks += bank.stats.writebacks
+        return total
+
+
+@dataclass
+class AccessResult:
+    """Latency and level of one memory access."""
+
+    latency: int
+    level: str  # "l1" | "l2" | "dram"
+
+
+class MemorySystem:
+    """Host L1 backed by the banked L2 backed by DRAM.
+
+    The accelerator port (:meth:`accel_access`) goes straight to the L2 and
+    invalidates/downgrades the host L1 copy, the MESI-style behaviour the
+    uncore CGRA relies on.
+    """
+
+    def __init__(self, hierarchy: Optional[MemoryHierarchyConfig] = None):
+        self.hierarchy = hierarchy or MemoryHierarchyConfig()
+        self.l1 = Cache(self.hierarchy.l1)
+        self.l2 = BankedL2(self.hierarchy)
+        self.dram_accesses = 0
+        self.coherence_invalidations = 0
+
+    # -- host port ------------------------------------------------------------
+
+    def host_access(self, addr: int, is_write: bool) -> AccessResult:
+        if self.l1.access(addr, is_write):
+            return AccessResult(self.hierarchy.l1.latency, "l1")
+        if self.l2.access(addr, is_write):
+            return AccessResult(
+                self.hierarchy.l1.latency + self.hierarchy.l2.latency, "l2"
+            )
+        self.dram_accesses += 1
+        return AccessResult(
+            self.hierarchy.l1.latency
+            + self.hierarchy.l2.latency
+            + self.hierarchy.dram_latency,
+            "dram",
+        )
+
+    # -- accelerator port ----------------------------------------------------------
+
+    def accel_access(self, addr: int, is_write: bool) -> AccessResult:
+        extra = 0
+        if is_write and self.l1.contains(addr):
+            # MESI: the accelerator's write invalidates the host L1 copy
+            dirty = self.l1.invalidate(addr)
+            self.coherence_invalidations += 1
+            if dirty:
+                extra += self.hierarchy.l2.latency  # writeback to L2 first
+        elif not is_write and self.l1.contains(addr):
+            # read snoops a (possibly dirty) host copy: serve via L2
+            extra += 2
+        if self.l2.access(addr, is_write):
+            return AccessResult(self.hierarchy.l2.latency + extra, "l2")
+        self.dram_accesses += 1
+        return AccessResult(
+            self.hierarchy.l2.latency + self.hierarchy.dram_latency + extra,
+            "dram",
+        )
+
+    # -- bulk profiling -----------------------------------------------------------
+
+    def profile_stream(
+        self, stream, port: str = "host"
+    ) -> "StreamProfile":
+        """Replay an (opcode, address) stream; returns average latencies."""
+        access = self.host_access if port == "host" else self.accel_access
+        load_lat = load_n = store_lat = store_n = 0
+        levels = {"l1": 0, "l2": 0, "dram": 0}
+        for opcode, addr in stream:
+            res = access(addr, opcode == "store")
+            levels[res.level] += 1
+            if opcode == "store":
+                store_lat += res.latency
+                store_n += 1
+            else:
+                load_lat += res.latency
+                load_n += 1
+        return StreamProfile(
+            avg_load_latency=(load_lat / load_n) if load_n else 0.0,
+            avg_store_latency=(store_lat / store_n) if store_n else 0.0,
+            loads=load_n,
+            stores=store_n,
+            level_counts=levels,
+        )
+
+
+@dataclass
+class StreamProfile:
+    """Aggregate result of replaying a memory trace."""
+
+    avg_load_latency: float
+    avg_store_latency: float
+    loads: int
+    stores: int
+    level_counts: Dict[str, int] = field(default_factory=dict)

@@ -1,0 +1,144 @@
+"""MESI coherence directory over the shared L2 (paper Table V: "Shared NUCA
+L2 (MESI)").
+
+The directory tracks, per cache line, the MESI state at each agent (the host
+core's L1 is agent 0, the accelerator is agent 1; more agents are allowed).
+:meth:`MESIDirectory.read`/:meth:`write` apply the protocol transition and
+return the coherence actions taken, which the memory system converts into
+latency.  This is the substrate behind
+:meth:`repro.sim.cache.MemorySystem.accel_access`'s invalidation behaviour,
+kept separate so the protocol itself is unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+MODIFIED = "M"
+EXCLUSIVE = "E"
+SHARED = "S"
+INVALID = "I"
+
+STATES = (MODIFIED, EXCLUSIVE, SHARED, INVALID)
+
+
+@dataclass
+class CoherenceActions:
+    """What the protocol did for one access."""
+
+    new_state: str
+    invalidated: List[int] = field(default_factory=list)  # agents invalidated
+    writeback: bool = False  # a dirty copy was flushed to L2
+    data_from: str = "l2"  # "l2" | "owner" | "none"
+
+
+class CoherenceError(Exception):
+    """Protocol invariant violation (indicates a model bug)."""
+
+
+class MESIDirectory:
+    """Directory-based MESI over an arbitrary number of caching agents."""
+
+    def __init__(self, n_agents: int, line_bytes: int = 64):
+        if n_agents < 1:
+            raise CoherenceError("need at least one agent")
+        self.n_agents = n_agents
+        self.line_bytes = line_bytes
+        self._state: Dict[int, List[str]] = {}
+        self.invalidation_count = 0
+        self.writeback_count = 0
+
+    def _line(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def _states_for(self, addr: int) -> List[str]:
+        line = self._line(addr)
+        states = self._state.get(line)
+        if states is None:
+            states = [INVALID] * self.n_agents
+            self._state[line] = states
+        return states
+
+    def state(self, agent: int, addr: int) -> str:
+        return self._states_for(addr)[agent]
+
+    # -- protocol transitions -----------------------------------------------------
+
+    def read(self, agent: int, addr: int) -> CoherenceActions:
+        """Agent issues a read (PrRd / BusRd)."""
+        states = self._states_for(addr)
+        mine = states[agent]
+        if mine in (MODIFIED, EXCLUSIVE, SHARED):
+            return CoherenceActions(new_state=mine, data_from="none")
+
+        # miss: look at the other agents
+        owner = next(
+            (a for a, s in enumerate(states) if s in (MODIFIED, EXCLUSIVE)), None
+        )
+        sharers = [a for a, s in enumerate(states) if s == SHARED]
+        if owner is not None:
+            writeback = states[owner] == MODIFIED
+            if writeback:
+                self.writeback_count += 1
+            states[owner] = SHARED
+            states[agent] = SHARED
+            return CoherenceActions(
+                new_state=SHARED, writeback=writeback, data_from="owner"
+            )
+        if sharers:
+            states[agent] = SHARED
+            return CoherenceActions(new_state=SHARED, data_from="l2")
+        states[agent] = EXCLUSIVE
+        return CoherenceActions(new_state=EXCLUSIVE, data_from="l2")
+
+    def write(self, agent: int, addr: int) -> CoherenceActions:
+        """Agent issues a write (PrWr / BusRdX or BusUpgr)."""
+        states = self._states_for(addr)
+        mine = states[agent]
+        if mine == MODIFIED:
+            return CoherenceActions(new_state=MODIFIED, data_from="none")
+
+        invalidated: List[int] = []
+        writeback = False
+        for other, s in enumerate(states):
+            if other == agent or s == INVALID:
+                continue
+            if s == MODIFIED:
+                writeback = True
+                self.writeback_count += 1
+            states[other] = INVALID
+            invalidated.append(other)
+            self.invalidation_count += 1
+        states[agent] = MODIFIED
+        return CoherenceActions(
+            new_state=MODIFIED,
+            invalidated=invalidated,
+            writeback=writeback,
+            data_from="owner" if writeback else ("none" if mine != INVALID else "l2"),
+        )
+
+    def evict(self, agent: int, addr: int) -> bool:
+        """Agent drops its copy; returns True if a writeback was needed."""
+        states = self._states_for(addr)
+        dirty = states[agent] == MODIFIED
+        if dirty:
+            self.writeback_count += 1
+        states[agent] = INVALID
+        return dirty
+
+    # -- invariants -----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Single-writer / multiple-reader: raise if MESI is violated."""
+        for line, states in self._state.items():
+            owners = [s for s in states if s in (MODIFIED, EXCLUSIVE)]
+            sharers = [s for s in states if s == SHARED]
+            if len(owners) > 1:
+                raise CoherenceError(
+                    "line %#x has %d owners" % (line, len(owners))
+                )
+            if owners and sharers:
+                raise CoherenceError(
+                    "line %#x has owner and sharers simultaneously" % line
+                )

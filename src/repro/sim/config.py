@@ -1,0 +1,130 @@
+"""System parameters (paper Table V) and energy constants.
+
+The host is an embedded-class 1 GHz 4-way OOO core; the accelerator is an
+uncore 16×8 CGRA that moves data through the shared L2.  CGRA energy numbers
+come straight from Table V; the host per-event energies follow the paper's
+McPAT ARM-template setup (front-end elision is the dominant saving, so the
+host front-end + OOO-window costs dominate the per-instruction bill).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """OOO host core (Table V, top half)."""
+
+    frequency_ghz: float = 1.0
+    fetch_width: int = 4
+    issue_width: int = 4
+    retire_width: int = 4
+    rob_entries: int = 96
+    int_alus: int = 6
+    fp_units: int = 2
+    int_rf_entries: int = 64
+    fp_rf_entries: int = 64
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    latency: int = 1
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class MemoryHierarchyConfig:
+    """L1 + NUCA L2 + DRAM (Table V, middle)."""
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=64 * 1024, associativity=4, latency=2
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=2 * 1024 * 1024, associativity=8, latency=20
+        )
+    )
+    l2_banks: int = 8
+    dram_latency: int = 120
+
+
+@dataclass(frozen=True)
+class CGRAConfig:
+    """Coarse-grained reconfigurable array (Table V, bottom)."""
+
+    rows: int = 16
+    cols: int = 8
+    reconfig_cycles: int = 16
+    memory_ports: int = 4
+    #: operand-network bandwidth: ops that can *fire* per cycle across the
+    #: fabric (token routing — one per column — not FU count, bounds
+    #: sustained throughput)
+    issue_width: int = 8
+    #: dynamic energy, picojoules (Table V)
+    network_pj: float = 12.0  # per switch+link traversal (one per DFG edge)
+    int_fu_pj: float = 8.0
+    fp_fu_pj: float = 25.0
+    latch_pj: float = 5.0
+
+    @property
+    def fu_count(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Per-event host energies (picojoules), McPAT ARM-1GHz flavoured."""
+
+    host_frontend_pj: float = 20.0  # fetch + decode + rename, per instruction
+    host_window_pj: float = 15.0  # issue queue + ROB + bypass, per instruction
+    host_int_op_pj: float = 8.0
+    host_fp_op_pj: float = 25.0
+    l1_access_pj: float = 10.0
+    l2_access_pj: float = 28.0
+    dram_access_pj: float = 120.0
+    #: live value transfer between host and accelerator (via L2)
+    transfer_per_value_pj: float = 28.0
+
+
+@dataclass(frozen=True)
+class OffloadConfig:
+    """Offload mechanics: invocation and failure costs."""
+
+    #: cycles to move one live value host<->accelerator through the L2
+    transfer_cycles_per_value: int = 1
+    #: fixed host-side cycles to launch/resume around an invocation
+    invocation_overhead_cycles: int = 4
+    #: cycles to replay one undo-log entry on rollback
+    rollback_cycles_per_store: int = 4
+    #: guard failures are detected only at frame end (paper's conservative
+    #: assumption); set False to model eager detection at the guard position
+    detect_failure_at_end: bool = True
+    #: back-to-back invocations of the same frame pipeline at the frame's
+    #: initiation interval (the §IV-A expansion benefit); set False to make
+    #: every invocation pay the full schedule makespan
+    pipelined_invocations: bool = True
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full Table V system."""
+
+    host: HostConfig = field(default_factory=HostConfig)
+    memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+    cgra: CGRAConfig = field(default_factory=CGRAConfig)
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
+    offload: OffloadConfig = field(default_factory=OffloadConfig)
+
+
+DEFAULT_CONFIG = SystemConfig()

@@ -1,0 +1,347 @@
+"""Whole-workload offload simulation (paper §VI, Figs. 9 and 10).
+
+The simulator reasons at *path granularity*: the profiled path trace is the
+exact sequence of region-sized execution units.  For every unit it charges
+either the host OOO cost of that path, or — when the invocation predictor
+fires and the unit matches the offloaded region — the CGRA frame cost plus
+live-value transfer.  Mispredicted invocations charge the full frame (guard
+failure is detected at frame end, the paper's conservative assumption), the
+undo-log rollback, and the host re-execution of the actual path.
+
+Host path costs come from the OOO model with loop-carried pipelining
+captured by amortising over repeated executions; memory latencies for both
+sides come from replaying the recorded address stream through the cache
+hierarchy (host port vs. uncore accelerator port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..frames.frame import Frame, build_frame
+from ..profiling.ranking import count_ops
+from ..interp.events import FunctionTrace
+from ..profiling.path_profile import PathProfile
+from .cache import MemorySystem
+from .config import DEFAULT_CONFIG, SystemConfig
+from .core_ooo import OOOModel, OOOResult
+from .energy import EnergyBreakdown, EnergyModel
+
+
+@dataclass
+class PathCost:
+    """Amortised host cost of executing one path once."""
+
+    cycles: float
+    census: OOOResult  # per-execution averages stored as totals / reps
+
+
+@dataclass
+class OffloadOutcome:
+    """Result of simulating one offload strategy on one workload."""
+
+    workload: str
+    strategy: str  # "host" | "bl-path-oracle" | "bl-path-predictor" | "braid"
+    baseline_cycles: float
+    needle_cycles: float
+    baseline_energy_pj: float
+    needle_energy_pj: float
+    coverage: float = 0.0
+    invocations: int = 0
+    failures: int = 0
+    predictor_precision: float = 1.0
+    frame_ops: int = 0
+    schedule_cycles: int = 0
+
+    @property
+    def performance_improvement(self) -> float:
+        """Fractional cycle reduction (Fig. 9's y-axis)."""
+        if self.baseline_cycles == 0:
+            return 0.0
+        return 1.0 - self.needle_cycles / self.baseline_cycles
+
+    @property
+    def energy_reduction(self) -> float:
+        """Fractional net energy reduction (Fig. 10's y-axis)."""
+        if self.baseline_energy_pj == 0:
+            return 0.0
+        return 1.0 - self.needle_energy_pj / self.baseline_energy_pj
+
+
+class OffloadSimulator:
+    """Simulates host-only and Needle-offloaded execution of one workload."""
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        self.config = config or DEFAULT_CONFIG
+        self.energy_model = EnergyModel(self.config.energy, self.config.cgra)
+
+    # -- memory latency calibration ------------------------------------------------
+
+    def calibrate_memory(
+        self, trace: Optional[FunctionTrace]
+    ) -> Tuple[float, float]:
+        """(host avg load latency, accel avg load latency) from the recorded
+        address stream; L1/L2 hit latencies when there is no stream."""
+        hier = self.config.memory
+        host_lat = float(hier.l1.latency)
+        accel_lat = float(hier.l2.latency)
+        if trace is not None and trace.memory:
+            host_mem = MemorySystem(hier)
+            prof = host_mem.profile_stream(trace.memory, port="host")
+            if prof.loads:
+                host_lat = prof.avg_load_latency
+            accel_mem = MemorySystem(hier)
+            prof_a = accel_mem.profile_stream(trace.memory, port="accel")
+            if prof_a.loads:
+                accel_lat = prof_a.avg_load_latency
+        return host_lat, accel_lat
+
+    # -- host path costs ---------------------------------------------------------------
+
+    def path_costs(
+        self,
+        profile: PathProfile,
+        host_load_latency: float,
+        amortise_reps: int = 4,
+    ) -> Dict[int, PathCost]:
+        """Per-execution host cost of each profiled path.
+
+        Paths that repeat are simulated ``amortise_reps`` times back-to-back
+        so the OOO window can overlap iterations (loop pipelining), then
+        averaged.
+        """
+        model = OOOModel(
+            self.config.host,
+            fixed_load_latency=max(1, int(round(host_load_latency))),
+        )
+        costs: Dict[int, PathCost] = {}
+        for pid, count in profile.counts.items():
+            blocks = profile.decode(pid)
+            reps = amortise_reps if count >= amortise_reps else 1
+            stream: List = []
+            for r in range(reps):
+                stream.extend(blocks)
+            res = model.simulate(stream)
+            per_exec = OOOResult()
+            for name in vars(per_exec):
+                setattr(per_exec, name, getattr(res, name) / reps)
+            costs[pid] = PathCost(cycles=res.cycles / reps, census=per_exec)
+        return costs
+
+    # -- baseline --------------------------------------------------------------------------
+
+    def baseline(
+        self, profile: PathProfile, costs: Dict[int, PathCost]
+    ) -> Tuple[float, float]:
+        """(cycles, energy_pj) of host-only execution of the whole trace."""
+        cycles = 0.0
+        energy = 0.0
+        for pid, count in profile.counts.items():
+            c = costs[pid]
+            cycles += count * c.cycles
+            energy += count * self.energy_model.host_energy(c.census).total_pj
+        return cycles, energy
+
+    # -- offload ----------------------------------------------------------------------------
+
+    def _effective_ii(self, frame: Frame, sched, profile: PathProfile, scheduler) -> float:
+        """Initiation interval for pipelined invocations.
+
+        For a braid, the whole-region recurrence is pessimistic: dataflow
+        predication gates untaken arms, so an iteration flowing down the hot
+        (short-chain) arm does not serialise behind the cold arm's chain.
+        We weight each constituent path's recurrence by its frequency.
+        """
+        if frame.region.kind != "braid" or len(frame.region.source_paths) < 2:
+            return float(sched.initiation_interval)
+        from ..frames.frame import build_frame as _build_frame
+        from ..regions.path_region import path_to_region as _path_to_region
+        from ..profiling.ranking import RankedPath as _RankedPath
+
+        total_freq = 0
+        weighted = 0.0
+        for pid in frame.region.source_paths:
+            freq = profile.counts.get(pid, 0)
+            if freq <= 0:
+                continue
+            try:
+                blocks = profile.decode(pid)
+                rp = _RankedPath(
+                    path_id=pid, blocks=blocks, freq=freq,
+                    ops=count_ops(blocks), weight=0, coverage=0.0,
+                )
+                pframe = _build_frame(_path_to_region(frame.region.function, rp))
+                psched = scheduler.schedule(
+                    pframe, loop_carried=self._loop_carried(pframe)
+                )
+                weighted += freq * psched.recurrence_ii
+                total_freq += freq
+            except Exception:
+                continue
+        if total_freq == 0:
+            return float(sched.initiation_interval)
+        avg_recurrence = weighted / total_freq
+        return float(max(sched.resource_ii, avg_recurrence))
+
+    @staticmethod
+    def _loop_carried(frame: Frame):
+        """(entry φ, back-edge definition) pairs for the recurrence II.
+
+        When the region is a loop iteration, its final block feeds the entry
+        block's φs over the back edge; those defs bound the pipelined II.
+        """
+        pairs = []
+        region = frame.region
+        if not region.blocks:
+            return pairs
+        last = region.blocks[-1]
+        for phi in region.entry.phis:
+            val = phi.incoming_for(last)
+            if val is not None:
+                pairs.append((phi, val))
+        return pairs
+
+    def simulate_offload(
+        self,
+        workload: str,
+        profile: PathProfile,
+        frame: Frame,
+        predictor_kind: str = "oracle",
+        trace: Optional[FunctionTrace] = None,
+        coverage: Optional[float] = None,
+    ) -> OffloadOutcome:
+        """Simulate offloading ``frame`` with the given invocation predictor.
+
+        ``predictor_kind``: "oracle" or "history".
+        """
+        # local import: repro.accel depends on repro.sim.config, so the
+        # accel package cannot be imported at sim module-load time
+        from ..accel.cgra import CGRAScheduler
+        from ..accel.invocation import (
+            HistoryPredictor,
+            OraclePredictor,
+            evaluate_predictor,
+        )
+
+        host_lat, accel_lat = self.calibrate_memory(trace)
+        costs = self.path_costs(profile, host_lat)
+        base_cycles, base_energy = self.baseline(profile, costs)
+
+        # Frames stream array data through the banked L2: bank pipelining and
+        # the memory-port-limited schedule hide most of the raw L2 latency,
+        # so the per-load critical-path charge is a fraction of it.
+        effective_load = max(4.0, accel_lat * 0.4)
+        scheduler = CGRAScheduler(
+            self.config.cgra,
+            load_latency=effective_load,
+            store_latency=max(1.0, effective_load / 3),
+        )
+        sched = scheduler.schedule(frame, loop_carried=self._loop_carried(frame))
+        pipeline_ii = self._effective_ii(frame, sched, profile, scheduler)
+        frame_energy = self.energy_model.frame_energy(
+            n_int_ops=sched.int_ops + sched.guard_ops,
+            n_fp_ops=sched.fp_ops,
+            n_mem_ops=sched.mem_ops,
+            n_edges=sched.edges,
+            l2_accesses=sched.mem_ops,
+        ).total_pj
+        # Dataflow predication gates tokens on untaken braid arms, so an
+        # invocation burns energy proportional to the ops its actual path
+        # touches, not the whole fabric mapping.
+        frame_ops_total = max(1, frame.region.op_count)
+        exec_fraction: Dict[int, float] = {}
+        for pid in frame.region.source_paths:
+            path_ops = count_ops(profile.decode(pid))
+            exec_fraction[pid] = min(1.0, path_ops / frame_ops_total)
+        n_transfer = len(frame.live_ins) + len(frame.live_outs)
+        transfer_cycles = (
+            n_transfer * self.config.offload.transfer_cycles_per_value
+            + self.config.offload.invocation_overhead_cycles
+        )
+        transfer_energy = self.energy_model.transfer_energy(n_transfer).total_pj
+        rollback_cycles = (
+            frame.store_count * self.config.offload.rollback_cycles_per_store
+        )
+        # Conservative (paper) mode detects guard failure only at frame end,
+        # wasting the whole schedule; eager mode aborts around the mean guard
+        # position (§V's guard-placement trade-off).
+        if self.config.offload.detect_failure_at_end or not frame.guards:
+            failure_exec_cycles = sched.cycles
+        else:
+            mean_pos = sum(g.position for g in frame.guards) / len(frame.guards)
+            fraction = (mean_pos + 1) / max(1, frame.op_count)
+            failure_exec_cycles = max(1.0, sched.cycles * fraction)
+
+        targets: Set[int] = set(frame.region.source_paths)
+        if predictor_kind == "oracle":
+            predictor = OraclePredictor(targets)
+        else:
+            predictor = HistoryPredictor()
+        evaluation = evaluate_predictor(profile.trace, targets, predictor)
+
+        # Run-based accounting: the first invocation in a run of back-to-back
+        # successful invocations pays pipeline fill (full makespan) plus the
+        # live-value transfer; each further iteration of the run initiates
+        # after the frame's II (dataflow pipelining).  The configuration
+        # stays resident on the fabric across the workload (only one frame
+        # is offloaded), so reconfiguration is a one-time cost, charged once.
+        run_start_cycles = sched.cycles + transfer_cycles
+        needle_cycles = float(
+            self.config.cgra.reconfig_cycles * sched.n_configs
+        )
+        needle_energy = 0.0
+        invocations = failures = 0
+        in_run = False
+        for pid, invoke in zip(profile.trace, evaluation.decisions):
+            if invoke:
+                invocations += 1
+                hit = pid in targets
+                if hit and in_run and self.config.offload.pipelined_invocations:
+                    needle_cycles += pipeline_ii
+                    needle_energy += frame_energy * exec_fraction.get(pid, 1.0)
+                elif hit:
+                    needle_cycles += run_start_cycles
+                    needle_energy += (
+                        frame_energy * exec_fraction.get(pid, 1.0) + transfer_energy
+                    )
+                    in_run = True
+                else:
+                    failures += 1
+                    needle_cycles += (
+                        failure_exec_cycles
+                        + transfer_cycles
+                        + rollback_cycles
+                        + costs[pid].cycles
+                    )
+                    needle_energy += (
+                        frame_energy
+                        + transfer_energy
+                        + self.energy_model.host_energy(costs[pid].census).total_pj
+                    )
+                    in_run = False
+            else:
+                needle_cycles += costs[pid].cycles
+                needle_energy += self.energy_model.host_energy(
+                    costs[pid].census
+                ).total_pj
+                in_run = False
+
+        return OffloadOutcome(
+            workload=workload,
+            strategy=(
+                "braid"
+                if frame.region.kind == "braid"
+                else "bl-path-%s" % predictor_kind
+            ),
+            baseline_cycles=base_cycles,
+            needle_cycles=needle_cycles,
+            baseline_energy_pj=base_energy,
+            needle_energy_pj=needle_energy,
+            coverage=coverage if coverage is not None else frame.region.coverage,
+            invocations=invocations,
+            failures=failures,
+            predictor_precision=evaluation.precision,
+            frame_ops=frame.op_count,
+            schedule_cycles=sched.cycles,
+        )

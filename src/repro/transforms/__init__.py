@@ -1,0 +1,28 @@
+"""IR-to-IR transformations: inlining (the paper's pre-analysis step) and
+the scalar/CFG clean-up passes that follow it."""
+
+from .clone import clone_body_into, clone_instruction, remap
+from .inline import InlineError, inline_all, inline_call
+from .optimize import (
+    constant_fold,
+    dead_code_eliminate,
+    optimize,
+    simplify_cfg,
+)
+from .unroll import UnrollError, unroll_hottest_loop, unroll_loop
+
+__all__ = [
+    "InlineError",
+    "UnrollError",
+    "unroll_hottest_loop",
+    "unroll_loop",
+    "clone_body_into",
+    "clone_instruction",
+    "constant_fold",
+    "dead_code_eliminate",
+    "inline_all",
+    "inline_call",
+    "optimize",
+    "remap",
+    "simplify_cfg",
+]

@@ -1,0 +1,110 @@
+"""Instruction/block cloning with value remapping (the inliner's engine)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Compare,
+    CondBranch,
+    Gep,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UnaryOp,
+)
+from ..ir.values import Value
+
+
+def remap(value: Value, value_map: Dict[Value, Value]) -> Value:
+    """Map a value through the clone substitution (identity if unmapped)."""
+    return value_map.get(value, value)
+
+
+def clone_instruction(
+    inst: Instruction,
+    value_map: Dict[Value, Value],
+    block_map: Dict[BasicBlock, BasicBlock],
+) -> Instruction:
+    """Deep-copy ``inst`` with operands/targets remapped.
+
+    φ incomings are cloned with remapped *values*; their incoming blocks are
+    remapped too (the caller guarantees all predecessor blocks are cloned
+    before φ patch-up, which holds because we clone blocks first and
+    instructions after).
+    """
+
+    def op(i: int) -> Value:
+        return remap(inst.operands[i], value_map)
+
+    if isinstance(inst, BinaryOp):
+        out: Instruction = BinaryOp(inst.opcode, op(0), op(1), inst.name)
+    elif isinstance(inst, UnaryOp):
+        out = UnaryOp(inst.opcode, op(0), inst.type, inst.name)
+    elif isinstance(inst, Compare):
+        out = Compare(inst.opcode, inst.predicate, op(0), op(1), inst.name)
+    elif isinstance(inst, Select):
+        out = Select(op(0), op(1), op(2), inst.name)
+    elif isinstance(inst, Load):
+        out = Load(inst.type, op(0), inst.name)
+    elif isinstance(inst, Store):
+        out = Store(op(0), op(1))
+    elif isinstance(inst, Gep):
+        out = Gep(op(0), op(1), inst.elem_size, inst.name)
+    elif isinstance(inst, Alloca):
+        out = Alloca(inst.elem_type, inst.count, inst.name)
+    elif isinstance(inst, Phi):
+        phi = Phi(inst.type, inst.name)
+        for blk, val in inst.incoming:
+            phi.add_incoming(block_map.get(blk, blk), remap(val, value_map))
+        out = phi
+    elif isinstance(inst, Branch):
+        out = Branch(block_map.get(inst.target, inst.target))
+    elif isinstance(inst, CondBranch):
+        out = CondBranch(
+            op(0),
+            block_map.get(inst.true_target, inst.true_target),
+            block_map.get(inst.false_target, inst.false_target),
+        )
+    elif isinstance(inst, Ret):
+        out = Ret(remap(inst.value, value_map) if inst.value is not None else None)
+    elif isinstance(inst, Call):
+        out = Call(inst.callee, [remap(a, value_map) for a in inst.operands], inst.name)
+    else:  # pragma: no cover - closed hierarchy
+        raise TypeError("cannot clone %r" % inst)
+    value_map[inst] = out
+    return out
+
+
+def clone_body_into(
+    callee: Function,
+    host: Function,
+    value_map: Dict[Value, Value],
+    name_prefix: str,
+) -> Dict[BasicBlock, BasicBlock]:
+    """Clone every block of ``callee`` into ``host``.
+
+    ``value_map`` must already bind the callee's arguments.  Returns the
+    block map; the cloned blocks are appended to ``host.blocks`` and all
+    internal references point at the clones.
+    """
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    for block in callee.blocks:
+        block_map[block] = host.add_block("%s.%s" % (name_prefix, block.name))
+    for block in callee.blocks:
+        clone = block_map[block]
+        for inst in block.instructions:
+            new = clone_instruction(inst, value_map, block_map)
+            if new.name:
+                new.name = host.unique_name(new.name)
+            clone.append(new)
+    return block_map

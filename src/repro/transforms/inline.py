@@ -1,0 +1,132 @@
+"""Function inlining (the paper's "aggressive inlining of call sequences").
+
+Needle analyses a fully inlined hot function: Ball–Larus paths, predication
+statistics (§II: "our predication statistics differ from prior work because
+of aggressive inlining") and region formation all operate post-inline.
+:func:`inline_all` saturates a function by repeatedly splicing direct,
+non-recursive callees into the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch, Call, Instruction, Phi, Ret
+from ..ir.values import Value
+from .clone import clone_body_into
+
+
+class InlineError(Exception):
+    """The call site cannot be inlined (recursion, malformed callee...)."""
+
+
+def _replace_uses(fn: Function, old: Value, new: Value) -> None:
+    for block in fn.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                changed = False
+                for i, (blk, val) in enumerate(inst.incoming):
+                    if val is old:
+                        inst.incoming[i] = (blk, new)
+                        changed = True
+                if changed:
+                    inst.operands = [v for _, v in inst.incoming]
+            else:
+                inst.replace_operand(old, new)
+
+
+def inline_call(fn: Function, call: Call) -> None:
+    """Splice ``call``'s callee into ``fn`` at the call site."""
+    callee = call.callee
+    if callee is fn:
+        raise InlineError("direct recursion cannot be inlined")
+    host_block = call.parent
+    if host_block is None or host_block.parent is not fn:
+        raise InlineError("call site does not belong to the function")
+    if not callee.blocks:
+        raise InlineError("callee %s has no body" % callee.name)
+
+    # 1. split the host block at the call
+    index = host_block.instructions.index(call)
+    tail = host_block.instructions[index + 1 :]
+    del host_block.instructions[index:]
+    cont_block = fn.add_block("%s.cont" % host_block.name)
+    for inst in tail:
+        inst.parent = cont_block
+        cont_block.instructions.append(inst)
+    # successors' φs now arrive from cont_block instead of host_block
+    for succ_block in cont_block.successors:
+        for phi in succ_block.phis:
+            phi.incoming = [
+                (cont_block if blk is host_block else blk, val)
+                for blk, val in phi.incoming
+            ]
+
+    # 2. clone the callee with arguments bound to the actual operands
+    value_map: Dict[Value, Value] = {
+        formal: actual for formal, actual in zip(callee.args, call.operands)
+    }
+    block_map = clone_body_into(callee, fn, value_map, "inl.%s" % callee.name)
+
+    # 3. jump into the cloned entry
+    host_block.append(Branch(block_map[callee.entry]))
+
+    # 4. rewire every cloned return to the continuation
+    ret_values = []
+    for cloned in block_map.values():
+        term = cloned.terminator
+        if isinstance(term, Ret):
+            ret_values.append((cloned, term.value))
+            cloned.remove(term)
+            cloned.append(Branch(cont_block))
+
+    # 5. substitute the call's result
+    if not call.type.is_void:
+        if not ret_values:
+            raise InlineError("callee %s never returns a value" % callee.name)
+        if len(ret_values) == 1:
+            replacement: Value = ret_values[0][1]
+        else:
+            phi = Phi(call.type, fn.unique_name("%s.ret" % callee.name))
+            for blk, val in ret_values:
+                phi.add_incoming(blk, val)
+            cont_block.insert(0, phi)
+            replacement = phi
+        _replace_uses(fn, call, replacement)
+
+
+def inline_all(fn: Function, max_rounds: int = 10) -> int:
+    """Inline every direct non-recursive call, repeatedly, to saturation.
+
+    Returns the number of call sites inlined.  Call chains up to
+    ``max_rounds`` deep are flattened; (mutual) recursion is left alone.
+    """
+    inlined = 0
+    for _ in range(max_rounds):
+        sites: List[Call] = [
+            inst
+            for inst in fn.instructions()
+            if isinstance(inst, Call) and inst.callee is not fn
+        ]
+        sites = [s for s in sites if not _reaches(s.callee, fn)]
+        if not sites:
+            break
+        for call in sites:
+            inline_call(fn, call)
+            inlined += 1
+    return inlined
+
+
+def _reaches(callee: Function, target: Function, seen: Optional[Set] = None) -> bool:
+    """Does ``callee`` (transitively) call ``target``?  (recursion guard)"""
+    seen = seen or set()
+    if callee in seen:
+        return False
+    seen.add(callee)
+    for inst in callee.instructions():
+        if isinstance(inst, Call):
+            if inst.callee is target or _reaches(inst.callee, target, seen):
+                return True
+    return False

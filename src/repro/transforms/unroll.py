@@ -1,0 +1,194 @@
+"""Loop unrolling (paper §VI: blackscholes' "aggressive loop unrolling
+(4x)"; §II: TRIPS "relies on aggressive loop unrolling").
+
+Unrolling a natural loop by factor *k* clones the loop body k−1 times and
+chains the copies: each copy's header re-tests the exit condition, so any
+trip count remains correct (no remainder loop needed).  Every loop-carried
+φ threads through the copies; exit-block φs gain one incoming edge per
+cloned exit.
+
+The transform handles the common shape our kernels (and most hot loops)
+have — a single-header natural loop whose back edges all re-enter the
+header — and refuses anything more exotic rather than miscompiling it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.cfg import CFG
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch, CondBranch, Instruction, Phi
+from ..ir.values import Value
+from .clone import clone_instruction
+
+
+class UnrollError(Exception):
+    """The loop shape is not supported for unrolling."""
+
+
+def unroll_loop(fn: Function, loop: Loop, factor: int) -> None:
+    """Unroll ``loop`` in place by ``factor`` (>= 2)."""
+    if factor < 2:
+        raise UnrollError("factor must be >= 2")
+    header = loop.header
+    body_blocks = [b for b in fn.blocks if b in loop.blocks]  # stable order
+    cfg = CFG(fn)
+
+    # preconditions: all latches jump straight to the header; nothing outside
+    # the loop (except the preheader edges) enters a non-header loop block
+    for blk in body_blocks:
+        if blk is header:
+            continue
+        for pred in cfg.preds(blk):
+            if pred not in loop.blocks:
+                raise UnrollError(
+                    "block %s is entered from outside the loop" % blk.name
+                )
+
+    exit_targets = {succ for _, succ in loop.exits(cfg)}
+    _make_lcssa(fn, loop, cfg, exit_targets)
+
+    # the values flowing into header φs along back edges, per latch
+    header_phis = header.phis
+
+    # -- phase 1: clone every copy from the PRISTINE originals -----------------
+    # Each copy is initially a self-contained cycle through its own header;
+    # chaining happens afterwards so originals are never cloned post-mutation.
+    identity_bm: Dict[BasicBlock, BasicBlock] = {b: b for b in body_blocks}
+    copies: List[Tuple[Dict[BasicBlock, BasicBlock], Dict[Value, Value]]] = [
+        (identity_bm, {})
+    ]
+    for copy in range(1, factor):
+        value_map: Dict[Value, Value] = {}
+        block_map: Dict[BasicBlock, BasicBlock] = {}
+        for blk in body_blocks:
+            block_map[blk] = fn.add_block("%s.u%d" % (blk.name, copy))
+        for blk in body_blocks:
+            clone = block_map[blk]
+            for inst in blk.instructions:
+                new = clone_instruction(inst, value_map, block_map)
+                if new.name:
+                    new.name = fn.unique_name("u%d.%s" % (copy, inst.name))
+                clone.append(new)
+        copies.append((block_map, value_map))
+
+    # -- phase 2: exit φs gain incomings from every copy's exiting blocks -------
+    for block_map, value_map in copies[1:]:
+        for blk in body_blocks:
+            clone = block_map[blk]
+            for succ in clone.successors:
+                if succ in exit_targets:
+                    for phi in succ.phis:
+                        orig_val = phi.incoming_for(blk)
+                        if orig_val is not None:
+                            phi.add_incoming(
+                                clone, value_map.get(orig_val, orig_val)
+                            )
+
+    # -- phase 3: chain the copies ------------------------------------------------
+    # latch of copy i jumps to header of copy i+1 (mod factor); header φs of
+    # copy i take the loop-carried values from copy i-1 (mod factor).
+    def header_of(i: int) -> BasicBlock:
+        return copies[i][0][header]
+
+    for i in range(factor):
+        bm_i, _ = copies[i]
+        nxt = header_of((i + 1) % factor)
+        for latch in loop.latches:
+            _redirect(bm_i[latch].terminator, header_of(i), nxt)
+
+    original_incomings = {phi: list(phi.incoming) for phi in header_phis}
+    for i in range(factor):
+        bm_prev, vm_prev = copies[(i - 1) % factor]
+        this_header = header_of(i)
+        this_phis = this_header.phis if i else header_phis
+        for phi_orig, phi_here in zip(header_phis, this_phis):
+            incoming: List[Tuple[BasicBlock, Value]] = []
+            for blk, val in original_incomings[phi_orig]:
+                if blk in loop.blocks:  # back edge: comes from the prev copy
+                    incoming.append((bm_prev[blk], vm_prev.get(val, val)))
+                elif i == 0:  # preheader edges only exist on the original
+                    incoming.append((blk, val))
+            phi_here.incoming = incoming
+            phi_here.operands = [v for _, v in incoming]
+
+
+def _make_lcssa(fn: Function, loop: Loop, cfg: CFG, exit_targets) -> None:
+    """Insert loop-closed SSA φs: every loop-defined value used outside the
+    loop flows through a φ in the exit block, so unrolling only needs to add
+    incoming edges for the cloned exits."""
+    loop_defs = [
+        inst
+        for blk in loop.blocks
+        for inst in blk.instructions
+        if not inst.type.is_void
+    ]
+    loop_def_set = set(loop_defs)
+
+    for exit_block in exit_targets:
+        preds = cfg.preds(exit_block)
+        loop_preds = [p for p in preds if p in loop.blocks]
+        if not loop_preds:
+            continue
+        mixed = len(loop_preds) != len(preds)
+
+        for v in loop_defs:
+            # collect uses of v outside the loop; φ-uses along loop edges
+            # are already loop-closed and stay as they are
+            plain_uses: List[Instruction] = []
+            phi_edge_uses: List[Tuple[Phi, int]] = []
+            for blk in fn.blocks:
+                if blk in loop.blocks:
+                    continue
+                for inst in blk.instructions:
+                    if isinstance(inst, Phi):
+                        for idx, (in_blk, val) in enumerate(inst.incoming):
+                            if val is v and in_blk not in loop.blocks:
+                                phi_edge_uses.append((inst, idx))
+                    elif any(op is v for op in inst.operands):
+                        plain_uses.append(inst)
+            if not plain_uses and not phi_edge_uses:
+                continue
+            if mixed:
+                raise UnrollError(
+                    "value %%%s is used outside the loop but exit %s has "
+                    "non-loop predecessors" % (v.name, exit_block.name)
+                )
+            if len(exit_targets) > 1:
+                raise UnrollError(
+                    "value %%%s is used outside a multi-exit loop" % v.name
+                )
+            lcssa = Phi(v.type, fn.unique_name("%s.lcssa" % (v.name or "v")))
+            for p in loop_preds:
+                lcssa.add_incoming(p, v)
+            exit_block.insert(len(exit_block.phis), lcssa)
+            for inst in plain_uses:
+                inst.replace_operand(v, lcssa)
+            for phi, idx in phi_edge_uses:
+                blk, _ = phi.incoming[idx]
+                phi.incoming[idx] = (blk, lcssa)
+                phi.operands = [val for _, val in phi.incoming]
+
+
+def _redirect(term: Instruction, old: BasicBlock, new: BasicBlock) -> None:
+    if isinstance(term, Branch):
+        if term.target is old:
+            term.target = new
+    elif isinstance(term, CondBranch):
+        if term.true_target is old:
+            term.true_target = new
+        if term.false_target is old:
+            term.false_target = new
+
+
+def unroll_hottest_loop(fn: Function, factor: int = 2) -> Optional[Loop]:
+    """Unroll the innermost loop with the most blocks; returns it or None."""
+    loops = LoopInfo.compute(fn).innermost_loops()
+    if not loops:
+        return None
+    loop = max(loops, key=lambda l: len(l.blocks))
+    unroll_loop(fn, loop, factor)
+    return loop

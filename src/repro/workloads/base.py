@@ -1,0 +1,86 @@
+"""Workload abstraction and profiling driver.
+
+A :class:`Workload` names one of the paper's 29 benchmarks and knows how to
+build its synthetic hot-function stand-in.  :func:`profile_workload` runs
+the instrumented interpreter once and returns everything the experiments
+need: the path profile, edge profile, full trace and the hot function.
+Profiles are cached per workload because several tables/figures reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..interp.events import FunctionTrace, MultiTracer, TraceRecorder
+from ..interp.interpreter import Interpreter
+from ..ir.function import Function
+from ..ir.module import Module
+from ..profiling.edge_profile import EdgeProfile, EdgeProfiler
+from ..profiling.path_profile import PathProfile, PathProfiler
+
+
+@dataclass
+class Workload:
+    """One benchmark stand-in.
+
+    ``build`` returns (module, hot function, args-for-one-run).  ``expected``
+    records the paper's Table II row for the real application, kept as
+    machine-checkable documentation of what shape the synthetic kernel aims
+    for.
+    """
+
+    name: str
+    suite: str  # "spec" | "parsec" | "perfect"
+    description: str
+    build: Callable[[], Tuple[Module, Function, List]]
+    expected: Dict[str, object] = field(default_factory=dict)
+    #: dominant datatype, for reporting ("int" | "fp")
+    flavor: str = "int"
+
+    def __repr__(self) -> str:
+        return "<Workload %s (%s)>" % (self.name, self.suite)
+
+
+@dataclass
+class ProfiledWorkload:
+    """Everything one instrumented run produces."""
+
+    workload: Workload
+    module: Module
+    function: Function
+    paths: PathProfile
+    edges: EdgeProfile
+    trace: FunctionTrace
+    result: object  # the run's return value (useful as a sanity check)
+
+
+_PROFILE_CACHE: Dict[str, ProfiledWorkload] = {}
+
+
+def profile_workload(workload: Workload, use_cache: bool = True) -> ProfiledWorkload:
+    """Build, run and profile a workload's hot function once."""
+    if use_cache and workload.name in _PROFILE_CACHE:
+        return _PROFILE_CACHE[workload.name]
+    module, fn, args = workload.build()
+    paths = PathProfiler([fn])
+    edges = EdgeProfiler([fn])
+    recorder = TraceRecorder([fn])
+    interp = Interpreter(module, tracer=MultiTracer(paths, edges, recorder))
+    result = interp.run(fn, args)
+    profiled = ProfiledWorkload(
+        workload=workload,
+        module=module,
+        function=fn,
+        paths=paths.profile_for(fn),
+        edges=edges.profile_for(fn),
+        trace=recorder.traces[fn],
+        result=result,
+    )
+    if use_cache:
+        _PROFILE_CACHE[workload.name] = profiled
+    return profiled
+
+
+def clear_profile_cache() -> None:
+    _PROFILE_CACHE.clear()

@@ -1,0 +1,505 @@
+"""Kernel-construction DSL for the synthetic workload suite.
+
+The 29 workloads are *shaped* after the paper's SPEC/PARSEC/PERFECT hot
+functions: what matters for every experiment is control-flow structure (path
+counts, branch biases, diamonds, breaks, loop nests), operation mix (INT vs
+FP, memory density) and path-size distribution — not application semantics.
+This module provides the declarative vocabulary the per-workload definitions
+use:
+
+* :class:`Arith` — a chain or fan of INT/FP operations on a named accumulator
+* :class:`LoadVal` / :class:`StoreVal` — array traffic indexed by induction
+* :class:`If` — a diamond (optionally nested) with a choosable condition
+* :class:`BreakIf` — a rare early loop exit
+* :class:`Loop` — a nested counted loop
+
+:func:`build_loop_kernel` assembles a full function from a segment list,
+handling SSA φ placement at merges, loop headers, and break edges, and
+verifies the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ir import (
+    Constant,
+    F32,
+    F64,
+    I32,
+    IRBuilder,
+    Module,
+    Value,
+    verify_function,
+)
+
+# --------------------------------------------------------------------------
+# Segment vocabulary
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Arith:
+    """``count`` arithmetic ops folded into accumulator ``acc``.
+
+    ``chained`` ops serialise (low ILP); unchained ops form independent
+    chains reduced at the end (high ILP).  ``use`` mixes a temp (e.g. a
+    loaded value) into the computation.
+    """
+
+    count: int
+    fp: bool = False
+    chained: bool = True
+    acc: str = "acc"
+    use: Optional[str] = None
+    ops: Sequence[str] = ()  # opcode rotation; defaults chosen by fp
+
+
+@dataclass
+class LoadVal:
+    """Load ``array[index_var * scale + offset]`` into temp ``dst``."""
+
+    array: str
+    dst: str = "t"
+    index: str = "i"
+    offset: int = 0
+    scale: int = 1
+    fp: bool = False
+
+
+@dataclass
+class StoreVal:
+    """Store state var ``value`` to ``array[index_var + offset]``."""
+
+    array: str
+    value: str = "acc"
+    index: str = "i"
+    offset: int = 0
+
+
+@dataclass
+class If:
+    """A diamond on ``cond``; both arms are segment lists."""
+
+    cond: Tuple
+    then: Sequence = ()
+    els: Sequence = ()
+
+
+@dataclass
+class BreakIf:
+    """Early loop exit when ``cond`` holds (a rare/cold edge)."""
+
+    cond: Tuple
+
+
+@dataclass
+class Loop:
+    """A nested counted loop with its own induction variable."""
+
+    trip: int
+    body: Sequence
+    induction: str = "j"
+
+
+@dataclass
+class Reset:
+    """Reinitialise accumulator ``acc`` at the top of each iteration.
+
+    This kills the loop-carried dependence through the accumulator — the
+    shape of kernels whose iterations are independent (stencils, per-option
+    pricing): both the OOO window and the CGRA can then pipeline iterations
+    without waiting on the previous one's reduction chain.
+    """
+
+    acc: str
+    value: float = 0.0
+
+
+Segment = Union[Arith, LoadVal, StoreVal, If, BreakIf, Loop, Reset]
+
+
+# --------------------------------------------------------------------------
+# Kernel assembly
+# --------------------------------------------------------------------------
+
+_INT_OPS = ("add", "xor", "sub", "and", "or", "mul")
+_FP_OPS = ("fadd", "fmul", "fsub")
+
+
+@dataclass
+class _EmitCtx:
+    """Mutable emission state threaded through segment lists."""
+
+    b: IRBuilder
+    module: Module
+    fn: object
+    arrays: Dict[str, object]
+    state: Dict[str, Value]
+    break_edges: List[Tuple[object, Value]] = field(default_factory=list)
+    exit_block: Optional[object] = None
+    return_var: str = "acc"
+    uid: List[int] = field(default_factory=lambda: [0])
+    #: innermost nested loops: (after_block, [(block, state snapshot), ...]);
+    #: a BreakIf inside a nested loop exits that loop, not the function
+    loop_stack: List[Tuple[object, List[Tuple[object, Dict[str, Value]]]]] = field(
+        default_factory=list
+    )
+
+    def fresh(self, hint: str) -> str:
+        self.uid[0] += 1
+        return "%s%d" % (hint, self.uid[0])
+
+
+def _emit_cond(ctx: _EmitCtx, cond: Tuple) -> Value:
+    """Lower a condition spec to an i1 value.
+
+    Kinds:
+      ("mod", var, k, r)          var % k == r              (bias 1/k)
+      ("phase", var, k, r, s)     (var >> s) % k == r       (runs of 2^s)
+      ("lt", var, c)              var < c
+      ("gt", var, c)              var > c
+      ("bit", var, b)             bit b of var set          (data dependent)
+      ("flt", var, c)             fp var < c
+      ("fgt", var, c)             fp var > c
+    """
+    b = ctx.b
+    kind = cond[0]
+    if kind == "mod":
+        _, var, k, r = cond
+        rem = b.srem(ctx.state[var], k)
+        return b.icmp("eq", rem, r)
+    if kind == "phase":
+        _, var, k, r, shift = cond
+        coarse = b.ashr(ctx.state[var], shift)
+        rem = b.srem(coarse, k)
+        return b.icmp("eq", rem, r)
+    if kind == "lt":
+        _, var, c = cond
+        return b.icmp("slt", ctx.state[var], c)
+    if kind == "gt":
+        _, var, c = cond
+        return b.icmp("sgt", ctx.state[var], c)
+    if kind == "bit":
+        _, var, bit = cond
+        shifted = b.ashr(ctx.state[var], bit)
+        masked = b.and_(shifted, 1)
+        return b.icmp("eq", masked, 1)
+    if kind == "flt":
+        _, var, c = cond
+        return b.fcmp("olt", ctx.state[var], float(c))
+    if kind == "fgt":
+        _, var, c = cond
+        return b.fcmp("ogt", ctx.state[var], float(c))
+    raise ValueError("unknown condition kind %r" % (kind,))
+
+
+def _emit_arith(ctx: _EmitCtx, seg: Arith) -> None:
+    b = ctx.b
+    ops = tuple(seg.ops) or (_FP_OPS if seg.fp else _INT_OPS)
+    acc = ctx.state[seg.acc]
+    mixin = ctx.state.get(seg.use) if seg.use else None
+    if seg.chained:
+        cur = acc
+        for k in range(seg.count):
+            op = ops[k % len(ops)]
+            operand: Union[Value, int, float]
+            if mixin is not None and k == 0:
+                operand = mixin
+            elif seg.fp:
+                operand = 1.0 + 0.125 * (k % 7)
+            else:
+                operand = (k % 11) + 1
+            cur = b.binop(op, cur, operand)
+        ctx.state[seg.acc] = cur
+    else:
+        # independent fan reduced by a balanced tree: high ILP
+        leaves: List[Value] = []
+        src = mixin if mixin is not None else acc
+        for k in range(max(1, seg.count - max(0, seg.count // 2))):
+            op = ops[k % len(ops)]
+            operand = 1.0 + 0.25 * (k % 5) if seg.fp else (k % 9) + 1
+            leaves.append(b.binop(op, src, operand))
+        while len(leaves) > 1:
+            nxt: List[Value] = []
+            red = "fadd" if seg.fp else "add"
+            for a, c in zip(leaves[::2], leaves[1::2]):
+                nxt.append(b.binop(red, a, c))
+            if len(leaves) % 2:
+                nxt.append(leaves[-1])
+            leaves = nxt
+        reduce_op = "fadd" if seg.fp else "add"
+        ctx.state[seg.acc] = b.binop(reduce_op, acc, leaves[0])
+
+
+def _emit_load(ctx: _EmitCtx, seg: LoadVal) -> None:
+    b = ctx.b
+    arr = ctx.arrays[seg.array]
+    idx = ctx.state[seg.index]
+    if seg.scale != 1:
+        idx = b.mul(idx, seg.scale)
+    if seg.offset:
+        idx = b.add(idx, seg.offset)
+    size = arr.elem_type.size_bytes
+    # keep indices in range via masking against the array size (power of two)
+    mask = arr.count - 1
+    idx = b.and_(idx, mask)
+    addr = b.gep(arr, idx, size)
+    ctx.state[seg.dst] = b.load(arr.elem_type, addr)
+
+
+def _emit_store(ctx: _EmitCtx, seg: StoreVal) -> None:
+    b = ctx.b
+    arr = ctx.arrays[seg.array]
+    idx = ctx.state[seg.index]
+    if seg.offset:
+        idx = b.add(idx, seg.offset)
+    mask = arr.count - 1
+    idx = b.and_(idx, mask)
+    addr = b.gep(arr, idx, arr.elem_type.size_bytes)
+    ctx.state[seg.value] = _coerce_to(ctx, ctx.state[seg.value], arr.elem_type)
+    b.store(ctx.state[seg.value], addr)
+
+
+def _coerce_to(ctx: _EmitCtx, value: Value, elem_type) -> Value:
+    if value.type == elem_type:
+        return value
+    b = ctx.b
+    if elem_type.is_float and value.type.is_int:
+        return b.unop("sitofp", value, elem_type)
+    if elem_type.is_int and value.type.is_float:
+        return b.unop("fptosi", value, I32)
+    return value
+
+
+def _emit_if(ctx: _EmitCtx, seg: If) -> None:
+    b = ctx.b
+    cond = _emit_cond(ctx, seg.cond)
+    then_blk = b.add_block(ctx.fresh("then"))
+    else_blk = b.add_block(ctx.fresh("else"))
+    merge_blk = b.add_block(ctx.fresh("merge"))
+    b.condbr(cond, then_blk, else_blk)
+
+    base_state = dict(ctx.state)
+
+    b.set_block(then_blk)
+    ctx.state = dict(base_state)
+    _emit_segments(ctx, seg.then)
+    then_state = ctx.state
+    then_end = b.block
+    b.br(merge_blk)
+
+    b.set_block(else_blk)
+    ctx.state = dict(base_state)
+    _emit_segments(ctx, seg.els)
+    else_state = ctx.state
+    else_end = b.block
+    b.br(merge_blk)
+
+    b.set_block(merge_blk)
+    merged = dict(base_state)
+    keys = set(then_state) | set(else_state)
+    for key in sorted(keys):
+        tv = then_state.get(key, base_state.get(key))
+        ev = else_state.get(key, base_state.get(key))
+        if tv is None or ev is None:
+            continue
+        if tv is ev:
+            merged[key] = tv
+        else:
+            phi = ctx.b.phi(tv.type, key)
+            phi.add_incoming(then_end, tv)
+            phi.add_incoming(else_end, ev)
+            merged[key] = phi
+    ctx.state = merged
+
+
+def _emit_break(ctx: _EmitCtx, seg: BreakIf) -> None:
+    b = ctx.b
+    cond = _emit_cond(ctx, seg.cond)
+    cont_blk = b.add_block(ctx.fresh("cont"))
+    if ctx.loop_stack:
+        after_blk, records = ctx.loop_stack[-1]
+        records.append((b.block, dict(ctx.state)))
+        b.condbr(cond, after_blk, cont_blk)
+    else:
+        ctx.break_edges.append((b.block, ctx.state[ctx.return_var]))
+        b.condbr(cond, ctx.exit_block, cont_blk)
+    b.set_block(cont_blk)
+
+
+def _emit_loop(ctx: _EmitCtx, seg: Loop) -> None:
+    """A nested counted loop carrying every state variable."""
+    b = ctx.b
+    pre_blk = b.block
+    header = b.add_block(ctx.fresh("nh"))
+    body = b.add_block(ctx.fresh("nb"))
+    after = b.add_block(ctx.fresh("na"))
+    b.br(header)
+
+    b.set_block(header)
+    j = b.phi(I32, seg.induction)
+    carried: Dict[str, object] = {}
+    entry_state = dict(ctx.state)
+    for key in sorted(ctx.state):
+        phi = b.phi(ctx.state[key].type, key)
+        carried[key] = phi
+    cond = b.icmp("slt", j, seg.trip)
+    b.condbr(cond, body, after)
+
+    b.set_block(body)
+    ctx.state = dict(carried)
+    ctx.state[seg.induction] = j
+    ctx.loop_stack.append((after, []))
+    _emit_segments(ctx, seg.body)
+    _, break_records = ctx.loop_stack.pop()
+    body_state = ctx.state
+    body_end = b.block
+    j_next = b.add(j, 1)
+    b.br(header)
+
+    j.add_incoming(pre_blk, Constant(I32, 0))
+    j.add_incoming(body_end, j_next)
+    for key, phi in carried.items():
+        phi.add_incoming(pre_blk, entry_state[key])
+        phi.add_incoming(body_end, body_state.get(key, phi))
+
+    b.set_block(after)
+    if break_records:
+        # the loop can be left over the header edge or any break edge; every
+        # carried variable needs a φ merging those flows
+        merged: Dict[str, Value] = {}
+        for key, phi in carried.items():
+            out_phi = b.phi(phi.type, key)
+            out_phi.add_incoming(header, phi)
+            for blk, snap in break_records:
+                out_phi.add_incoming(blk, snap.get(key, phi))
+            merged[key] = out_phi
+        ctx.state = merged
+    else:
+        ctx.state = dict(carried)
+    ctx.state.pop(seg.induction, None)
+
+
+def _emit_segments(ctx: _EmitCtx, segments: Sequence[Segment]) -> None:
+    for seg in segments:
+        if isinstance(seg, Arith):
+            _emit_arith(ctx, seg)
+        elif isinstance(seg, LoadVal):
+            _emit_load(ctx, seg)
+        elif isinstance(seg, StoreVal):
+            _emit_store(ctx, seg)
+        elif isinstance(seg, If):
+            _emit_if(ctx, seg)
+        elif isinstance(seg, BreakIf):
+            _emit_break(ctx, seg)
+        elif isinstance(seg, Loop):
+            _emit_loop(ctx, seg)
+        elif isinstance(seg, Reset):
+            old = ctx.state[seg.acc]
+            if old.type.is_float:
+                ctx.state[seg.acc] = Constant(old.type, float(seg.value))
+            else:
+                ctx.state[seg.acc] = Constant(old.type, int(seg.value))
+        else:
+            raise TypeError("unknown segment %r" % (seg,))
+
+
+@dataclass
+class ArraySpec:
+    """A module global backing workload inputs/outputs (power-of-two size)."""
+
+    name: str
+    count: int
+    fp: bool = False
+    init: Optional[Sequence] = None
+
+    def __post_init__(self):
+        if self.count & (self.count - 1):
+            raise ValueError("array size must be a power of two for masking")
+
+
+def build_loop_kernel(
+    module_name: str,
+    fn_name: str,
+    segments: Sequence[Segment],
+    arrays: Sequence[ArraySpec] = (),
+    int_accs: Sequence[str] = ("acc",),
+    fp_accs: Sequence[str] = (),
+    return_var: str = "acc",
+    fp_bits: int = 64,
+) -> Tuple[Module, object]:
+    """Assemble ``for (i = 0; i < n; i++) <segments>; return <return_var>``.
+
+    Every accumulator in ``int_accs``/``fp_accs`` is loop-carried.  Returns
+    (module, hot function); the function takes a single ``n`` argument.
+    ``fp_bits`` selects the kernel's floating point precision (32 or 64) for
+    both accumulators and fp arrays — the HLS area model cares.
+    """
+    fp_type = F32 if fp_bits == 32 else F64
+    m = Module(module_name)
+    array_map: Dict[str, object] = {}
+    for spec in arrays:
+        elem = fp_type if spec.fp else I32
+        array_map[spec.name] = m.add_global(spec.name, elem, spec.count, spec.init)
+
+    ret_type = fp_type if return_var in fp_accs else I32
+    fn = m.add_function(fn_name, [("n", I32)], ret_type)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    header = b.add_block("header")
+    body = b.add_block("body")
+    latch_to_exit = b.add_block("exit")
+
+    b.set_block(entry)
+    b.br(header)
+
+    b.set_block(header)
+    i = b.phi(I32, "i")
+    state: Dict[str, Value] = {"i": i}
+    header_phis: Dict[str, object] = {}
+    for name in int_accs:
+        phi = b.phi(I32, name)
+        header_phis[name] = phi
+        state[name] = phi
+    for name in fp_accs:
+        phi = b.phi(fp_type, name)
+        header_phis[name] = phi
+        state[name] = phi
+    cond = b.icmp("slt", i, fn.arg("n"))
+    b.condbr(cond, body, latch_to_exit)
+
+    ctx = _EmitCtx(
+        b=b,
+        module=m,
+        fn=fn,
+        arrays=array_map,
+        state=state,
+        exit_block=latch_to_exit,
+        return_var=return_var,
+    )
+
+    b.set_block(body)
+    ctx.state = dict(state)
+    _emit_segments(ctx, segments)
+    body_end = b.block
+    i_next = b.add(i, 1)
+    b.br(header)
+
+    i.add_incoming(entry, Constant(I32, 0))
+    i.add_incoming(body_end, i_next)
+    for name, phi in header_phis.items():
+        zero = Constant(fp_type, 0.0) if name in fp_accs else Constant(I32, 0)
+        phi.add_incoming(entry, zero)
+        phi.add_incoming(body_end, ctx.state.get(name, phi))
+
+    b.set_block(latch_to_exit)
+    result_type = fp_type if return_var in fp_accs else I32
+    result = b.phi(result_type, "result")
+    result.add_incoming(header, header_phis[return_var])
+    for block, value in ctx.break_edges:
+        result.add_incoming(block, value)
+    b.ret(result)
+    verify_function(fn)
+    return m, fn

@@ -1,0 +1,89 @@
+from repro.accel import (
+    AladdinConfig,
+    AladdinEstimator,
+    AladdinResult,
+    FU_LIBRARY,
+)
+from repro.frames import build_frame
+from repro.profiling import rank_paths
+from repro.regions import path_to_region
+from tests.conftest import build_array_sum, profile_function
+
+
+def _frame(profiled):
+    m, fn, pp, ep = profiled
+    return build_frame(path_to_region(fn, rank_paths(pp)[0]))
+
+
+def test_schedule_respects_dependences(profiled_loop_with_branch):
+    frame = _frame(profiled_loop_with_branch)
+    est = AladdinEstimator()
+    res = est.schedule(frame)
+    assert res.latency_cycles > 0
+    assert res.dynamic_energy_pj > 0
+    assert res.area_mm2 > 0
+
+
+def test_fewer_units_never_faster(profiled_loop_with_branch):
+    frame = _frame(profiled_loop_with_branch)
+    est = AladdinEstimator()
+    rich = est.schedule(frame, AladdinConfig(int_alus=8, fp_alus=8, mem_ports=4))
+    poor = est.schedule(frame, AladdinConfig(int_alus=1, fp_alus=1, mem_ports=1))
+    assert poor.latency_cycles >= rich.latency_cycles
+    # but the poor allocation leaks less and is smaller
+    assert poor.leakage_uw < rich.leakage_uw
+    assert poor.area_um2 < rich.area_um2
+
+
+def test_memory_ports_bind_memory_kernels():
+    m, fn = build_array_sum()
+    pp, ep = profile_function(m, fn, [[16]])
+    frame = build_frame(path_to_region(fn, rank_paths(pp)[0]))
+    est = AladdinEstimator()
+    one = est.schedule(frame, AladdinConfig(mem_ports=1))
+    four = est.schedule(frame, AladdinConfig(mem_ports=4))
+    assert one.latency_cycles >= four.latency_cycles
+
+
+def test_power_includes_leakage():
+    m, fn = build_array_sum()
+    pp, ep = profile_function(m, fn, [[16]])
+    frame = build_frame(path_to_region(fn, rank_paths(pp)[0]))
+    res = AladdinEstimator().schedule(frame)
+    leak_only = res.leakage_uw / 1000.0
+    assert res.power_mw > leak_only
+
+
+def test_sweep_covers_grid(profiled_loop_with_branch):
+    frame = _frame(profiled_loop_with_branch)
+    est = AladdinEstimator()
+    results = est.sweep(frame, alu_options=(1, 4), fp_options=(1,), mem_options=(1, 2))
+    assert len(results) == 4
+    assert all(isinstance(r, AladdinResult) for r in results)
+
+
+def test_pareto_frontier_is_monotone(profiled_loop_with_branch):
+    frame = _frame(profiled_loop_with_branch)
+    est = AladdinEstimator()
+    results = est.sweep(frame)
+    frontier = est.pareto(results)
+    assert frontier
+    # along the frontier: latency increases, power strictly decreases
+    lats = [r.latency_cycles for r in frontier]
+    pows = [r.power_mw for r in frontier]
+    assert lats == sorted(lats)
+    assert all(a > b for a, b in zip(pows, pows[1:])) or len(pows) == 1
+    # no swept point dominates a frontier point
+    for f in frontier:
+        for r in results:
+            assert not (
+                r.latency_cycles < f.latency_cycles and r.power_mw < f.power_mw
+            )
+
+
+def test_fu_library_complete():
+    from repro.accel.aladdin import _CLASS_OF, op_class
+
+    assert set(_CLASS_OF.values()) <= set(FU_LIBRARY)
+    for cls, (dyn, leak, area) in FU_LIBRARY.items():
+        assert dyn > 0 and leak > 0 and area > 0

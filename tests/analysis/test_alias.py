@@ -1,0 +1,125 @@
+from repro.analysis import DataflowGraph, may_alias, must_alias, same_value
+from repro.ir import I32, IRBuilder, Module, verify_function
+
+
+def _mem_kernel():
+    """Loads/stores over two arrays with related and unrelated indices."""
+    m = Module()
+    a = m.add_global("A", I32, 64)
+    barr = m.add_global("B", I32, 64)
+    fn = m.add_function("f", [("i", I32), ("j", I32)], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    i = fn.arg("i")
+    j = fn.arg("j")
+    addr_ai = b.gep(a, i, 4)  # A[i]
+    i1 = b.add(i, 1)
+    addr_ai1 = b.gep(a, i1, 4)  # A[i+1]
+    addr_bi = b.gep(barr, i, 4)  # B[i]
+    addr_aj = b.gep(a, j, 4)  # A[j]
+    addr_ai_dup = b.gep(a, i, 4)  # A[i] again, distinct gep
+    st_ai = b.store(5, addr_ai)
+    ld_ai1 = b.load(I32, addr_ai1)
+    ld_bi = b.load(I32, addr_bi)
+    ld_aj = b.load(I32, addr_aj)
+    ld_ai = b.load(I32, addr_ai_dup)
+    out = b.add(ld_ai1, ld_bi)
+    out = b.add(out, ld_aj)
+    out = b.add(out, ld_ai)
+    b.ret(out)
+    verify_function(fn)
+    return fn, dict(
+        st_ai=st_ai, ld_ai1=ld_ai1, ld_bi=ld_bi, ld_aj=ld_aj, ld_ai=ld_ai
+    )
+
+
+def test_different_arrays_never_alias():
+    fn, ops = _mem_kernel()
+    assert not may_alias(ops["st_ai"], ops["ld_bi"])
+
+
+def test_same_base_constant_offset_disjoint():
+    fn, ops = _mem_kernel()
+    assert not may_alias(ops["st_ai"], ops["ld_ai1"])
+
+
+def test_unknown_indices_may_alias():
+    fn, ops = _mem_kernel()
+    assert may_alias(ops["st_ai"], ops["ld_aj"])
+
+
+def test_structurally_identical_address_aliases():
+    fn, ops = _mem_kernel()
+    assert may_alias(ops["st_ai"], ops["ld_ai"])
+    assert must_alias(ops["st_ai"], ops["ld_ai"])
+
+
+def test_must_alias_requires_equality():
+    fn, ops = _mem_kernel()
+    assert not must_alias(ops["st_ai"], ops["ld_ai1"])
+    assert not must_alias(ops["st_ai"], ops["ld_bi"])
+
+
+def test_same_value_structural():
+    m = Module()
+    fn = m.add_function("g", [("x", I32)], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    x = fn.arg("x")
+    e1 = b.add(x, 3)
+    e2 = b.add(x, 3)
+    e3 = b.add(x, 4)
+    b.ret(e1)
+    assert same_value(e1, e2)
+    assert not same_value(e1, e3)
+    assert same_value(x, x)
+
+
+def test_dfg_alias_analysis_prunes_false_dependences():
+    fn, ops = _mem_kernel()
+    insts = list(fn.entry.instructions)
+    conservative = DataflowGraph.build(insts)
+    precise = DataflowGraph.build(insts, use_alias_analysis=True)
+
+    def dep_edges(dfg):
+        return sum(len(n.deps) for n in dfg.nodes)
+
+    assert dep_edges(precise) < dep_edges(conservative)
+
+    # the must-alias load still depends on the store
+    st_idx = insts.index(ops["st_ai"])
+    ld_ai_node = precise.node_for(ops["ld_ai"])
+    assert st_idx in ld_ai_node.deps
+    # the disjoint loads do not
+    for name in ("ld_ai1", "ld_bi"):
+        node = precise.node_for(ops[name])
+        assert st_idx not in node.deps
+
+
+def test_alias_analysis_improves_critical_path():
+    fn, ops = _mem_kernel()
+    insts = list(fn.entry.instructions)
+    conservative = DataflowGraph.build(insts)
+    precise = DataflowGraph.build(insts, use_alias_analysis=True)
+    assert (
+        precise.critical_path_length() <= conservative.critical_path_length()
+    )
+
+
+def test_masked_indices_stay_conservative():
+    """Our kernels mask indices (and i, mask): different masked exprs must
+    remain may-alias unless structurally equal."""
+    m = Module()
+    a = m.add_global("A", I32, 64)
+    fn = m.add_function("f", [("i", I32)], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    masked1 = b.and_(fn.arg("i"), 63)
+    masked2 = b.and_(fn.arg("i"), 63)
+    g1 = b.gep(a, masked1, 4)
+    g2 = b.gep(a, masked2, 4)
+    st = b.store(1, g1)
+    ld = b.load(I32, g2)
+    b.ret(ld)
+    assert may_alias(st, ld)  # structurally equal -> aliases
+    assert must_alias(st, ld)

@@ -1,0 +1,101 @@
+from repro.analysis import CFG, DominatorTree, PostDominatorTree, VIRTUAL_EXIT
+
+
+def test_cfg_edges_and_preds(diamond):
+    _, fn = diamond
+    cfg = CFG(fn)
+    entry = fn.get_block("entry")
+    then = fn.get_block("then")
+    els = fn.get_block("else")
+    merge = fn.get_block("merge")
+    assert set(cfg.succs(entry)) == {then, els}
+    assert set(cfg.preds(merge)) == {then, els}
+    assert cfg.exits() == [merge]
+    assert len(list(cfg.edges())) == 4
+
+
+def test_rpo_entry_first(loop_with_branch):
+    _, fn = loop_with_branch
+    cfg = CFG(fn)
+    assert cfg.rpo[0] is fn.entry
+    assert len(cfg.rpo) == len(fn.blocks)
+    # rpo visits a block before its non-back-edge successors
+    idx = {b: i for i, b in enumerate(cfg.rpo)}
+    header = fn.get_block("header")
+    then = fn.get_block("then")
+    assert idx[header] < idx[then]
+
+
+def test_dominators_diamond(diamond):
+    _, fn = diamond
+    dom = DominatorTree.compute(fn)
+    entry = fn.get_block("entry")
+    then = fn.get_block("then")
+    els = fn.get_block("else")
+    merge = fn.get_block("merge")
+    assert dom.immediate_dominator(then) is entry
+    assert dom.immediate_dominator(els) is entry
+    assert dom.immediate_dominator(merge) is entry
+    assert dom.dominates(entry, merge)
+    assert not dom.dominates(then, merge)
+    assert dom.dominates(merge, merge)
+    assert dom.strictly_dominates(entry, merge)
+    assert not dom.strictly_dominates(merge, merge)
+
+
+def test_dominators_loop(counted_loop):
+    _, fn = counted_loop
+    dom = DominatorTree.compute(fn)
+    entry = fn.get_block("entry")
+    header = fn.get_block("header")
+    body = fn.get_block("body")
+    exit_ = fn.get_block("exit")
+    assert dom.immediate_dominator(header) is entry
+    assert dom.immediate_dominator(body) is header
+    assert dom.immediate_dominator(exit_) is header
+    assert dom.dominates(header, body)
+
+
+def test_dominance_frontier_diamond(diamond):
+    _, fn = diamond
+    dom = DominatorTree.compute(fn)
+    df = dom.dominance_frontier()
+    then = fn.get_block("then")
+    els = fn.get_block("else")
+    merge = fn.get_block("merge")
+    assert merge in df[then]
+    assert merge in df[els]
+    assert df[merge] == []
+
+
+def test_dominator_depth(diamond):
+    _, fn = diamond
+    dom = DominatorTree.compute(fn)
+    assert dom.depth(fn.get_block("entry")) == 0
+    assert dom.depth(fn.get_block("merge")) == 1
+
+
+def test_post_dominators_diamond(diamond):
+    _, fn = diamond
+    pdom = PostDominatorTree.compute(fn)
+    entry = fn.get_block("entry")
+    then = fn.get_block("then")
+    merge = fn.get_block("merge")
+    assert pdom.post_dominates(merge, entry)
+    assert pdom.post_dominates(merge, then)
+    assert not pdom.post_dominates(then, entry)
+    assert pdom.immediate_post_dominator(entry) is merge
+    assert pdom.immediate_post_dominator(merge) is VIRTUAL_EXIT
+
+
+def test_post_dominators_loop(loop_with_branch):
+    _, fn = loop_with_branch
+    pdom = PostDominatorTree.compute(fn)
+    header = fn.get_block("header")
+    latch = fn.get_block("latch")
+    exit_ = fn.get_block("exit")
+    assert pdom.post_dominates(exit_, header)
+    # latch does not post-dominate header (loop can exit at header)
+    assert not pdom.post_dominates(latch, header)
+    # latch post-dominates both arms of the if
+    assert pdom.post_dominates(latch, fn.get_block("then"))

@@ -1,0 +1,160 @@
+from repro.analysis import (
+    DataflowGraph,
+    backward_slice,
+    branch_memory_stats,
+    control_dependence,
+    hyperblock_size_stats,
+    predication_stats,
+)
+from repro.ir import Constant, I32, IRBuilder, Module, verify_function
+
+
+def _straight_line_with_memory():
+    m = Module()
+    g = m.add_global("buf", I32, 8)
+    fn = m.add_function("f", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    a = fn.arg("a")
+    addr0 = b.gep(g, 0, 4)
+    addr1 = b.gep(g, 1, 4)
+    st = b.store(a, addr0)
+    ld = b.load(I32, addr1)
+    x = b.add(ld, a)
+    st2 = b.store(x, addr1)
+    ld2 = b.load(I32, addr0)
+    y = b.add(x, ld2)
+    b.ret(y)
+    verify_function(fn)
+    insts = list(fn.entry.instructions)
+    return fn, insts
+
+
+def test_dfg_data_edges():
+    fn, insts = _straight_line_with_memory()
+    dfg = DataflowGraph.build(insts)
+    add = next(n for n in dfg.nodes if n.inst.opcode == "add")
+    # add depends on the load
+    dep_opcodes = {dfg.nodes[d].inst.opcode for d in add.deps}
+    assert "load" in dep_opcodes
+
+
+def test_dfg_memory_ordering_conservative():
+    fn, insts = _straight_line_with_memory()
+    dfg = DataflowGraph.build(insts, memory_ordering=True)
+    loads = [n for n in dfg.nodes if n.inst.opcode == "load"]
+    stores = [n for n in dfg.nodes if n.inst.opcode == "store"]
+    # first load is ordered after the first store
+    assert stores[0].index in loads[0].deps
+    # second store is ordered after the first store (store->store chain)
+    assert stores[0].index in stores[1].deps or any(
+        stores[0].index in dfg.nodes[d].deps for d in stores[1].deps
+    )
+
+
+def test_dfg_speculative_memory_breaks_load_ordering():
+    fn, insts = _straight_line_with_memory()
+    spec = DataflowGraph.build(insts, speculative_memory=True)
+    loads = [n for n in spec.nodes if n.inst.opcode == "load"]
+    stores = [n for n in spec.nodes if n.inst.opcode == "store"]
+    # loads no longer wait for stores
+    assert stores[0].index not in loads[0].deps
+    # but store commit order is preserved
+    assert stores[0].index in stores[1].deps
+
+
+def test_dfg_critical_path_and_parallelism():
+    fn, insts = _straight_line_with_memory()
+    dfg = DataflowGraph.build(insts, memory_ordering=False)
+    assert dfg.critical_path_length() > 0
+    assert 0 < dfg.average_parallelism() <= len(insts)
+    levels = dfg.depth_levels()
+    assert len(levels) == len(insts)
+    assert min(levels) == 0
+
+
+def test_dfg_roots_have_no_deps():
+    fn, insts = _straight_line_with_memory()
+    dfg = DataflowGraph.build(insts)
+    for r in dfg.roots():
+        assert r.deps == []
+
+
+def test_control_dependence_diamond(diamond):
+    _, fn = diamond
+    cd = control_dependence(fn)
+    entry = fn.get_block("entry")
+    assert set(cd) == {entry}
+    names = {b.name for b in cd[entry]}
+    assert names == {"then", "else"}
+
+
+def test_control_dependence_loop(loop_with_branch):
+    _, fn = loop_with_branch
+    cd = control_dependence(fn)
+    then = fn.get_block("then")
+    dep_names = {b.name for b in cd[then]}
+    assert "else" in dep_names and "merge" in dep_names
+
+
+def test_backward_slice_reaches_loads(array_sum):
+    _, fn = array_sum
+    # condition of the header branch depends on the phi, not on loads
+    header = fn.get_block("header")
+    cond = header.terminator.cond
+    sl = backward_slice(cond)
+    assert cond in sl
+    assert any(i.opcode == "phi" for i in sl)
+
+
+def test_branch_memory_stats_smoke(array_sum):
+    _, fn = array_sum
+    stats = branch_memory_stats(fn)
+    assert stats.branch_count == 1
+    # the load is control-dependent on the header branch
+    assert stats.avg_mem_dependent_on_branch >= 1
+    assert stats.avg_mem_branch_depends_on == 0
+
+
+def test_branch_memory_stats_mem_to_branch():
+    m = Module()
+    g = m.add_global("flagbuf", I32, 4)
+    fn = m.add_function("f", [("i", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    t = b.add_block("t")
+    e = b.add_block("e")
+    b.set_block(entry)
+    addr = b.gep(g, fn.arg("i"), 4)
+    v = b.load(I32, addr)
+    c = b.icmp("sgt", v, 0)
+    b.condbr(c, t, e)
+    b.set_block(t)
+    b.ret(1)
+    b.set_block(e)
+    b.ret(0)
+    verify_function(fn)
+    stats = branch_memory_stats(fn)
+    assert stats.avg_mem_branch_depends_on == 1
+
+
+def test_predication_stats(loop_with_branch):
+    _, fn = loop_with_branch
+    stats = predication_stats(fn)
+    # header exit branch + if branch are forward; latch branch is backward
+    assert stats.total_cond_branches == 3
+    assert stats.backward_branches == 1
+    assert stats.forward_branches == 2
+
+
+def test_hyperblock_size_stats(loop_with_branch):
+    _, fn = loop_with_branch
+    stats = hyperblock_size_stats(fn)
+    assert stats.avg_hyperblock_ops > stats.avg_basic_block_ops
+    assert stats.expansion_ratio > 1.0
+
+
+def test_hyperblock_size_stats_acyclic(diamond):
+    _, fn = diamond
+    stats = hyperblock_size_stats(fn)
+    assert stats.avg_hyperblock_ops > 0

@@ -1,0 +1,152 @@
+from repro.analysis import (
+    CFG,
+    Liveness,
+    LoopInfo,
+    back_edges,
+    region_live_values,
+)
+
+
+def test_back_edges_simple_loop(counted_loop):
+    _, fn = counted_loop
+    edges = back_edges(fn)
+    assert len(edges) == 1
+    (src, dst) = edges[0]
+    assert src.name == "body" and dst.name == "header"
+
+
+def test_no_back_edges_in_diamond(diamond):
+    _, fn = diamond
+    assert back_edges(fn) == []
+
+
+def test_loopinfo_counted_loop(counted_loop):
+    _, fn = counted_loop
+    li = LoopInfo.compute(fn)
+    assert len(li.loops) == 1
+    loop = li.loops[0]
+    assert loop.header.name == "header"
+    assert {b.name for b in loop.blocks} == {"header", "body"}
+    assert loop.is_innermost
+    assert loop.depth == 1
+    assert li.backward_branch_count == 1
+
+
+def test_loopinfo_loop_with_branch(loop_with_branch):
+    _, fn = loop_with_branch
+    li = LoopInfo.compute(fn)
+    assert len(li.loops) == 1
+    loop = li.loops[0]
+    assert {b.name for b in loop.blocks} == {
+        "header",
+        "then",
+        "else",
+        "merge",
+        "latch",
+    }
+    exits = loop.exits(CFG(fn))
+    assert {(a.name, b.name) for a, b in exits} == {
+        ("header", "exit"),
+        ("latch", "exit"),
+    }
+
+
+def test_nested_loops():
+    from repro.ir import Constant, I32, IRBuilder, Module, verify_function
+
+    m = Module()
+    fn = m.add_function("nested", [("n", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    oh = b.add_block("outer_header")
+    ih = b.add_block("inner_header")
+    ib = b.add_block("inner_body")
+    ol = b.add_block("outer_latch")
+    ex = b.add_block("exit")
+
+    b.set_block(entry)
+    b.br(oh)
+    b.set_block(oh)
+    i = b.phi(I32, "i")
+    ci = b.icmp("slt", i, fn.arg("n"))
+    b.condbr(ci, ih, ex)
+    b.set_block(ih)
+    j = b.phi(I32, "j")
+    cj = b.icmp("slt", j, 4)
+    b.condbr(cj, ib, ol)
+    b.set_block(ib)
+    j2 = b.add(j, 1)
+    b.br(ih)
+    b.set_block(ol)
+    i2 = b.add(i, 1)
+    b.br(oh)
+    b.set_block(ex)
+    b.ret(i)
+
+    i.add_incoming(entry, Constant(I32, 0))
+    i.add_incoming(ol, i2)
+    j.add_incoming(oh, Constant(I32, 0))
+    j.add_incoming(ib, j2)
+    verify_function(fn)
+
+    li = LoopInfo.compute(fn)
+    assert len(li.loops) == 2
+    inner = li.loop_for_header(ih)
+    outer = li.loop_for_header(oh)
+    assert inner.parent is outer
+    assert outer.children == [inner]
+    assert inner.depth == 2 and outer.depth == 1
+    assert inner.is_innermost and not outer.is_innermost
+    assert li.innermost_loops() == [inner]
+    assert li.innermost_loop_containing(ib) is inner
+    assert li.innermost_loop_containing(ol) is outer
+    assert li.innermost_loop_containing(ex) is None
+    assert li.backward_branch_count == 2
+
+
+def test_liveness_diamond(diamond):
+    _, fn = diamond
+    lv = Liveness.compute(fn)
+    entry = fn.get_block("entry")
+    then = fn.get_block("then")
+    a = fn.arg("a")
+    b_ = fn.arg("b")
+    # both args are live into entry; 'a' is live into then
+    assert a in lv.live_in[entry] and b_ in lv.live_in[entry]
+    assert a in lv.live_in[then]
+    assert b_ not in lv.live_in[then]
+
+
+def test_liveness_loop_carried(counted_loop):
+    _, fn = counted_loop
+    lv = Liveness.compute(fn)
+    header = fn.get_block("header")
+    body = fn.get_block("body")
+    phis = header.phis
+    # loop-carried phis live around the loop: live out of body via edge use
+    for phi in phis:
+        assert phi in lv.live_in[body] or phi in lv.live_out[header]
+    n = fn.arg("n")
+    assert n in lv.live_in[header]
+
+
+def test_region_live_values(counted_loop):
+    _, fn = counted_loop
+    body = fn.get_block("body")
+    live_ins, live_outs = region_live_values(fn, [body])
+    names_in = {getattr(v, "name", "?") for v in live_ins}
+    assert "i" in names_in and "acc" in names_in
+    # i.next and acc.next feed header phis (outside region)
+    assert len(live_outs) == 2
+
+
+def test_region_live_values_whole_loop(counted_loop):
+    _, fn = counted_loop
+    header = fn.get_block("header")
+    body = fn.get_block("body")
+    live_ins, live_outs = region_live_values(fn, [header, body])
+    # n flows in; acc flows out (used by ret)
+    in_names = {getattr(v, "name", "?") for v in live_ins}
+    assert "n" in in_names
+    out_names = {getattr(v, "name", "?") for v in live_outs}
+    assert "acc" in out_names

@@ -1,0 +1,220 @@
+from repro.frames import FrameExecutor, UndoLog, build_frame
+from repro.interp import Interpreter, Memory
+from repro.ir import Constant, I32, IRBuilder, Module, verify_function
+from repro.profiling import rank_paths
+from repro.regions import build_braids, path_to_region
+from tests.regions.conftest import profile_function
+
+
+def _writer_module():
+    """Loop body path writes out[i] = i*7 and is invoked per iteration."""
+    m = Module()
+    g = m.add_global("out", I32, 64)
+    fn = m.add_function("writer", [("n", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    header = b.add_block("header")
+    body = b.add_block("body")
+    exit_ = b.add_block("exit")
+    b.set_block(entry)
+    b.br(header)
+    b.set_block(header)
+    i = b.phi(I32, "i")
+    c = b.icmp("slt", i, fn.arg("n"))
+    b.condbr(c, body, exit_)
+    b.set_block(body)
+    addr = b.gep(g, i, 4)
+    v = b.mul(i, 7)
+    b.store(v, addr)
+    i2 = b.add(i, 1)
+    b.br(header)
+    i.add_incoming(entry, Constant(I32, 0))
+    i.add_incoming(body, i2)
+    b.set_block(exit_)
+    b.ret(i)
+    verify_function(fn)
+    return m, fn, g
+
+
+def _hot_loop_path_frame(m, fn, runs):
+    pp, ep = profile_function(m, fn, runs)
+    ranked = rank_paths(pp)
+    region = path_to_region(fn, ranked[0])
+    return build_frame(region), pp
+
+
+def test_frame_success_produces_stores():
+    m, fn, g = _writer_module()
+    frame, _ = _hot_loop_path_frame(m, fn, [[8]])
+    interp = Interpreter(m)
+    execu = FrameExecutor(interp.memory, interp.global_base)
+    # hot path = header->body; live-in is the φ i
+    phi_i = frame.region.entry.phis[0]
+    n_arg = fn.arg("n")
+    result = execu.run(frame, {phi_i: 3, n_arg: 8})
+    assert result.success
+    assert result.stores_logged == 1
+    base = interp.address_of("out")
+    assert interp.memory.read(base + 3 * 4, I32) == 21
+    # live-out i2 = 4
+    out_vals = list(result.live_outs.values())
+    assert 4 in out_vals
+
+
+def test_frame_guard_failure_rolls_back():
+    m, fn, g = _writer_module()
+    frame, _ = _hot_loop_path_frame(m, fn, [[8]])
+    interp = Interpreter(m)
+    base = interp.address_of("out")
+    interp.memory.write(base + 3 * 4, I32, 111)
+    snap = interp.memory.snapshot()
+    execu = FrameExecutor(interp.memory, interp.global_base)
+    phi_i = frame.region.entry.phis[0]
+    # i = 9 >= n = 8 -> the header guard fails immediately
+    result = execu.run(frame, {phi_i: 9, fn.arg("n"): 8})
+    assert not result.success
+    assert result.failed_guard_block.name == "header"
+    assert interp.memory.diff(snap) == {}, "rollback must restore memory exactly"
+
+
+def test_frame_failure_after_store_restores_old_value():
+    """Force a failure after the store to prove undo-log ordering."""
+    m = Module()
+    g = m.add_global("buf", I32, 8)
+    fn = m.add_function("f", [("n", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    mid = b.add_block("mid")
+    hot = b.add_block("hot")
+    cold = b.add_block("cold")
+    exit_ = b.add_block("exit")
+    b.set_block(entry)
+    a0 = b.gep(g, 0, 4)
+    b.store(fn.arg("n"), a0)
+    c1 = b.icmp("sgt", fn.arg("n"), 0)
+    b.condbr(c1, mid, exit_)
+    b.set_block(mid)
+    a1 = b.gep(g, 1, 4)
+    b.store(42, a1)
+    c2 = b.icmp("sgt", fn.arg("n"), 10)
+    b.condbr(c2, hot, cold)
+    b.set_block(hot)
+    b.br(exit_)
+    b.set_block(cold)
+    b.br(exit_)
+    b.set_block(exit_)
+    b.ret(0)
+    verify_function(fn)
+
+    pp, ep = profile_function(m, fn, [[20], [20], [20]])
+    region = path_to_region(fn, rank_paths(pp)[0])
+    frame = build_frame(region)
+    assert "hot" in {blk.name for blk in region.blocks}
+
+    interp = Interpreter(m)
+    base = interp.address_of("buf")
+    interp.memory.write(base, I32, -1)
+    interp.memory.write(base + 4, I32, -2)
+    snap = interp.memory.snapshot()
+    execu = FrameExecutor(interp.memory, interp.global_base)
+    # n = 5: first guard (n>0) holds, second (n>10) fails AFTER two stores
+    result = execu.run(frame, {fn.arg("n"): 5})
+    assert not result.success
+    assert result.failed_guard_block.name == "mid"
+    assert interp.memory.diff(snap) == {}
+    assert interp.memory.read(base, I32) == -1
+    assert interp.memory.read(base + 4, I32) == -2
+
+
+def test_frame_success_matches_reference_execution():
+    m, fn, g = _writer_module()
+    frame, _ = _hot_loop_path_frame(m, fn, [[8]])
+    # reference: run the whole function
+    ref = Interpreter(m)
+    ref.run("writer", [6])
+    ref_mem = ref.memory.snapshot()
+
+    # frame-by-frame: invoke the body frame for each iteration
+    interp = Interpreter(m)
+    execu = FrameExecutor(interp.memory, interp.global_base)
+    phi_i = frame.region.entry.phis[0]
+    # the back-edge value i2 (an 'add') is the live-out feeding the next trip
+    i_next = [v for v in frame.live_outs if v.name.startswith("add")][0]
+    i_val = 0
+    for _ in range(100):
+        result = execu.run(frame, {phi_i: i_val, fn.arg("n"): 6})
+        if not result.success:
+            break
+        i_val = result.live_outs[i_next]
+    assert i_val == 6
+    assert interp.memory.snapshot() == ref_mem
+
+
+def test_braid_frame_executes_both_flows(profiled_anticorrelated):
+    m, fn, pp, ep = profiled_anticorrelated
+    braid = build_braids(fn, rank_paths(pp))[0]
+    frame = build_frame(braid.region)
+    interp = Interpreter(m)
+    execu = FrameExecutor(interp.memory, interp.global_base)
+    entry_phis = {p.name: p for p in braid.region.entry.phis}
+    n = fn.arg("n")
+    # even iteration: path through B1/D2; odd: through B2/D1 — both succeed
+    even = execu.run(frame, {entry_phis["i"]: 2, entry_phis["acc"]: 10, n: 40})
+    odd = execu.run(frame, {entry_phis["i"]: 3, entry_phis["acc"]: 10, n: 40})
+    assert even.success and odd.success
+    # even: (10+1)*5 = 55; odd: (10+2)*3 = 36
+    assert 55 in even.live_outs.values()
+    assert 36 in odd.live_outs.values()
+
+
+def test_braid_frame_guard_failure(profiled_anticorrelated):
+    m, fn, pp, ep = profiled_anticorrelated
+    braid = build_braids(fn, rank_paths(pp))[0]
+    frame = build_frame(braid.region)
+    interp = Interpreter(m)
+    snap = interp.memory.snapshot()
+    execu = FrameExecutor(interp.memory, interp.global_base)
+    entry_phis = {p.name: p for p in braid.region.entry.phis}
+    # i >= n: the loop would exit -> leaving the braid -> guard failure
+    result = execu.run(
+        frame, {entry_phis["i"]: 50, entry_phis["acc"]: 0, fn.arg("n"): 40}
+    )
+    assert not result.success
+    assert interp.memory.diff(snap) == {}
+
+
+def test_undo_log_rollback_order():
+    mem = Memory()
+    addr = mem.alloc(8)
+    undo = UndoLog()
+    mem.write(addr, I32, 1)
+    undo.record(mem, addr)
+    mem.write(addr, I32, 2)
+    undo.record(mem, addr)
+    mem.write(addr, I32, 3)
+    undo.rollback(mem)
+    assert mem.read(addr, I32) == 1
+    assert len(undo) == 0
+
+
+def test_undo_log_erases_fresh_cells():
+    mem = Memory()
+    addr = mem.alloc(8)
+    undo = UndoLog()
+    undo.record(mem, addr)  # old value: unmapped
+    mem.write(addr, I32, 5)
+    undo.rollback(mem)
+    assert mem.read_raw(addr) is None
+
+
+def test_missing_live_in_raises():
+    import pytest
+
+    from repro.frames import FrameExecutionError
+
+    m, fn, g = _writer_module()
+    frame, _ = _hot_loop_path_frame(m, fn, [[8]])
+    interp = Interpreter(m)
+    execu = FrameExecutor(interp.memory, interp.global_base)
+    with pytest.raises(FrameExecutionError):
+        execu.run(frame, {})

@@ -1,0 +1,98 @@
+"""Property test: frame execution is atomic.
+
+For arbitrary live-in values, running the hot-path frame of a store-heavy
+kernel either (a) succeeds, or (b) fails a guard and leaves memory
+*byte-for-byte* identical to before the invocation.  On success, the memory
+effect equals re-running the same region normally.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frames import FrameExecutor, build_frame
+from repro.interp import Interpreter
+from repro.ir import Constant, I32, IRBuilder, Module, verify_function
+from repro.profiling import rank_paths
+from repro.regions import path_to_region
+from tests.conftest import profile_function
+
+
+def _kernel():
+    """Loop writing out[i] = in[i] * 3 when in[i] > 0 (else skip iteration
+    via a cold block), giving the hot path a guard mid-frame."""
+    m = Module()
+    src = m.add_global("src", I32, 64, init=[v % 13 - 2 for v in range(64)])
+    dst = m.add_global("dst", I32, 64)
+    fn = m.add_function("k", [("n", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    header = b.add_block("header")
+    body = b.add_block("body")
+    hot = b.add_block("hot")
+    cold = b.add_block("cold")
+    latch = b.add_block("latch")
+    exit_ = b.add_block("exit")
+
+    b.set_block(entry)
+    b.br(header)
+
+    b.set_block(header)
+    i = b.phi(I32, "i")
+    cond = b.icmp("slt", i, fn.arg("n"))
+    b.condbr(cond, body, exit_)
+
+    b.set_block(body)
+    a_in = b.gep(src, i, 4)
+    v = b.load(I32, a_in)
+    pos = b.icmp("sgt", v, 0)
+    b.condbr(pos, hot, cold)
+
+    b.set_block(hot)
+    tripled = b.mul(v, 3)
+    a_out = b.gep(dst, i, 4)
+    b.store(tripled, a_out)
+    b.br(latch)
+
+    b.set_block(cold)
+    b.br(latch)
+
+    b.set_block(latch)
+    i2 = b.add(i, 1)
+    b.br(header)
+
+    i.add_incoming(entry, Constant(I32, 0))
+    i.add_incoming(latch, i2)
+
+    b.set_block(exit_)
+    b.ret(i)
+    verify_function(fn)
+    return m, fn
+
+
+_M, _FN = _kernel()
+_PP, _EP = profile_function(_M, _FN, [[64]])
+_FRAME = build_frame(path_to_region(_FN, rank_paths(_PP)[0]))
+
+
+@settings(max_examples=120, deadline=None)
+@given(i=st.integers(-4, 80), n=st.integers(0, 64))
+def test_frame_atomicity(i, n):
+    interp = Interpreter(_M)
+    phi_i = _FRAME.region.entry.phis[0]
+    snap = interp.memory.snapshot()
+    execu = FrameExecutor(interp.memory, interp.global_base)
+    result = execu.run(_FRAME, {phi_i: i, _FN.arg("n"): n})
+    if not result.success:
+        assert interp.memory.diff(snap) == {}
+        return
+    # success: the hot path ran, i.e. 0 <= i < n and src[i] > 0
+    assert 0 <= i < n
+    src_base = interp.address_of("src")
+    dst_base = interp.address_of("dst")
+    src_val = interp.memory.read(src_base + 4 * i, I32)
+    assert src_val > 0
+    assert interp.memory.read(dst_base + 4 * i, I32) == src_val * 3
+    # and nothing else changed
+    diff = interp.memory.diff(snap)
+    assert set(diff) == {dst_base + 4 * i}

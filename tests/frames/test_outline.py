@@ -1,0 +1,187 @@
+"""Outlined IR frames vs FrameExecutor: two independent implementations of
+the frame semantics must agree on results, failure codes and memory state."""
+
+import pytest
+
+from repro.frames import FrameExecutor, build_frame
+from repro.frames.outline import OutlinedFrame, outline_frame
+from repro.interp import Interpreter
+from repro.ir import Constant, I32, I64, IRBuilder, Module, verify_function
+from repro.profiling import rank_paths
+from repro.regions import build_braids, path_to_region
+from tests.conftest import profile_function
+from tests.frames.test_frame_executor import _writer_module
+
+
+def _outlined_writer():
+    m, fn, g = _writer_module()
+    pp, ep = profile_function(m, fn, [[8]])
+    frame = build_frame(path_to_region(fn, rank_paths(pp)[0]))
+    outlined = outline_frame(frame, m)
+    return m, fn, frame, outlined
+
+
+def test_outline_structure():
+    m, fn, frame, outlined = _outlined_writer()
+    verify_function(outlined.function)
+    assert outlined.function.return_type is I32
+    assert outlined.n_args == len(frame.live_ins)
+    assert outlined.function.name in m.functions
+    # undo globals were created for the i32 stores
+    assert any("undo_val" in g for g in m.globals)
+
+
+def test_outline_success_matches_executor():
+    m, fn, frame, outlined = _outlined_writer()
+    phi_i = frame.region.entry.phis[0]
+    n_arg = fn.arg("n")
+
+    # run the outlined function
+    interp_a = Interpreter(m)
+    code = interp_a.run(outlined.function, outlined.args_from({phi_i: 3, n_arg: 8}))
+    assert code == 0
+    base = interp_a.address_of("out")
+    assert interp_a.memory.read(base + 12, I32) == 21
+
+    # run the executor
+    interp_b = Interpreter(m)
+    execu = FrameExecutor(interp_b.memory, interp_b.global_base)
+    res = execu.run(frame, {phi_i: 3, n_arg: 8})
+    assert res.success
+    assert interp_b.memory.read(interp_b.address_of("out") + 12, I32) == 21
+
+    # live-outs agree
+    out_base = interp_a.global_base[outlined.out_buffer]
+    for live, slot in outlined.out_slot.items():
+        got = interp_a.memory.read(out_base + 8 * slot, live.type)
+        assert got == res.live_outs[live]
+
+
+def test_outline_failure_returns_guard_code_and_rolls_back():
+    m, fn, frame, outlined = _outlined_writer()
+    phi_i = frame.region.entry.phis[0]
+    interp = Interpreter(m)
+    base = interp.address_of("out")
+    interp.memory.write(base + 12, I32, 777)
+    # i = 9 >= n = 8: the header guard fails
+    code = interp.run(outlined.function, outlined.args_from({phi_i: 9, fn.arg("n"): 8}))
+    assert code >= 1
+    assert interp.memory.read(base + 12, I32) == 777  # untouched / restored
+
+
+def test_outline_failure_after_store_restores_value():
+    """Force the guard to fail after a store so the IR rollback loop runs."""
+    m = Module()
+    g = m.add_global("buf", I32, 8)
+    fn = m.add_function("f", [("n", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    mid = b.add_block("mid")
+    hot = b.add_block("hot")
+    cold = b.add_block("cold")
+    exit_ = b.add_block("exit")
+    b.set_block(entry)
+    a0 = b.gep(g, 0, 4)
+    b.store(fn.arg("n"), a0)
+    c1 = b.icmp("sgt", fn.arg("n"), 0)
+    b.condbr(c1, mid, exit_)
+    b.set_block(mid)
+    a1 = b.gep(g, 1, 4)
+    b.store(42, a1)
+    c2 = b.icmp("sgt", fn.arg("n"), 10)
+    b.condbr(c2, hot, cold)
+    b.set_block(hot)
+    b.br(exit_)
+    b.set_block(cold)
+    b.br(exit_)
+    b.set_block(exit_)
+    b.ret(0)
+    verify_function(fn)
+
+    pp, ep = profile_function(m, fn, [[20], [20]])
+    frame = build_frame(path_to_region(fn, rank_paths(pp)[0]))
+    outlined = outline_frame(frame, m)
+
+    interp = Interpreter(m)
+    base = interp.address_of("buf")
+    interp.memory.write(base, I32, -1)
+    interp.memory.write(base + 4, I32, -2)
+    # n = 5: first guard passes, second fails after two logged stores
+    code = interp.run(outlined.function, outlined.args_from({fn.arg("n"): 5}))
+    assert code == 2  # the second guard
+    assert interp.memory.read(base, I32) == -1
+    assert interp.memory.read(base + 4, I32) == -2
+
+
+def test_outline_braid_executes_both_flows(profiled_anticorrelated):
+    m, fn, pp, ep = profiled_anticorrelated
+    braid = build_braids(fn, rank_paths(pp))[0]
+    frame = build_frame(braid.region)
+    outlined = outline_frame(frame, m)
+    verify_function(outlined.function)
+
+    entry_phis = {p.name: p for p in braid.region.entry.phis}
+    interp = Interpreter(m)
+    out_base = interp.global_base[outlined.out_buffer]
+
+    # even iteration -> B1/D2; odd -> B2/D1 (see conftest); both succeed
+    for i_val, expected in ((2, 55), (3, 36)):
+        code = interp.run(
+            outlined.function,
+            outlined.args_from(
+                {entry_phis["i"]: i_val, entry_phis["acc"]: 10, fn.arg("n"): 40}
+            ),
+        )
+        assert code == 0
+        values = [
+            interp.memory.read(out_base + 8 * s, live.type)
+            for live, s in outlined.out_slot.items()
+        ]
+        assert expected in values
+
+
+def test_outline_braid_guard_failure(profiled_anticorrelated):
+    m, fn, pp, ep = profiled_anticorrelated
+    braid = build_braids(fn, rank_paths(pp))[0]
+    frame = build_frame(braid.region)
+    outlined = outline_frame(frame, m)
+    entry_phis = {p.name: p for p in braid.region.entry.phis}
+    interp = Interpreter(m)
+    code = interp.run(
+        outlined.function,
+        outlined.args_from(
+            {entry_phis["i"]: 99, entry_phis["acc"]: 0, fn.arg("n"): 40}
+        ),
+    )
+    assert code >= 1
+
+
+def test_outline_differential_vs_executor():
+    """Sweep inputs: the outlined function and FrameExecutor agree on
+    success/failure and on the out-array contents afterwards."""
+    m, fn, frame, outlined = _outlined_writer()
+    phi_i = frame.region.entry.phis[0]
+    n_arg = fn.arg("n")
+    for i_val in range(-2, 12):
+        ia = Interpreter(m)
+        code = ia.run(outlined.function, outlined.args_from({phi_i: i_val, n_arg: 8}))
+        ib = Interpreter(m)
+        res = FrameExecutor(ib.memory, ib.global_base).run(
+            frame, {phi_i: i_val, n_arg: 8}
+        )
+        assert (code == 0) == res.success, "i=%d" % i_val
+        base_a, base_b = ia.address_of("out"), ib.address_of("out")
+        for k in range(16):
+            assert ia.memory.read(base_a + 4 * k, I32) == ib.memory.read(
+                base_b + 4 * k, I32
+            ), "i=%d slot=%d" % (i_val, k)
+
+
+def test_outlined_function_roundtrips_through_text():
+    from repro.ir import format_module, parse_module, verify_module
+
+    m, fn, frame, outlined = _outlined_writer()
+    text = format_module(m)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    assert outlined.function.name in reparsed.functions

@@ -1,0 +1,83 @@
+import pytest
+
+from repro.interp import Memory, MemoryError_
+from repro.ir import F64, I32, I64
+
+
+def test_alloc_is_aligned_and_disjoint():
+    mem = Memory()
+    a = mem.alloc(10)
+    b = mem.alloc(10)
+    assert a % 8 == 0 and b % 8 == 0
+    assert b >= a + 10
+
+
+def test_read_write_roundtrip():
+    mem = Memory()
+    addr = mem.alloc(8)
+    mem.write(addr, I32, 42)
+    assert mem.read(addr, I32) == 42
+    mem.write(addr, I32, -7)
+    assert mem.read(addr, I32) == -7
+
+
+def test_unwritten_reads_zero():
+    mem = Memory()
+    addr = mem.alloc(4)
+    assert mem.read(addr, I32) == 0
+
+
+def test_null_access_rejected():
+    mem = Memory()
+    with pytest.raises(MemoryError_):
+        mem.read(0, I32)
+    with pytest.raises(MemoryError_):
+        mem.write(0, I32, 1)
+    with pytest.raises(MemoryError_):
+        mem.write(-8, I32, 1)
+
+
+def test_size_mismatch_detected():
+    mem = Memory()
+    addr = mem.alloc(8)
+    mem.write(addr, I32, 1)
+    with pytest.raises(MemoryError_):
+        mem.read(addr, I64)
+    with pytest.raises(MemoryError_):
+        mem.write(addr, F64, 1.0)
+
+
+def test_value_wrapping_on_store():
+    mem = Memory()
+    addr = mem.alloc(4)
+    mem.write(addr, I32, 2**31)
+    assert mem.read(addr, I32) == -(2**31)
+
+
+def test_array_helpers():
+    mem = Memory()
+    base = mem.alloc(40)
+    mem.write_array(base, I32, range(10))
+    assert mem.read_array(base, I32, 10) == list(range(10))
+
+
+def test_snapshot_and_diff():
+    mem = Memory()
+    addr = mem.alloc(8)
+    mem.write(addr, I32, 1)
+    snap = mem.snapshot()
+    mem.write(addr, I32, 2)
+    other = mem.alloc(4)
+    mem.write(other, I32, 9)
+    d = mem.diff(snap)
+    assert set(d) == {addr, other}
+    assert d[addr] == ((4, 1), (4, 2))
+    # restoring makes the diff empty
+    mem.write(addr, I32, 1)
+    mem.erase(other)
+    assert mem.diff(snap) == {}
+
+
+def test_negative_alloc_rejected():
+    with pytest.raises(MemoryError_):
+        Memory().alloc(-1)

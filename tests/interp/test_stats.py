@@ -1,0 +1,60 @@
+from repro.interp import Interpreter, OpMixTracer
+from repro.workloads import get
+
+
+def _mix(name, *args):
+    w = get(name)
+    module, fn, run_args = w.build()
+    tracer = OpMixTracer([fn])
+    Interpreter(module, tracer=tracer).run(fn, run_args)
+    return tracer.mix_for(fn)
+
+
+def test_opmix_counts_everything(counted_loop):
+    m, fn = counted_loop
+    tracer = OpMixTracer([fn])
+    Interpreter(m, tracer=tracer).run("loop", [10])
+    mix = tracer.mix_for(fn)
+    # entry (1) + 11 headers (4 insts w/ phis) + 10 bodies (4) + exit (1)
+    assert mix.total == 1 + 11 * 4 + 10 * 4 + 1
+    assert mix.opcodes["mul"] == 10
+    assert mix.opcodes["condbr"] == 11
+
+
+def test_shares_partition_unity(counted_loop):
+    m, fn = counted_loop
+    tracer = OpMixTracer([fn])
+    Interpreter(m, tracer=tracer).run("loop", [10])
+    mix = tracer.mix_for(fn)
+    total = mix.fp_share + mix.memory_share + mix.control_share + mix.int_share
+    assert abs(total - 1.0) < 1e-9
+
+
+def test_fp_workload_is_fp_dominated():
+    lbm = _mix("470.lbm")
+    gzip = _mix("164.gzip")
+    assert lbm.fp_share > 0.3
+    assert lbm.fp_share > 3 * gzip.fp_share
+    assert gzip.fp_share < 0.1
+
+
+def test_memory_share_ordering():
+    hmmer = _mix("456.hmmer")
+    blackscholes = _mix("blackscholes")
+    assert hmmer.memory_share > blackscholes.memory_share
+
+
+def test_top_opcodes(counted_loop):
+    m, fn = counted_loop
+    tracer = OpMixTracer([fn])
+    Interpreter(m, tracer=tracer).run("loop", [10])
+    top = tracer.mix_for(fn).top(2)
+    assert len(top) == 2
+    assert top[0][1] >= top[1][1]
+
+
+def test_filter_excludes(counted_loop):
+    m, fn = counted_loop
+    tracer = OpMixTracer([])
+    Interpreter(m, tracer=tracer).run("loop", [5])
+    assert tracer.mixes == {}

@@ -1,0 +1,120 @@
+import pytest
+
+from repro.ir import (
+    F64,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    VerificationError,
+    format_function,
+    verify_function,
+)
+
+
+def test_builder_coerces_python_numbers(diamond):
+    _, fn = diamond
+    # the diamond fixture used int literals; find the constant on the add
+    add = [i for i in fn.instructions() if i.opcode == "add"][0]
+    assert add.operands[1].value == 1
+    assert add.operands[1].type is I32
+
+
+def test_builder_names_are_unique():
+    m = Module()
+    fn = m.add_function("f", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    x1 = b.add(fn.arg("a"), 1, name="x")
+    x2 = b.add(fn.arg("a"), 2, name="x")
+    assert x1.name != x2.name
+
+
+def test_builder_refuses_append_after_terminator():
+    m = Module()
+    fn = m.add_function("f", [], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    b.ret(0)
+    with pytest.raises(RuntimeError):
+        b.add(1, 2)
+
+
+def test_builder_requires_block():
+    m = Module()
+    fn = m.add_function("f", [], I32)
+    b = IRBuilder(fn)
+    with pytest.raises(RuntimeError):
+        b.add(1, 2)
+
+
+def test_phi_inserted_before_non_phis():
+    m = Module()
+    fn = m.add_function("f", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    b.set_block(entry)
+    x = b.add(fn.arg("a"), 1)
+    phi = b.phi(I32)
+    assert entry.instructions[0] is phi
+    assert entry.instructions[1] is x
+
+
+def test_sugar_methods_exist():
+    m = Module()
+    fn = m.add_function("f", [("a", I32), ("b", I32)], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    for name in ("add", "sub", "mul", "sdiv", "srem", "and_", "or_", "xor",
+                 "shl", "lshr", "ashr", "smin", "smax"):
+        inst = getattr(b, name)(fn.arg("a"), fn.arg("b"))
+        assert inst.type is I32
+
+
+def test_call_arity_checked():
+    m = Module()
+    callee = m.add_function("g", [("x", I32)], I32)
+    bc = IRBuilder(callee)
+    bc.set_block(bc.add_block("entry"))
+    bc.ret(callee.arg("x"))
+    fn = m.add_function("f", [], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    with pytest.raises(ValueError):
+        b.call(callee, [])
+
+
+def test_function_queries(loop_with_branch):
+    _, fn = loop_with_branch
+    assert fn.entry.name == "entry"
+    assert fn.instruction_count == sum(len(blk) for blk in fn.blocks)
+    assert len(fn.branches()) == 3
+    assert fn.get_block("header").name == "header"
+    with pytest.raises(KeyError):
+        fn.get_block("nope")
+    with pytest.raises(KeyError):
+        fn.arg("nope")
+
+
+def test_module_duplicate_names():
+    m = Module()
+    m.add_function("f")
+    with pytest.raises(ValueError):
+        m.add_function("f")
+    m.add_global("g", I32, 4)
+    with pytest.raises(ValueError):
+        m.add_global("g", I32, 4)
+    with pytest.raises(KeyError):
+        m.get_function("missing")
+    with pytest.raises(KeyError):
+        m.get_global("missing")
+
+
+def test_printer_round_readable(diamond):
+    _, fn = diamond
+    text = format_function(fn)
+    assert "define i32 @diamond" in text
+    assert "icmp slt" in text
+    assert "phi i32" in text
+    assert "condbr" in text
+    assert text.count("ret") == 1

@@ -1,0 +1,131 @@
+import pytest
+
+from repro.ir import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Compare,
+    CondBranch,
+    Constant,
+    F64,
+    Gep,
+    I32,
+    LATENCY,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    UnaryOp,
+    is_float_op,
+    is_memory_op,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import ALL_OPCODES
+
+
+def c(v, t=I32):
+    return Constant(t, v)
+
+
+def test_binop_type_propagates():
+    add = BinaryOp("add", c(1), c(2))
+    assert add.type is I32
+    fadd = BinaryOp("fadd", c(1.0, F64), c(2.0, F64))
+    assert fadd.type is F64
+
+
+def test_binop_rejects_non_binop_opcode():
+    with pytest.raises(ValueError):
+        BinaryOp("icmp", c(1), c(2))
+
+
+def test_unop_rejects_bad_opcode():
+    with pytest.raises(ValueError):
+        UnaryOp("add", c(1), I32)
+
+
+def test_compare_yields_i1_and_validates_predicate():
+    cmp = Compare("icmp", "slt", c(1), c(2))
+    assert cmp.type.bits == 1
+    with pytest.raises(ValueError):
+        Compare("icmp", "olt", c(1), c(2))
+    with pytest.raises(ValueError):
+        Compare("fcmp", "slt", c(1.0, F64), c(2.0, F64))
+
+
+def test_every_opcode_has_latency():
+    assert set(LATENCY) == set(ALL_OPCODES)
+    assert all(l >= 0 for l in LATENCY.values())
+
+
+def test_category_predicates():
+    assert is_memory_op("load") and is_memory_op("store")
+    assert not is_memory_op("add")
+    assert is_float_op("fadd") and is_float_op("fcmp") and is_float_op("sitofp")
+    assert not is_float_op("icmp")
+
+
+def test_store_is_void_and_accessors():
+    st = Store(c(5), c(0x1000))
+    assert st.type.is_void
+    assert st.value.value == 5
+    assert st.address.value == 0x1000
+
+
+def test_load_accessor():
+    ld = Load(I32, c(0x1000))
+    assert ld.address.value == 0x1000
+    assert ld.type is I32
+
+
+def test_gep_fields():
+    g = Gep(c(0x1000), c(3), 4)
+    assert g.elem_size == 4
+    assert g.type.is_ptr
+    assert g.base.value == 0x1000 and g.index.value == 3
+
+
+def test_alloca_size():
+    a = Alloca(F64, 10)
+    assert a.size_bytes == 80
+    assert a.type.is_ptr
+
+
+def test_phi_incoming_management():
+    b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+    phi = Phi(I32, "x")
+    phi.add_incoming(b1, c(1))
+    phi.add_incoming(b2, c(2))
+    assert phi.incoming_for(b1).value == 1
+    assert phi.incoming_for(b2).value == 2
+    assert len(phi.operands) == 2
+    phi.remove_incoming(b1)
+    assert phi.incoming_for(b1) is None
+    assert len(phi.operands) == 1
+
+
+def test_terminator_successors():
+    b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+    br = Branch(b1)
+    assert br.successors == [b1] and br.is_terminator
+    cbr = CondBranch(c(1, I32), b1, b2)
+    assert cbr.successors == [b1, b2]
+    assert cbr.cond.value == 1
+    ret = Ret()
+    assert ret.successors == [] and ret.value is None
+    ret2 = Ret(c(7))
+    assert ret2.value.value == 7
+
+
+def test_select_type_from_true_value():
+    s = Select(c(1), c(2.0, F64), c(3.0, F64))
+    assert s.type is F64
+
+
+def test_replace_operand():
+    a, b, d = c(1), c(2), c(9)
+    add = BinaryOp("add", a, b)
+    assert add.replace_operand(a, d) == 1
+    assert add.operands[0] is d
+    assert add.replace_operand(a, d) == 0

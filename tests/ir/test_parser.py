@@ -1,0 +1,199 @@
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import (
+    ParseError,
+    format_function,
+    format_module,
+    parse_function,
+    parse_module,
+    verify_function,
+    verify_module,
+)
+
+
+SIMPLE = """
+define i32 @addmul(i32 %a, i32 %b) {
+entry:
+  %x = add i32 %a, %b
+  %y = mul i32 %x, 3
+  ret i32 %y
+}
+"""
+
+
+def test_parse_simple_function():
+    fn = parse_function(SIMPLE)
+    verify_function(fn)
+    assert fn.name == "addmul"
+    assert [a.name for a in fn.args] == ["a", "b"]
+    result = Interpreter(fn.module).run("addmul", [2, 3])
+    assert result == 15
+
+
+DIAMOND = """
+define i32 @pick(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  condbr %c, label %then, label %else
+then:
+  %t = add i32 %a, 1
+  br label %merge
+else:
+  %e = mul i32 %b, 2
+  br label %merge
+merge:
+  %x = phi i32 [ %t, %then ], [ %e, %else ]
+  ret i32 %x
+}
+"""
+
+
+def test_parse_diamond_with_phi():
+    fn = parse_function(DIAMOND)
+    verify_function(fn)
+    interp = Interpreter(fn.module)
+    assert interp.run("pick", [1, 5]) == 2
+    assert interp.run("pick", [5, 1]) == 2
+
+
+LOOP = """
+define i32 @sum(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp slt i32 %i, %n
+  condbr %c, label %body, label %exit
+body:
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %acc
+}
+"""
+
+
+def test_parse_loop_with_backedge_phi():
+    fn = parse_function(LOOP)
+    verify_function(fn)
+    assert Interpreter(fn.module).run("sum", [10]) == 45
+
+
+MEMORY = """
+@buf = global [16 x i32]
+
+define i32 @touch(i32 %i) {
+entry:
+  %p = gep @buf, %i, 4
+  store i32 42, %p
+  %v = load i32, %p
+  %s = select %v, i32 %v, 7
+  ret i32 %s
+}
+"""
+
+
+def test_parse_globals_memory_select():
+    m = parse_module(MEMORY)
+    verify_module(m)
+    assert "buf" in m.globals
+    assert Interpreter(m).run("touch", [3]) == 42
+
+
+CALLS = """
+define i32 @sq(i32 %x) {
+entry:
+  %y = mul i32 %x, %x
+  ret i32 %y
+}
+
+define i32 @main(i32 %v) {
+entry:
+  %r = call i32 @sq(i32 %v)
+  %out = add i32 %r, 1
+  ret i32 %out
+}
+"""
+
+
+def test_parse_calls():
+    m = parse_module(CALLS)
+    verify_module(m)
+    assert Interpreter(m).run("main", [6]) == 37
+
+
+FLOATS = """
+define f64 @fma(f64 %x) {
+entry:
+  %a = fmul f64 %x, 2.5
+  %b = fadd f64 %a, 1.0
+  %c = fsqrt f64 %b
+  %d = fcmp ogt f64 %c, 0.0
+  %e = select %d, f64 %c, 0.0
+  ret f64 %e
+}
+"""
+
+
+def test_parse_float_and_unops():
+    fn = parse_function(FLOATS)
+    verify_function(fn)
+    assert Interpreter(fn.module).run("fma", [6.0]) == 4.0
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "; leading comment\n\n" + SIMPLE.replace(
+        "%y = mul i32 %x, 3", "%y = mul i32 %x, 3   ; triple it"
+    )
+    fn = parse_function(text)
+    assert Interpreter(fn.module).run("addmul", [1, 1]) == 6
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError, match="undefined value"):
+        parse_function("define i32 @f(i32 %a) {\nentry:\n  ret i32 %nope\n}")
+    with pytest.raises(ParseError, match="unknown opcode"):
+        parse_function("define i32 @f(i32 %a) {\nentry:\n  %x = frob i32 %a, 1\n  ret i32 %x\n}")
+    with pytest.raises(ParseError, match="redefinition"):
+        parse_function(
+            "define i32 @f(i32 %a) {\nentry:\n  %x = add i32 %a, 1\n"
+            "  %x = add i32 %a, 2\n  ret i32 %x\n}"
+        )
+    with pytest.raises(ParseError, match="top-level"):
+        parse_module("banana")
+    with pytest.raises(ParseError, match="never defined"):
+        parse_function(
+            "define i32 @f(i32 %a) {\nentry:\n  br label %ghost\n}"
+        )
+
+
+def test_roundtrip_fixture_functions(diamond, counted_loop, loop_with_branch, array_sum):
+    """print -> parse -> print is a fixpoint on hand-built functions."""
+    for m, fn in (diamond, counted_loop, loop_with_branch, array_sum):
+        text = format_module(m)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+
+def test_roundtrip_whole_workload_suite():
+    """Every one of the 29 workload modules round-trips through text."""
+    from repro.workloads import all_workloads
+
+    for w in all_workloads():
+        module, fn, _args = w.build()
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+
+def test_roundtrip_preserves_semantics(loop_with_branch):
+    m, fn = loop_with_branch
+    reparsed = parse_module(format_module(m))
+    a = Interpreter(m).run(fn.name, [50])
+    b = Interpreter(reparsed).run(fn.name, [50])
+    assert a == b

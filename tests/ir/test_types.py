@@ -1,0 +1,69 @@
+import pytest
+
+from repro.ir import F32, F64, I1, I32, I64, I8, PTR, Type, VOID, type_from_name
+
+
+def test_singleton_identity_by_name():
+    assert type_from_name("i32") is I32
+    assert type_from_name("f64") is F64
+    assert type_from_name("ptr") is PTR
+    assert type_from_name("void") is VOID
+
+
+def test_unknown_type_name_raises():
+    with pytest.raises(ValueError):
+        type_from_name("i7")
+
+
+def test_predicates():
+    assert I32.is_int and not I32.is_float and not I32.is_ptr
+    assert F64.is_float and not F64.is_int
+    assert PTR.is_ptr
+    assert VOID.is_void
+
+
+def test_size_bytes():
+    assert I8.size_bytes == 1
+    assert I32.size_bytes == 4
+    assert I64.size_bytes == 8
+    assert F32.size_bytes == 4
+    assert F64.size_bytes == 8
+    assert PTR.size_bytes == 8
+    assert VOID.size_bytes == 0
+    assert I1.size_bytes == 1  # stored as one byte
+
+
+def test_int_wrap_two_complement():
+    assert I8.wrap(127) == 127
+    assert I8.wrap(128) == -128
+    assert I8.wrap(255) == -1
+    assert I8.wrap(-129) == 127
+    assert I32.wrap(2**31) == -(2**31)
+
+
+def test_i1_wrap():
+    assert I1.wrap(0) == 0
+    assert I1.wrap(1) == 1
+    assert I1.wrap(2) == 0
+    assert I1.wrap(3) == 1
+
+
+def test_float_wrap_coerces():
+    assert F64.wrap(3) == 3.0
+    assert isinstance(F64.wrap(3), float)
+
+
+def test_ptr_wrap_unsigned():
+    assert PTR.wrap(-1) == 2**64 - 1
+
+
+def test_void_has_no_values():
+    with pytest.raises(TypeError):
+        VOID.wrap(0)
+
+
+def test_equality_and_hash():
+    assert I32 == Type("int", 32)
+    assert hash(I32) == hash(Type("int", 32))
+    assert I32 != I64
+    assert str(I32) == "i32" and str(F32) == "f32"

@@ -1,0 +1,38 @@
+from repro.ir import Argument, Constant, F64, GlobalArray, I32, UndefValue
+
+
+def test_constant_wraps_to_type_domain():
+    c = Constant(I32, 2**32 + 5)
+    assert c.value == 5
+    assert c.ref == "5"
+
+
+def test_float_constant_ref():
+    c = Constant(F64, 1.5)
+    assert c.value == 1.5
+    assert "1.5" in c.ref
+
+
+def test_constant_equality():
+    assert Constant(I32, 3) == Constant(I32, 3)
+    assert Constant(I32, 3) != Constant(I32, 4)
+    assert Constant(I32, 3) != Constant(F64, 3)
+    assert len({Constant(I32, 3), Constant(I32, 3)}) == 1
+
+
+def test_argument_fields():
+    a = Argument(I32, "n", 0)
+    assert a.name == "n" and a.index == 0 and a.type is I32
+    assert a.ref == "%n"
+
+
+def test_global_array():
+    g = GlobalArray("data", I32, 10, init=[1, 2, 3])
+    assert g.type.is_ptr
+    assert g.size_bytes == 40
+    assert g.ref == "@data"
+    assert g.init == [1, 2, 3]
+
+
+def test_undef_ref():
+    assert UndefValue(I32).ref == "undef"

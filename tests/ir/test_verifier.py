@@ -1,0 +1,133 @@
+import pytest
+
+from repro.ir import (
+    Branch,
+    Constant,
+    I32,
+    IRBuilder,
+    Module,
+    Phi,
+    VerificationError,
+    verify_function,
+    verify_module,
+)
+from repro.ir.instructions import BinaryOp, Ret
+
+
+def _open_fn():
+    m = Module()
+    fn = m.add_function("f", [("a", I32)], I32)
+    return m, fn, IRBuilder(fn)
+
+
+def test_missing_terminator_detected():
+    _, fn, b = _open_fn()
+    b.set_block(b.add_block("entry"))
+    b.add(fn.arg("a"), 1)
+    with pytest.raises(VerificationError, match="no terminator"):
+        verify_function(fn)
+
+
+def test_foreign_block_target_detected():
+    m, fn, b = _open_fn()
+    other_fn = m.add_function("g", [], I32)
+    foreign = other_fn.add_block("foreign")
+    entry = b.add_block("entry")
+    b.set_block(entry)
+    entry.append(Branch(foreign))
+    with pytest.raises(VerificationError, match="foreign"):
+        verify_function(fn)
+
+
+def test_unreachable_block_detected():
+    _, fn, b = _open_fn()
+    b.set_block(b.add_block("entry"))
+    b.ret(0)
+    dead = b.add_block("dead")
+    b.set_block(dead)
+    b.ret(1)
+    with pytest.raises(VerificationError, match="unreachable"):
+        verify_function(fn)
+
+
+def test_phi_incoming_mismatch_detected():
+    _, fn, b = _open_fn()
+    entry = b.add_block("entry")
+    next_ = b.add_block("next")
+    b.set_block(entry)
+    b.br(next_)
+    b.set_block(next_)
+    phi = b.phi(I32)
+    # wrong: incoming from 'next' itself, not from 'entry'
+    phi.add_incoming(next_, Constant(I32, 0))
+    b.ret(phi)
+    with pytest.raises(VerificationError, match="incoming"):
+        verify_function(fn)
+
+
+def test_phi_after_non_phi_detected():
+    _, fn, b = _open_fn()
+    entry = b.add_block("entry")
+    next_ = b.add_block("next")
+    b.set_block(entry)
+    b.br(next_)
+    b.set_block(next_)
+    x = b.add(fn.arg("a"), 1)
+    phi = Phi(I32, "late")
+    phi.add_incoming(entry, Constant(I32, 0))
+    next_.append(phi)
+    next_.append(Ret(x))
+    with pytest.raises(VerificationError, match="after non-phi"):
+        verify_function(fn)
+
+
+def test_use_before_def_same_block_detected():
+    _, fn, b = _open_fn()
+    entry = b.add_block("entry")
+    b.set_block(entry)
+    first = b.add(fn.arg("a"), 1)
+    second = b.add(fn.arg("a"), 2)
+    # swap so 'first' uses 'second' before its definition
+    use = BinaryOp("add", second, Constant(I32, 0), "bad")
+    entry.insert(0, use)
+    entry.append(Ret(use))
+    with pytest.raises(VerificationError, match="does not follow"):
+        verify_function(fn)
+
+
+def test_def_must_dominate_use_across_blocks():
+    _, fn, b = _open_fn()
+    entry = b.add_block("entry")
+    left = b.add_block("left")
+    right = b.add_block("right")
+    merge = b.add_block("merge")
+    b.set_block(entry)
+    cond = b.icmp("slt", fn.arg("a"), 0)
+    b.condbr(cond, left, right)
+    b.set_block(left)
+    x = b.add(fn.arg("a"), 1)
+    b.br(merge)
+    b.set_block(right)
+    b.br(merge)
+    b.set_block(merge)
+    # x does not dominate merge
+    y = b.add(x, 1)
+    b.ret(y)
+    with pytest.raises(VerificationError):
+        verify_function(fn)
+
+
+def test_valid_functions_pass(diamond, counted_loop, loop_with_branch, array_sum):
+    for m, fn in (diamond, counted_loop, loop_with_branch, array_sum):
+        verify_function(fn)  # no raise
+        verify_module(m)
+
+
+def test_terminator_mid_block_detected():
+    _, fn, b = _open_fn()
+    entry = b.add_block("entry")
+    b.set_block(entry)
+    b.ret(0)
+    entry.append(Ret(Constant(I32, 1)))
+    with pytest.raises(VerificationError, match="mid-block"):
+        verify_function(fn)

@@ -1,0 +1,3 @@
+"""Back-compat shim: fixtures moved to the top-level tests/conftest.py."""
+
+from tests.conftest import build_anticorrelated, profile_function

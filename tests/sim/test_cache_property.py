@@ -1,0 +1,68 @@
+"""Property tests: the set-associative cache against a reference LRU model,
+and OOO-model resource monotonicity."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Cache, CacheConfig, HostConfig, OOOModel
+
+
+class _ReferenceLRU:
+    """Oracle: per-set ordered dicts with explicit LRU handling."""
+
+    def __init__(self, sets: int, assoc: int, line: int):
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.n_sets = sets
+        self.assoc = assoc
+        self.line = line
+
+    def access(self, addr: int) -> bool:
+        line = addr // self.line
+        s = self.sets[line % self.n_sets]
+        tag = line // self.n_sets
+        if tag in s:
+            s.move_to_end(tag)
+            return True
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[tag] = True
+        return False
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addrs=st.lists(st.integers(0, 4095), min_size=1, max_size=300),
+    sets=st.sampled_from([1, 2, 4, 8]),
+    assoc=st.sampled_from([1, 2, 4]),
+)
+def test_cache_matches_reference_lru(addrs, sets, assoc):
+    line = 64
+    cache = Cache(CacheConfig(size_bytes=sets * assoc * line, associativity=assoc, line_bytes=line))
+    ref = _ReferenceLRU(sets, assoc, line)
+    for addr in addrs:
+        assert cache.access(addr, False) == ref.access(addr), hex(addr)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rob=st.sampled_from([16, 32, 96, 256]),
+    width=st.sampled_from([1, 2, 4, 8]),
+)
+def test_ooo_more_resources_never_slower(rob, width):
+    """Monotonicity: growing the ROB or width never increases cycles."""
+    from repro.interp import Interpreter, TraceRecorder
+    from tests.conftest import build_counted_loop
+
+    m, fn = build_counted_loop()
+    rec = TraceRecorder([fn])
+    Interpreter(m, tracer=rec).run(fn.name, [40])
+    trace = rec.traces[fn].blocks
+
+    base = OOOModel(HostConfig(rob_entries=rob, fetch_width=width,
+                               issue_width=width, retire_width=width))
+    bigger = OOOModel(HostConfig(rob_entries=rob * 2, fetch_width=width * 2,
+                                 issue_width=width * 2, retire_width=width * 2))
+    assert bigger.simulate(trace).cycles <= base.simulate(trace).cycles

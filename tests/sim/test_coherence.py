@@ -1,0 +1,119 @@
+import pytest
+
+from repro.sim import (
+    CoherenceError,
+    EXCLUSIVE,
+    INVALID,
+    MESIDirectory,
+    MODIFIED,
+    SHARED,
+)
+
+
+def test_first_read_gets_exclusive():
+    d = MESIDirectory(2)
+    act = d.read(0, 0x1000)
+    assert act.new_state == EXCLUSIVE
+    assert d.state(0, 0x1000) == EXCLUSIVE
+
+
+def test_second_reader_downgrades_to_shared():
+    d = MESIDirectory(2)
+    d.read(0, 0x1000)
+    act = d.read(1, 0x1000)
+    assert act.new_state == SHARED
+    assert d.state(0, 0x1000) == SHARED
+    assert d.state(1, 0x1000) == SHARED
+
+
+def test_read_from_modified_forces_writeback():
+    d = MESIDirectory(2)
+    d.write(0, 0x1000)
+    act = d.read(1, 0x1000)
+    assert act.writeback
+    assert act.data_from == "owner"
+    assert d.state(0, 0x1000) == SHARED
+    assert d.writeback_count == 1
+
+
+def test_write_invalidates_sharers():
+    d = MESIDirectory(3)
+    d.read(0, 0x1000)
+    d.read(1, 0x1000)
+    act = d.write(2, 0x1000)
+    assert sorted(act.invalidated) == [0, 1]
+    assert d.state(0, 0x1000) == INVALID
+    assert d.state(1, 0x1000) == INVALID
+    assert d.state(2, 0x1000) == MODIFIED
+    assert d.invalidation_count == 2
+
+
+def test_write_upgrade_from_shared():
+    d = MESIDirectory(2)
+    d.read(0, 0x1000)
+    d.read(1, 0x1000)
+    act = d.write(0, 0x1000)
+    assert act.invalidated == [1]
+    assert d.state(0, 0x1000) == MODIFIED
+
+
+def test_silent_upgrade_exclusive_to_modified():
+    d = MESIDirectory(2)
+    d.read(0, 0x1000)
+    act = d.write(0, 0x1000)
+    assert act.invalidated == []
+    assert d.state(0, 0x1000) == MODIFIED
+
+
+def test_write_hits_in_modified_are_free():
+    d = MESIDirectory(2)
+    d.write(0, 0x1000)
+    act = d.write(0, 0x1000)
+    assert act.data_from == "none" and not act.invalidated
+
+
+def test_evict_modified_is_writeback():
+    d = MESIDirectory(2)
+    d.write(0, 0x1000)
+    assert d.evict(0, 0x1000)
+    assert d.state(0, 0x1000) == INVALID
+    d.read(0, 0x2000)
+    assert not d.evict(0, 0x2000)
+
+
+def test_lines_are_independent():
+    d = MESIDirectory(2)
+    d.write(0, 0x1000)
+    d.write(1, 0x2000)
+    assert d.state(0, 0x1000) == MODIFIED
+    assert d.state(1, 0x2000) == MODIFIED
+
+
+def test_same_line_different_offsets():
+    d = MESIDirectory(2, line_bytes=64)
+    d.write(0, 0x1000)
+    act = d.read(1, 0x1010)  # same 64B line
+    assert act.writeback
+
+
+def test_invariants_hold_over_random_traffic():
+    import random
+
+    rng = random.Random(42)
+    d = MESIDirectory(4)
+    for _ in range(3000):
+        agent = rng.randrange(4)
+        addr = rng.randrange(16) * 64
+        action = rng.random()
+        if action < 0.45:
+            d.read(agent, addr)
+        elif action < 0.9:
+            d.write(agent, addr)
+        else:
+            d.evict(agent, addr)
+        d.check_invariants()
+
+
+def test_zero_agents_rejected():
+    with pytest.raises(CoherenceError):
+        MESIDirectory(0)

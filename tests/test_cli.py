@@ -1,0 +1,39 @@
+from repro.cli import main
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "470.lbm" in out and "blackscholes" in out
+    assert out.count("\n") >= 29
+
+
+def test_cli_dump(capsys):
+    assert main(["dump", "164.gzip"]) == 0
+    out = capsys.readouterr().out
+    assert "define i32 @deflate_longest_match" in out
+    assert "condbr" in out
+
+
+def test_cli_analyze(capsys):
+    assert main(["analyze", "482.sphinx3", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "executed paths" in out
+    assert "braid frame" in out
+
+
+def test_cli_evaluate_single(capsys):
+    assert main(["evaluate", "482.sphinx3"]) == 0
+    out = capsys.readouterr().out
+    assert "482.sphinx3" in out
+    assert "braid" in out
+
+
+def test_cli_dump_roundtrips_through_parser(capsys):
+    from repro.ir import parse_module, verify_module
+
+    main(["dump", "dwt53"])
+    text = capsys.readouterr().out
+    module = parse_module(text)
+    verify_module(module)
+    assert "dwt53_row_transpose" in module.functions

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(script, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart_runs():
+    res = _run("quickstart.py")
+    assert res.returncode == 0, res.stderr
+    assert "performance improvement" in res.stdout
+    assert "guard" in res.stdout
+
+
+def test_analyze_workload_runs():
+    res = _run("analyze_workload.py", "482.sphinx3")
+    assert res.returncode == 0, res.stderr
+    assert "accelerator design analysis" in res.stdout
+    assert "HLS estimate" in res.stdout
+
+
+def test_analyze_workload_list():
+    res = _run("analyze_workload.py", "--list")
+    assert res.returncode == 0, res.stderr
+    assert res.stdout.count("\n") >= 29
+
+
+def test_braid_tradeoffs_runs():
+    res = _run("braid_tradeoffs.py", "186.crafty", "--depths", "1", "4")
+    assert res.returncode == 0, res.stderr
+    assert "Braid merge depth sweep" in res.stdout
+
+
+def test_custom_kernel_dsl_runs():
+    res = _run("custom_kernel_dsl.py")
+    assert res.returncode == 0, res.stderr
+    assert "braid coverage" in res.stdout
+
+
+def test_compiler_pipeline_runs():
+    res = _run("compiler_pipeline.py")
+    assert res.returncode == 0, res.stderr
+    assert "inlined 1 call(s)" in res.stdout
+    assert "offload:" in res.stdout
+
+
+def test_design_space_runs():
+    res = _run("design_space.py", "456.hmmer")
+    assert res.returncode == 0, res.stderr
+    assert "Pareto" in res.stdout
+    assert "fastest point" in res.stdout

@@ -1,0 +1,73 @@
+from repro.reporting import (
+    bar_chart,
+    format_cell,
+    format_csv,
+    format_table,
+    histogram,
+    stacked_bar_chart,
+)
+
+
+def test_format_cell_styles():
+    assert format_cell(5) == "5"
+    assert format_cell(5.0) == "5"
+    assert format_cell(123.456) == "123"
+    assert format_cell(12.34) == "12.3"
+    assert format_cell(0.042) == "0.042"
+    assert format_cell(float("nan")) == "-"
+    assert format_cell("text") == "text"
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [("a", 1), ("longer", 23.5)],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1] == "="
+    # all data lines have equal rendered width
+    widths = {len(l) for l in lines[2:]}
+    assert len(widths) == 1
+    assert "longer" in text and "23.5" in text
+
+
+def test_format_csv():
+    csv = format_csv(["a", "b"], [(1, 2.5), ("x", 0.125)])
+    lines = csv.splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,2.5"
+    assert lines[2] == "x,0.125"
+
+
+def test_bar_chart_positive_and_negative():
+    chart = bar_chart([("up", 0.5), ("down", -0.25)], title="C", width=20)
+    assert "up" in chart and "down" in chart
+    assert "#" in chart  # positive bars
+    assert "-" in chart  # negative bars render distinctly
+    assert "50.0%" in chart and "-25.0%" in chart
+
+
+def test_bar_chart_empty():
+    assert "(no data)" in bar_chart([], title="E")
+
+
+def test_stacked_bar_chart():
+    chart = stacked_bar_chart(
+        [("w", [0.5, 0.3, 0.1]), ("v", [0.05])], title="S", width=20
+    )
+    assert "90.0%" in chart  # cumulative label for w
+    assert "5.0%" in chart
+    # stack segments use distinct symbols
+    w_line = [l for l in chart.splitlines() if l.startswith("w")][0]
+    assert "#" in w_line and "*" in w_line
+
+
+def test_stacked_bar_chart_empty():
+    assert "(no data)" in stacked_bar_chart([])
+
+
+def test_histogram_delegates_to_bar_chart():
+    h = histogram([("bucket", 0.4)], title="H")
+    assert "bucket" in h and "40.0%" in h

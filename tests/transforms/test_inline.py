@@ -1,0 +1,207 @@
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import (
+    Call,
+    Constant,
+    I32,
+    IRBuilder,
+    Module,
+    verify_function,
+    verify_module,
+)
+from repro.transforms import InlineError, inline_all, inline_call
+
+
+def _square_module():
+    m = Module()
+    sq = m.add_function("square", [("x", I32)], I32)
+    b = IRBuilder(sq)
+    b.set_block(b.add_block("entry"))
+    b.ret(b.mul(sq.arg("x"), sq.arg("x")))
+
+    main = m.add_function("main", [("v", I32)], I32)
+    b2 = IRBuilder(main)
+    b2.set_block(b2.add_block("entry"))
+    r = b2.call(sq, [main.arg("v")])
+    out = b2.add(r, 1)
+    b2.ret(out)
+    verify_module(m)
+    return m, main, sq
+
+
+def test_inline_simple_call():
+    m, main, sq = _square_module()
+    ref = Interpreter(m).run("main", [6])
+    n = inline_all(main)
+    assert n == 1
+    verify_function(main)
+    assert not any(isinstance(i, Call) for i in main.instructions())
+    assert Interpreter(m).run("main", [6]) == ref == 37
+
+
+def test_inline_preserves_semantics_over_inputs():
+    for v in (-3, 0, 5, 100):
+        m, main, sq = _square_module()
+        ref = Interpreter(m).run("main", [v])
+        inline_all(main)
+        assert Interpreter(m).run("main", [v]) == ref
+
+
+def _branchy_callee_module():
+    """callee with a diamond and two returns."""
+    m = Module()
+    clamp = m.add_function("clamp", [("x", I32)], I32)
+    b = IRBuilder(clamp)
+    entry = b.add_block("entry")
+    big = b.add_block("big")
+    small = b.add_block("small")
+    b.set_block(entry)
+    c = b.icmp("sgt", clamp.arg("x"), 100)
+    b.condbr(c, big, small)
+    b.set_block(big)
+    b.ret(100)
+    b.set_block(small)
+    b.ret(clamp.arg("x"))
+
+    main = m.add_function("main", [("v", I32)], I32)
+    b2 = IRBuilder(main)
+    b2.set_block(b2.add_block("entry"))
+    r = b2.call(clamp, [main.arg("v")])
+    dbl = b2.mul(r, 2)
+    b2.ret(dbl)
+    verify_module(m)
+    return m, main
+
+
+def test_inline_multi_return_creates_phi():
+    m, main = _branchy_callee_module()
+    inline_all(main)
+    verify_function(main)
+    interp = Interpreter(m)
+    assert interp.run("main", [40]) == 80
+    assert interp.run("main", [400]) == 200
+    # the two returns merged through a phi
+    phis = [i for i in main.instructions() if i.opcode == "phi"]
+    assert len(phis) >= 1
+
+
+def test_inline_call_mid_block_splits_correctly():
+    m = Module()
+    inc = m.add_function("inc", [("x", I32)], I32)
+    b = IRBuilder(inc)
+    b.set_block(b.add_block("entry"))
+    b.ret(b.add(inc.arg("x"), 1))
+
+    main = m.add_function("main", [("v", I32)], I32)
+    b2 = IRBuilder(main)
+    b2.set_block(b2.add_block("entry"))
+    pre = b2.mul(main.arg("v"), 3)
+    r = b2.call(inc, [pre])
+    post = b2.mul(r, 5)
+    b2.ret(post)
+    verify_module(m)
+    ref = Interpreter(m).run("main", [2])
+    inline_all(main)
+    verify_function(main)
+    assert Interpreter(m).run("main", [2]) == ref == 35
+
+
+def test_inline_nested_chain():
+    m = Module()
+    f1 = m.add_function("f1", [("x", I32)], I32)
+    b = IRBuilder(f1)
+    b.set_block(b.add_block("entry"))
+    b.ret(b.add(f1.arg("x"), 10))
+
+    f2 = m.add_function("f2", [("x", I32)], I32)
+    b = IRBuilder(f2)
+    b.set_block(b.add_block("entry"))
+    r = b.call(f1, [f2.arg("x")])
+    b.ret(b.mul(r, 2))
+
+    main = m.add_function("main", [("v", I32)], I32)
+    b = IRBuilder(main)
+    b.set_block(b.add_block("entry"))
+    r = b.call(f2, [main.arg("v")])
+    b.ret(r)
+    verify_module(m)
+    ref = Interpreter(m).run("main", [7])
+    n = inline_all(main)
+    assert n == 2  # f2, then the exposed f1
+    verify_function(main)
+    assert not any(isinstance(i, Call) for i in main.instructions())
+    assert Interpreter(m).run("main", [7]) == ref == 34
+
+
+def test_inline_into_loop_with_phis():
+    """Inline a call whose result feeds a loop-carried phi."""
+    m = Module()
+    step = m.add_function("step", [("x", I32)], I32)
+    b = IRBuilder(step)
+    b.set_block(b.add_block("entry"))
+    b.ret(b.add(step.arg("x"), 3))
+
+    main = m.add_function("main", [("n", I32)], I32)
+    b = IRBuilder(main)
+    entry = b.add_block("entry")
+    header = b.add_block("header")
+    body = b.add_block("body")
+    exit_ = b.add_block("exit")
+    b.set_block(entry)
+    b.br(header)
+    b.set_block(header)
+    i = b.phi(I32, "i")
+    acc = b.phi(I32, "acc")
+    c = b.icmp("slt", i, main.arg("n"))
+    b.condbr(c, body, exit_)
+    b.set_block(body)
+    stepped = b.call(step, [acc])
+    i2 = b.add(i, 1)
+    b.br(header)
+    i.add_incoming(entry, Constant(I32, 0))
+    i.add_incoming(body, i2)
+    acc.add_incoming(entry, Constant(I32, 0))
+    acc.add_incoming(body, stepped)
+    b.set_block(exit_)
+    b.ret(acc)
+    verify_module(m)
+
+    ref = Interpreter(m).run("main", [5])
+    inline_all(main)
+    verify_function(main)
+    assert Interpreter(m).run("main", [5]) == ref == 15
+
+
+def test_recursion_is_left_alone():
+    m = Module()
+    fact = m.add_function("fact", [("n", I32)], I32)
+    b = IRBuilder(fact)
+    entry = b.add_block("entry")
+    base = b.add_block("base")
+    rec = b.add_block("rec")
+    b.set_block(entry)
+    c = b.icmp("sle", fact.arg("n"), 1)
+    b.condbr(c, base, rec)
+    b.set_block(base)
+    b.ret(1)
+    b.set_block(rec)
+    nm1 = b.sub(fact.arg("n"), 1)
+    r = b.call(fact, [nm1])
+    b.ret(b.mul(fact.arg("n"), r))
+    verify_function(fact)
+    assert inline_all(fact) == 0
+    with pytest.raises(InlineError):
+        call = next(i for i in fact.instructions() if isinstance(i, Call))
+        inline_call(fact, call)
+
+
+def test_inlining_enables_whole_function_path_profiling():
+    """The paper's methodology: inline, then profile one flat function."""
+    from repro.profiling import BallLarusNumbering
+
+    m, main = _branchy_callee_module()
+    inline_all(main)
+    bl = BallLarusNumbering(main)
+    # the callee's diamond is now visible as two whole-function paths
+    assert bl.total_paths == 2

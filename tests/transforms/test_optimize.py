@@ -1,0 +1,187 @@
+from repro.interp import Interpreter
+from repro.ir import (
+    Constant,
+    F64,
+    I32,
+    IRBuilder,
+    Module,
+    verify_function,
+)
+from repro.transforms import (
+    constant_fold,
+    dead_code_eliminate,
+    optimize,
+    simplify_cfg,
+)
+
+
+def _const_tree_module():
+    m = Module()
+    fn = m.add_function("f", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    x = b.add(2, 3)  # 5
+    y = b.mul(x, 4)  # 20
+    z = b.add(fn.arg("a"), y)
+    dead = b.mul(fn.arg("a"), 99)  # unused
+    b.ret(z)
+    verify_function(fn)
+    return m, fn
+
+
+def test_constant_fold_collapses_tree():
+    m, fn = _const_tree_module()
+    ref = Interpreter(m).run("f", [7])
+    n = constant_fold(fn)
+    assert n == 2
+    verify_function(fn)
+    assert Interpreter(m).run("f", [7]) == ref == 27
+    # the add now consumes a literal 20
+    add = [i for i in fn.instructions() if i.opcode == "add"][0]
+    assert isinstance(add.operands[1], Constant)
+    assert add.operands[1].value == 20
+
+
+def test_dce_removes_unused():
+    m, fn = _const_tree_module()
+    before = fn.instruction_count
+    removed = dead_code_eliminate(fn)
+    assert removed == 1  # the unused mul
+    assert fn.instruction_count == before - 1
+    verify_function(fn)
+
+
+def test_dce_keeps_side_effects():
+    m = Module()
+    g = m.add_global("out", I32, 4)
+    fn = m.add_function("f", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    addr = b.gep(g, 0, 4)
+    b.store(fn.arg("a"), addr)
+    unused_load = b.load(I32, addr)
+    b.ret(0)
+    verify_function(fn)
+    dead_code_eliminate(fn)
+    opcodes = [i.opcode for i in fn.instructions()]
+    assert "store" in opcodes
+    # the load is value-dead and removable (loads have no side effects here)
+    assert "load" not in opcodes
+
+
+def test_simplify_cfg_folds_constant_branch():
+    m = Module()
+    fn = m.add_function("f", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    t = b.add_block("t")
+    e = b.add_block("e")
+    merge = b.add_block("merge")
+    b.set_block(entry)
+    b.condbr(Constant(__import__("repro.ir", fromlist=["I1"]).I1, 1), t, e)
+    b.set_block(t)
+    x1 = b.add(fn.arg("a"), 1)
+    b.br(merge)
+    b.set_block(e)
+    x2 = b.add(fn.arg("a"), 2)
+    b.br(merge)
+    b.set_block(merge)
+    phi = b.phi(I32, "x")
+    phi.add_incoming(t, x1)
+    phi.add_incoming(e, x2)
+    b.ret(phi)
+    verify_function(fn)
+
+    ref = Interpreter(m).run("f", [10])
+    changes = simplify_cfg(fn)
+    assert changes >= 3  # branch fold + dead block + phi simplification
+    verify_function(fn)
+    assert Interpreter(m).run("f", [10]) == ref == 11
+    assert len(fn.blocks) == 3  # 'e' is gone
+
+
+def test_optimize_pipeline_reaches_fixpoint():
+    m = Module()
+    fn = m.add_function("f", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    t = b.add_block("t")
+    e = b.add_block("e")
+    merge = b.add_block("merge")
+    b.set_block(entry)
+    five = b.add(2, 3)
+    cond = b.icmp("sgt", five, 10)  # constant false
+    b.condbr(cond, t, e)
+    b.set_block(t)
+    x1 = b.mul(fn.arg("a"), 7)
+    b.br(merge)
+    b.set_block(e)
+    x2 = b.mul(fn.arg("a"), 2)
+    b.br(merge)
+    b.set_block(merge)
+    phi = b.phi(I32, "x")
+    phi.add_incoming(t, x1)
+    phi.add_incoming(e, x2)
+    b.ret(phi)
+    verify_function(fn)
+
+    ref = Interpreter(m).run("f", [9])
+    counts = optimize(fn)
+    verify_function(fn)
+    assert Interpreter(m).run("f", [9]) == ref == 18
+    assert counts["folded"] >= 2
+    assert counts["cfg"] >= 3
+    # fully straightened: entry -> e -> merge without the dead arm
+    assert len(fn.blocks) == 3
+
+
+def test_optimize_after_inline_semantics():
+    """inline + optimize on a call with constant argument fully folds."""
+    from repro.transforms import inline_all
+
+    m = Module()
+    poly = m.add_function("poly", [("x", I32)], I32)
+    b = IRBuilder(poly)
+    b.set_block(b.add_block("entry"))
+    sq = b.mul(poly.arg("x"), poly.arg("x"))
+    b.ret(b.add(sq, 1))
+
+    main = m.add_function("main", [("v", I32)], I32)
+    b2 = IRBuilder(main)
+    b2.set_block(b2.add_block("entry"))
+    r = b2.call(poly, [Constant(I32, 9)])
+    b2.ret(b2.add(r, main.arg("v")))
+    verify_function(main)
+
+    ref = Interpreter(m).run("main", [100])
+    inline_all(main)
+    optimize(main)
+    verify_function(main)
+    assert Interpreter(m).run("main", [100]) == ref == 182
+    # 9*9+1 folded away entirely: only the final add remains
+    non_term = [i for i in main.instructions() if not i.is_terminator]
+    assert len(non_term) == 1 and non_term[0].opcode == "add"
+
+
+def test_constant_fold_keeps_division_by_zero_dynamic():
+    m = Module()
+    fn = m.add_function("f", [], I32)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    q = b.sdiv(5, 0)
+    b.ret(q)
+    assert constant_fold(fn) == 0  # must not fold into a crash at compile time
+
+
+def test_fold_fp_unops():
+    m = Module()
+    fn = m.add_function("f", [], F64)
+    b = IRBuilder(fn)
+    b.set_block(b.add_block("entry"))
+    s = b.unop("fsqrt", 9.0, F64)
+    n = b.unop("fneg", s, F64)
+    a = b.unop("fabs", n, F64)
+    b.ret(a)
+    folded = constant_fold(fn)
+    assert folded == 3
+    assert Interpreter(m).run("f", []) == 3.0

@@ -1,0 +1,148 @@
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import verify_function
+from repro.workloads import (
+    Arith,
+    ArraySpec,
+    BreakIf,
+    If,
+    LoadVal,
+    Loop,
+    StoreVal,
+    build_loop_kernel,
+)
+
+
+def run(segments, n=10, arrays=(), **kwargs):
+    m, fn = build_loop_kernel("t", "k", segments, arrays=arrays, **kwargs)
+    verify_function(fn)
+    return Interpreter(m).run("k", [n]), m, fn
+
+
+def test_plain_arith_chain():
+    result, _, _ = run([Arith(3, ops=("add",))])
+    # acc += 1+2+3 per iteration (k%11+1 for k=0,1,2)
+    assert result == 10 * (1 + 2 + 3)
+
+
+def test_unchained_arith_reduces():
+    result, _, fn = run([Arith(8, chained=False, ops=("add",))], n=1)
+    assert result != 0
+    # fan + reduction structure exists: more than one add in the body
+    body_adds = sum(
+        1 for i in fn.instructions() if i.opcode == "add"
+    )
+    assert body_adds >= 4
+
+
+def test_if_merges_state_with_phi():
+    _, m, fn = run(
+        [If(("mod", "i", 2, 0), then=[Arith(2, ops=("add",))], els=[Arith(1, ops=("add",))])]
+    )
+    phis = [i for i in fn.instructions() if i.opcode == "phi"]
+    # i, acc at the header + the diamond merge + result
+    assert len(phis) >= 4
+
+
+def test_if_semantics():
+    result, _, _ = run(
+        [If(("mod", "i", 2, 0), then=[Arith(1, ops=("add",))], els=[])], n=10
+    )
+    # +1 on even iterations only
+    assert result == 5
+
+
+def test_nested_if():
+    result, _, _ = run(
+        [
+            If(
+                ("mod", "i", 2, 0),
+                then=[If(("mod", "i", 4, 0), then=[Arith(1, ops=("add",))], els=[])],
+                els=[],
+            )
+        ],
+        n=16,
+    )
+    assert result == 4  # i in {0,4,8,12}
+
+
+def test_load_store_roundtrip():
+    result, m, fn = run(
+        [
+            LoadVal("src", dst="v"),
+            Arith(1, use="v", ops=("add",)),
+            StoreVal("dst", value="acc"),
+        ],
+        n=4,
+        arrays=[ArraySpec("src", 8, init=[10, 20, 30, 40, 0, 0, 0, 0]), ArraySpec("dst", 8)],
+    )
+    # Arith(1, use="v") folds the loaded value into acc each iteration:
+    # 10 + 20 + 30 + 40 = 100
+    assert result == 100
+
+
+def test_break_at_top_level_exits_function():
+    result, _, _ = run([Arith(1, ops=("add",)), BreakIf(("gt", "acc", 3))], n=100)
+    assert result == 4  # 1 per iteration, breaks once acc exceeds 3
+
+
+def test_nested_loop_executes():
+    result, _, fn = run([Loop(3, [Arith(1, ops=("add",))])], n=5)
+    assert result == 15  # 3 inner * 5 outer
+
+
+def test_break_inside_nested_loop_exits_only_that_loop():
+    # inner loop of 10 breaks when j-accumulated value crosses a bound
+    result, _, _ = run(
+        [
+            Loop(10, [Arith(1, ops=("add",)), BreakIf(("gt", "acc", 1000))]),
+            Arith(1, ops=("add",)),
+        ],
+        n=5,
+    )
+    # outer loop still runs all 5 iterations (function does not end early)
+    assert result == 5 * 10 + 5
+
+
+def test_break_in_nested_loop_merges_state():
+    m, fn = build_loop_kernel(
+        "t2",
+        "k2",
+        [
+            Loop(
+                8,
+                [Arith(1, ops=("add",)), BreakIf(("mod", "j", 4, 3))],
+                induction="j",
+            )
+        ],
+    )
+    verify_function(fn)
+    # breaks at j==3 after the add: 4 adds per outer iteration
+    assert Interpreter(m).run("k2", [6]) == 24
+
+
+def test_fp_accumulators():
+    result, _, _ = run(
+        [Arith(2, fp=True, acc="facc", ops=("fadd",))],
+        n=3,
+        fp_accs=("facc",),
+        return_var="facc",
+    )
+    assert isinstance(result, float)
+    assert result == 3 * (1.0 + 1.125)
+
+
+def test_array_size_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        ArraySpec("bad", 100)
+
+
+def test_unknown_condition_rejected():
+    with pytest.raises(ValueError):
+        run([If(("nope", "i", 1), then=[], els=[])])
+
+
+def test_unknown_segment_rejected():
+    with pytest.raises(TypeError):
+        run(["not a segment"])
