@@ -7,7 +7,6 @@ only matters where invocations actually fail.
 """
 
 import dataclasses
-import statistics
 
 from repro import NeedlePipeline, workloads
 from repro.reporting import format_table

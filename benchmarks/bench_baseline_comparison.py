@@ -11,7 +11,7 @@ show up as missing coverage.
 import statistics
 
 from repro.frames import build_frame
-from repro.regions import build_superblock, path_to_region
+from repro.regions import build_superblock
 from repro.reporting import format_table
 from repro.sim import OffloadSimulator
 

@@ -20,7 +20,7 @@ def _compute(evaluations):
                 ev.name,
                 ev.braid.coverage,
                 ev.braid.energy_reduction,
-                ev.analysis.profiled.workload.flavor,
+                ev.flavor,
             )
         )
     return rows

@@ -4,9 +4,7 @@ C1 executed paths, C2 top-5 coverage, C3 instructions, C4 branches,
 C5 live in/out values, C6 cancelled phis, C7 memory ops, C8 overlap.
 """
 
-from repro.frames import build_frame
 from repro.profiling import path_overlap_count
-from repro.regions import path_to_region
 from repro.reporting import format_table
 
 from .conftest import save_result

@@ -4,7 +4,6 @@ C1 braid count, C2 avg paths per braid, C3 top braid coverage, C4 ops,
 C5 guards, C6 internal IFs introduced by merging, C7 live values.
 """
 
-from repro.profiling import rank_paths
 from repro.regions import braid_table_row, build_braids
 from repro.reporting import format_table
 

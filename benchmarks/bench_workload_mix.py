@@ -8,7 +8,6 @@ split, HLS area, FPU contention) depends on.
 
 from repro.interp import Interpreter, OpMixTracer
 from repro.reporting import format_table
-from repro.workloads import all_workloads
 
 from .conftest import save_result
 

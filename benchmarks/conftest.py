@@ -2,9 +2,12 @@
 
 One :class:`~repro.pipeline.NeedlePipeline` is shared across every
 benchmark in the session, so profiling/analysis happens once per workload
-regardless of how many tables and figures consume it.  Rendered outputs are
-both printed (visible with ``pytest -s``) and written under
-``benchmarks/results/`` for inspection.
+regardless of how many tables and figures consume it.  The pipeline is
+backed by the persistent artifact cache (``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-needle``), so a *second* benchmark session skips
+re-profiling entirely; set ``REPRO_NO_CACHE=1`` to force cold runs.
+Rendered outputs are both printed (visible with ``pytest -s``) and written
+under ``benchmarks/results/`` for inspection.
 """
 
 from __future__ import annotations
@@ -13,14 +16,15 @@ import os
 
 import pytest
 
-from repro import NeedlePipeline, workloads
+from repro import ArtifactCache, NeedlePipeline, workloads
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 @pytest.fixture(scope="session")
 def pipeline():
-    return NeedlePipeline()
+    cache = None if os.environ.get("REPRO_NO_CACHE") else ArtifactCache()
+    return NeedlePipeline(cache=cache)
 
 
 @pytest.fixture(scope="session")

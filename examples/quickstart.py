@@ -12,7 +12,7 @@ from repro.frames import FrameExecutor, build_frame
 from repro.interp import Interpreter, MultiTracer, TraceRecorder
 from repro.ir import Constant, I32, IRBuilder, Module, format_function, verify_function
 from repro.profiling import PathProfiler, rank_paths
-from repro.regions import build_braids, path_to_region
+from repro.regions import build_braids
 from repro.sim import OffloadSimulator
 
 

@@ -17,11 +17,13 @@ Typical entry points::
 
 from . import analysis, frames, interp, ir, profiling, regions, reporting, sim
 from . import accel, transforms, workloads
+from .artifacts import ArtifactCache
 from .pipeline import NeedlePipeline, WorkloadAnalysis, WorkloadEvaluation
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "NeedlePipeline",
     "WorkloadAnalysis",
     "WorkloadEvaluation",

@@ -19,7 +19,6 @@ Differences from the CGRA backend, mirroring the real tools' philosophies:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 

@@ -13,7 +13,7 @@ maps it onto the fabric.  Nodes are instructions; edges are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..ir.instructions import Instruction, Load, Phi, Store
 

@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, List, Optional, Sequence
 
-from ..ir.block import BasicBlock
-from ..ir.function import Function
 from .cfg import CFG
 
 Node = Hashable

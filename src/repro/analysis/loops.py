@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..ir.block import BasicBlock
-from ..ir.function import Function
 from .cfg import CFG
 from .dominators import DominatorTree
 

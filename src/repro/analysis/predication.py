@@ -10,7 +10,7 @@ get relative to basic blocks when inner loops are if-converted assuming a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from ..ir.function import Function
 from ..ir.instructions import CondBranch

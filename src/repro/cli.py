@@ -6,6 +6,12 @@ list                 enumerate the 29-workload suite
 analyze WORKLOAD     per-workload Needle report (paths, braids, frames)
 evaluate [WORKLOAD]  Fig. 9 / Fig. 10 style numbers (one workload or all)
 dump WORKLOAD        print the workload's hot function as IR text
+
+``analyze`` and ``evaluate`` persist profiles and evaluation results in a
+content-addressed artifact cache (default ``~/.cache/repro-needle``, or
+``$REPRO_CACHE_DIR``), so repeat invocations skip re-profiling; ``--no-cache``
+bypasses it and ``--cache-dir`` relocates it.  ``evaluate --jobs N`` shards
+the suite across N worker processes.
 """
 
 from __future__ import annotations
@@ -15,12 +21,20 @@ import sys
 from typing import List, Optional
 
 from . import workloads
-from .ir import format_function
-from .pipeline import NeedlePipeline
-from .reporting import format_table
+from .artifacts import ArtifactCache
+from .pipeline import NeedlePipeline, WorkloadEvaluation
+
+
+def _make_pipeline(args) -> NeedlePipeline:
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = ArtifactCache(getattr(args, "cache_dir", None))
+    return NeedlePipeline(cache=cache)
 
 
 def _cmd_list(_args) -> int:
+    from .reporting import format_table
+
     rows = []
     for name in workloads.all_names():
         w = workloads.get(name)
@@ -40,8 +54,9 @@ def _cmd_dump(args) -> int:
 
 def _cmd_analyze(args) -> int:
     from .interp import Interpreter, OpMixTracer
+    from .reporting import format_table
 
-    pipeline = NeedlePipeline()
+    pipeline = _make_pipeline(args)
     w = workloads.get(args.workload)
     a = pipeline.analyse(w)
     print("%s: %d executed paths, top braid merges %d paths for %.1f%% coverage"
@@ -71,22 +86,39 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+#: printed for outcomes a workload did not produce (no path/braid frame)
+MISSING_CELL = "—"
+
+
+def _percent_cell(outcome, attr: str):
+    """``value * 100`` of an outcome attribute, or an em-dash when the
+    workload produced no frame for that strategy."""
+    if outcome is None:
+        return MISSING_CELL
+    return getattr(outcome, attr) * 100
+
+
+def evaluation_row(name: str, ev: WorkloadEvaluation) -> tuple:
+    """One table row; missing outcomes render as em-dashes, never crash."""
+    return (
+        name,
+        _percent_cell(ev.path_oracle, "performance_improvement"),
+        _percent_cell(ev.path_history, "performance_improvement"),
+        _percent_cell(ev.braid, "performance_improvement"),
+        _percent_cell(ev.braid, "energy_reduction"),
+        _percent_cell(ev.hls, "alm_fraction"),
+    )
+
+
 def _cmd_evaluate(args) -> int:
-    pipeline = NeedlePipeline()
+    from .reporting import format_table
+
+    pipeline = _make_pipeline(args)
     names = [args.workload] if args.workload else workloads.all_names()
-    rows = []
-    for name in names:
-        ev = pipeline.evaluate(workloads.get(name))
-        rows.append(
-            (
-                name,
-                ev.path_oracle.performance_improvement * 100,
-                ev.path_history.performance_improvement * 100,
-                ev.braid.performance_improvement * 100,
-                ev.braid.energy_reduction * 100,
-                ev.hls.alm_fraction * 100,
-            )
-        )
+    evaluations = pipeline.evaluate_all(
+        [workloads.get(name) for name in names], jobs=args.jobs
+    )
+    rows = [evaluation_row(name, ev) for name, ev in zip(names, evaluations)]
     print(format_table(
         ["workload", "path oracle %", "path hist %", "braid %",
          "energy %", "ALM %"],
@@ -94,6 +126,21 @@ def _cmd_evaluate(args) -> int:
         title="Needle offload evaluation",
     ))
     return 0
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-needle)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent artifact cache",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,10 +160,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="per-workload Needle analysis")
     p.add_argument("workload")
     p.add_argument("--top", type=int, default=5)
+    _add_cache_options(p)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("evaluate", help="simulate offload (Fig. 9/10 numbers)")
     p.add_argument("workload", nargs="?", default=None)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the suite across N worker processes",
+    )
+    _add_cache_options(p)
     p.set_defaults(func=_cmd_evaluate)
     return parser
 

@@ -21,7 +21,7 @@ buffers or hardware checkpoints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.cfg import CFG
 from ..analysis.dfg import DataflowGraph

@@ -21,21 +21,13 @@ they agree on success results, failure codes and memory effects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..ir.block import BasicBlock
 from ..ir.builder import IRBuilder
 from ..ir.function import Function
-from ..ir.instructions import (
-    Branch,
-    Call,
-    CondBranch,
-    Instruction,
-    Phi,
-    Ret,
-    Store,
-)
+from ..ir.instructions import Branch, Call, CondBranch, Phi, Ret, Store
 from ..ir.module import Module
 from ..ir.types import I32, I64, Type
 from ..ir.values import Constant, GlobalArray, Value

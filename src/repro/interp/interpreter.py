@@ -1,10 +1,20 @@
 """Concrete interpreter for the mini IR.
 
-Executes modules instruction-by-instruction with LLVM-like semantics
-(two's-complement integers, truncating division, parallel φ copies) and
-reports dynamic behaviour through a :class:`~repro.interp.events.Tracer`.
-This is the stand-in for native execution of the instrumented benchmark
-binaries in the paper's toolchain.
+Executes modules with LLVM-like semantics (two's-complement integers,
+truncating division, parallel φ copies) and reports dynamic behaviour
+through a :class:`~repro.interp.events.Tracer`.  This is the stand-in for
+native execution of the instrumented benchmark binaries in the paper's
+toolchain.
+
+Execution is *closure-compiled*: the first time a function runs, every
+instruction is compiled once into a small Python closure ("thunk") with its
+operand accessors, opcode implementation and result slot pre-bound, and
+each block becomes (φ-copy plan, body thunk list, terminator thunk).  The
+hot loop then just walks thunk lists — no per-instruction ``isinstance``
+dispatch, no opcode table lookups.  Compiled code is cached per interpreter
+instance (thunks close over this interpreter's memory, tracer and global
+addresses), which is the right granularity: one profiling run executes each
+instruction thousands of times but compiles it once.
 """
 
 from __future__ import annotations
@@ -31,8 +41,8 @@ from ..ir.instructions import (
     UnaryOp,
 )
 from ..ir.module import Module
-from ..ir.types import F32, F64, I1, I32, I64, PTR, Type
-from ..ir.values import Argument, Constant, GlobalArray, UndefValue, Value
+from ..ir.types import Type
+from ..ir.values import Constant, GlobalArray, UndefValue, Value
 from .events import Tracer
 from .memory import Memory
 
@@ -119,6 +129,12 @@ class Interpreter:
         self.fuel = fuel
         self.executed_instructions = 0
         self.global_base: Dict[GlobalArray, int] = {}
+        #: per-function compiled code: block -> (phi_plan, body, term, n_insts)
+        self._compiled: Dict[Function, Dict[BasicBlock, tuple]] = {}
+        #: return-value cell written by Ret thunks; read immediately after a
+        #: terminator signals return, before any other block executes, so
+        #: recursive calls cannot clobber a pending value
+        self._ret = None
         self._materialise_globals()
 
     # -- setup -----------------------------------------------------------------
@@ -151,97 +167,310 @@ class Interpreter:
         for formal, actual in zip(fn.args, args):
             env[formal] = formal.type.wrap(actual)
 
-        self.tracer.on_function_entry(fn)
+        compiled = self._compiled.get(fn)
+        if compiled is None:
+            compiled = self._compile_function(fn)
+            self._compiled[fn] = compiled
+
+        tracer = self.tracer
+        on_block = tracer.on_block
+        fuel = self.fuel
+        tracer.on_function_entry(fn)
         block = fn.entry
         prev: Optional[BasicBlock] = None
-        tracer = self.tracer
-        memory = self.memory
 
         while True:
-            tracer.on_block(fn, block, prev)
+            on_block(fn, block, prev)
+            phi_plan, body, term, n_insts = compiled[block]
 
             # φ-nodes: parallel copy from the incoming edge
-            phis = block.phis
-            if phis:
-                staged = []
-                for phi in phis:
-                    val = phi.incoming_for(prev)
-                    if val is None:
-                        raise InterpreterError(
-                            "phi %%%s in %s has no incoming for %s"
-                            % (phi.name, block.name, prev.name if prev else "<entry>")
-                        )
-                    staged.append((phi, self._eval(val, env)))
-                for phi, v in staged:
-                    env[phi] = v
+            if phi_plan is not None:
+                plan = phi_plan.get(prev)
+                if plan is None:
+                    self._raise_missing_phi(block, prev)
+                if len(plan) == 1:
+                    phi, getter = plan[0]
+                    env[phi] = getter(env)
+                else:
+                    staged = [getter(env) for _, getter in plan]
+                    for (phi, _), v in zip(plan, staged):
+                        env[phi] = v
 
-            next_block: Optional[BasicBlock] = None
-            for inst in block.instructions[len(phis):]:
-                self.executed_instructions += 1
-                if self.executed_instructions > self.fuel:
-                    raise FuelExhausted(
-                        "exceeded %d dynamic instructions" % self.fuel
-                    )
+            # fuel is charged per block (body + terminator); the run aborts
+            # before executing the block that would exceed the budget, so
+            # completed runs count exactly as many instructions as before
+            self.executed_instructions += n_insts
+            if self.executed_instructions > fuel:
+                raise FuelExhausted(
+                    "exceeded %d dynamic instructions" % self.fuel
+                )
 
-                if isinstance(inst, BinaryOp):
-                    a = self._eval(inst.operands[0], env)
-                    b = self._eval(inst.operands[1], env)
-                    fn_ = _INT_BINOP_FNS.get(inst.opcode) or _FP_BINOP_FNS[inst.opcode]
-                    env[inst] = inst.type.wrap(fn_(a, b))
-                elif isinstance(inst, Compare):
-                    a = self._eval(inst.operands[0], env)
-                    b = self._eval(inst.operands[1], env)
-                    table = _ICMP_FNS if inst.opcode == "icmp" else _FCMP_FNS
-                    env[inst] = 1 if table[inst.predicate](a, b) else 0
-                elif isinstance(inst, Load):
-                    addr = self._eval(inst.address, env)
-                    tracer.on_memory(fn, "load", addr)
-                    env[inst] = memory.read(addr, inst.type)
-                elif isinstance(inst, Store):
-                    addr = self._eval(inst.address, env)
-                    val = self._eval(inst.value, env)
-                    tracer.on_memory(fn, "store", addr)
-                    memory.write(addr, inst.value.type, val)
-                elif isinstance(inst, Gep):
-                    base = self._eval(inst.base, env)
-                    index = self._eval(inst.index, env)
-                    env[inst] = base + index * inst.elem_size
-                elif isinstance(inst, Select):
-                    c = self._eval(inst.operands[0], env)
-                    env[inst] = self._eval(inst.operands[1 if c else 2], env)
-                elif isinstance(inst, UnaryOp):
-                    env[inst] = self._eval_unop(inst, env)
-                elif isinstance(inst, Alloca):
-                    env[inst] = memory.alloc(inst.size_bytes)
-                elif isinstance(inst, CondBranch):
-                    c = self._eval(inst.cond, env)
-                    taken = bool(c)
-                    tracer.on_branch(fn, block, taken)
-                    next_block = inst.true_target if taken else inst.false_target
-                    break
-                elif isinstance(inst, Branch):
-                    next_block = inst.target
-                    break
-                elif isinstance(inst, Ret):
-                    result = (
-                        self._eval(inst.value, env) if inst.value is not None else None
-                    )
-                    tracer.on_function_exit(fn)
-                    return result
-                elif isinstance(inst, Call):
-                    call_args = [self._eval(a, env) for a in inst.operands]
-                    result = self._run_function(inst.callee, call_args)
-                    if not inst.type.is_void:
-                        env[inst] = result
-                else:  # pragma: no cover - inventory is closed
-                    raise InterpreterError("cannot execute opcode %r" % inst.opcode)
-
+            for step in body:
+                step(env)
+            next_block = term(env)
             if next_block is None:
+                return self._ret
+            prev, block = block, next_block
+
+    # -- closure compilation -------------------------------------------------
+
+    def _raise_missing_phi(self, block: BasicBlock, prev: Optional[BasicBlock]):
+        for phi in block.phis:
+            if phi.incoming_for(prev) is None:
+                raise InterpreterError(
+                    "phi %%%s in %s has no incoming for %s"
+                    % (phi.name, block.name, prev.name if prev else "<entry>")
+                )
+        raise InterpreterError(  # pragma: no cover - defensive
+            "no φ-copy plan for edge %s -> %s"
+            % (prev.name if prev else "<entry>", block.name)
+        )
+
+    def _compile_getter(self, value: Value):
+        """An ``env -> runtime value`` accessor with constants pre-folded."""
+        if isinstance(value, Constant):
+            const = value.value
+            return lambda env: const
+        if isinstance(value, GlobalArray):
+            base = self.global_base[value]
+            return lambda env: base
+        if isinstance(value, UndefValue):
+            return lambda env: 0
+
+        def get(env, _v=value):
+            try:
+                return env[_v]
+            except KeyError:
+                raise InterpreterError(
+                    "use of %s before definition" % getattr(_v, "name", _v)
+                ) from None
+
+        return get
+
+    def _compile_function(self, fn: Function) -> Dict[BasicBlock, tuple]:
+        return {block: self._compile_block(fn, block) for block in fn.blocks}
+
+    def _compile_block(self, fn: Function, block: BasicBlock) -> tuple:
+        getter = self._compile_getter
+
+        # φ-copy plans, one per incoming edge (only edges where every φ has
+        # an incoming value; others fall through to the error path)
+        phis = block.phis
+        phi_plan = None
+        if phis:
+            phi_plan = {}
+            preds = []
+            for phi in phis:
+                for pred, _val in phi.incoming:
+                    if pred not in preds:
+                        preds.append(pred)
+            for pred in preds:
+                incoming = [phi.incoming_for(pred) for phi in phis]
+                if any(v is None for v in incoming):
+                    continue
+                phi_plan[pred] = [
+                    (phi, getter(val)) for phi, val in zip(phis, incoming)
+                ]
+
+        body = []
+        term = None
+        n_insts = 0
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                continue
+            n_insts += 1
+            if isinstance(inst, (CondBranch, Branch, Ret)):
+                term = self._compile_terminator(fn, block, inst)
+                break
+            body.append(self._compile_step(fn, inst))
+        if term is None:
+            def term(env, _b=block, _f=fn):
                 raise InterpreterError(
                     "block %s in %s fell through without a terminator"
-                    % (block.name, fn.name)
+                    % (_b.name, _f.name)
                 )
-            prev, block = block, next_block
+
+        return phi_plan, body, term, n_insts
+
+    def _compile_terminator(self, fn: Function, block: BasicBlock, inst):
+        if isinstance(inst, CondBranch):
+            get_cond = self._compile_getter(inst.cond)
+            true_t, false_t = inst.true_target, inst.false_target
+            on_branch = self.tracer.on_branch
+
+            def term(env):
+                taken = bool(get_cond(env))
+                on_branch(fn, block, taken)
+                return true_t if taken else false_t
+
+            return term
+        if isinstance(inst, Branch):
+            target = inst.target
+            return lambda env: target
+        # Ret: stash the value, signal return with None
+        get_val = (
+            self._compile_getter(inst.value) if inst.value is not None else None
+        )
+        on_exit = self.tracer.on_function_exit
+
+        def term(env):
+            self._ret = get_val(env) if get_val is not None else None
+            on_exit(fn)
+            return None
+
+        return term
+
+    def _compile_step(self, fn: Function, inst: Instruction):
+        """Compile one non-terminator instruction into an ``env -> None``
+        thunk with operands, opcode implementation and tracer pre-bound."""
+        getter = self._compile_getter
+        if isinstance(inst, BinaryOp):
+            ga = getter(inst.operands[0])
+            gb = getter(inst.operands[1])
+            op_fn = _INT_BINOP_FNS.get(inst.opcode) or _FP_BINOP_FNS[inst.opcode]
+            t = inst.type
+            # inline Type.wrap's normalisation: it runs once per dynamic
+            # binary op, the single hottest site in a profiling run
+            if t.is_float:
+                def step(env):
+                    env[inst] = float(op_fn(ga(env), gb(env)))
+            elif t.is_ptr:
+                ptr_mask = (1 << 64) - 1
+
+                def step(env):
+                    env[inst] = op_fn(ga(env), gb(env)) & ptr_mask
+            elif t.is_int and t.bits > 1:
+                mask = (1 << t.bits) - 1
+                sign = 1 << (t.bits - 1)
+
+                def step(env):
+                    env[inst] = ((op_fn(ga(env), gb(env)) & mask) ^ sign) - sign
+            else:
+                wrap = t.wrap
+
+                def step(env):
+                    env[inst] = wrap(op_fn(ga(env), gb(env)))
+
+            return step
+        if isinstance(inst, Compare):
+            ga = getter(inst.operands[0])
+            gb = getter(inst.operands[1])
+            table = _ICMP_FNS if inst.opcode == "icmp" else _FCMP_FNS
+            cmp_fn = table[inst.predicate]
+
+            def step(env):
+                env[inst] = 1 if cmp_fn(ga(env), gb(env)) else 0
+
+            return step
+        if isinstance(inst, Load):
+            get_addr = getter(inst.address)
+            read = self.memory.read
+            on_memory = self.tracer.on_memory
+            load_type = inst.type
+
+            def step(env):
+                addr = get_addr(env)
+                on_memory(fn, "load", addr)
+                env[inst] = read(addr, load_type)
+
+            return step
+        if isinstance(inst, Store):
+            get_addr = getter(inst.address)
+            get_val = getter(inst.value)
+            write = self.memory.write
+            on_memory = self.tracer.on_memory
+            store_type = inst.value.type
+
+            def step(env):
+                addr = get_addr(env)
+                val = get_val(env)
+                on_memory(fn, "store", addr)
+                write(addr, store_type, val)
+
+            return step
+        if isinstance(inst, Gep):
+            get_base = getter(inst.base)
+            get_index = getter(inst.index)
+            elem_size = inst.elem_size
+
+            def step(env):
+                env[inst] = get_base(env) + get_index(env) * elem_size
+
+            return step
+        if isinstance(inst, Select):
+            get_cond = getter(inst.operands[0])
+            get_true = getter(inst.operands[1])
+            get_false = getter(inst.operands[2])
+
+            def step(env):
+                # only the chosen arm is evaluated (matches the slow path)
+                env[inst] = get_true(env) if get_cond(env) else get_false(env)
+
+            return step
+        if isinstance(inst, UnaryOp):
+            return self._compile_unop(inst)
+        if isinstance(inst, Alloca):
+            alloc = self.memory.alloc
+            size = inst.size_bytes
+
+            def step(env):
+                env[inst] = alloc(size)
+
+            return step
+        if isinstance(inst, Call):
+            getters = [getter(a) for a in inst.operands]
+            callee = inst.callee
+            run = self._run_function
+            is_void = inst.type.is_void
+
+            def step(env):
+                result = run(callee, [g(env) for g in getters])
+                if not is_void:
+                    env[inst] = result
+
+            return step
+
+        def step(env):  # pragma: no cover - inventory is closed
+            raise InterpreterError("cannot execute opcode %r" % inst.opcode)
+
+        return step
+
+    def _compile_unop(self, inst: UnaryOp):
+        ga = self._compile_getter(inst.operands[0])
+        op = inst.opcode
+        if op == "fneg":
+            def step(env):
+                env[inst] = -ga(env)
+        elif op == "fabs":
+            def step(env):
+                env[inst] = abs(ga(env))
+        elif op == "fsqrt":
+            def step(env):
+                a = ga(env)
+                env[inst] = math.sqrt(a) if a >= 0 else float("nan")
+        elif op == "sitofp":
+            def step(env):
+                env[inst] = float(ga(env))
+        elif op == "fptosi":
+            wrap = inst.type.wrap
+
+            def step(env):
+                env[inst] = wrap(int(ga(env)))
+        elif op == "zext":
+            wrap = inst.type.wrap
+            mask = (1 << inst.operands[0].type.bits) - 1
+
+            def step(env):
+                env[inst] = wrap(ga(env) & mask)
+        elif op in ("sext", "trunc"):
+            wrap = inst.type.wrap
+
+            def step(env):
+                env[inst] = wrap(ga(env))
+        else:
+            def step(env):  # pragma: no cover - inventory is closed
+                raise InterpreterError("cannot execute unop %r" % op)
+        return step
 
     # -- helpers -----------------------------------------------------------------
 

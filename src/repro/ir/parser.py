@@ -33,7 +33,6 @@ from typing import Dict, List, Optional, Tuple
 from .block import BasicBlock
 from .function import Function
 from .instructions import (
-    ALL_OPCODES,
     Alloca,
     BinaryOp,
     Branch,
@@ -42,8 +41,6 @@ from .instructions import (
     CondBranch,
     FP_BINOPS,
     Gep,
-    ICMP_PREDICATES,
-    FCMP_PREDICATES,
     INT_BINOPS,
     Load,
     Phi,
@@ -54,7 +51,7 @@ from .instructions import (
     UnaryOp,
 )
 from .module import Module
-from .types import Type, VOID, type_from_name
+from .types import Type, type_from_name
 from .values import Constant, UndefValue, Value
 
 

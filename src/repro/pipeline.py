@@ -10,15 +10,28 @@ Step 3 — *accelerator design analysis*: map the frame onto the Table V CGRA,
 simulate whole-workload offload under Oracle and history invocation
 prediction, and price energy — producing exactly the per-workload numbers
 behind Figs. 9 and 10, plus the HLS feasibility estimate of §VI.
+
+Suite sweeps scale two ways:
+
+* ``jobs=N`` shards the suite across a :class:`ProcessPoolExecutor`;
+  results come back in deterministic suite order regardless of which
+  worker finished first.  Evaluation records are flat, picklable
+  summaries, so shipping them between processes is cheap.
+* an optional :class:`~repro.artifacts.ArtifactCache` persists profiles
+  and evaluation summaries on disk keyed by (IR text, run args, config,
+  format version), so a second CLI/bench/test run skips re-profiling
+  entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .accel.cgra import CGRAScheduler, ScheduleResult
 from .accel.hls import HLSEstimator, HLSReport
+from .artifacts import EVALUATION_KIND, ArtifactCache, workload_key
 from .frames.frame import Frame, build_frame
 from .profiling.ranking import RankedPath, rank_paths
 from .regions.braid import Braid, build_braids
@@ -52,27 +65,154 @@ class WorkloadAnalysis:
 
 
 @dataclass
-class WorkloadEvaluation:
-    """Step 3 products: the Fig. 9 / Fig. 10 data points."""
+class FrameSummary:
+    """Flat record of a frame's shape (no IR references)."""
 
-    analysis: WorkloadAnalysis
+    op_count: int
+    compute_op_count: int
+    guard_count: int
+    psi_count: int
+    live_in_count: int
+    live_out_count: int
+    store_count: int
+
+    @classmethod
+    def from_frame(cls, frame: Frame) -> "FrameSummary":
+        return cls(
+            op_count=frame.op_count,
+            compute_op_count=frame.compute_op_count,
+            guard_count=frame.guard_count,
+            psi_count=len(frame.psis),
+            live_in_count=len(frame.live_ins),
+            live_out_count=len(frame.live_outs),
+            store_count=frame.store_count,
+        )
+
+
+@dataclass
+class ScheduleSummary:
+    """Flat record of a CGRA schedule (no ScheduledOp/IR references)."""
+
+    cycles: int
+    n_configs: int
+    initiation_interval: int
+    resource_ii: int
+    recurrence_ii: int
+    total_ops: int
+    int_ops: int
+    fp_ops: int
+    mem_ops: int
+    guard_ops: int
+    edges: int
+    fu_utilization: float
+    ilp: float
+
+    @classmethod
+    def from_schedule(cls, sched: ScheduleResult) -> "ScheduleSummary":
+        return cls(
+            cycles=sched.cycles,
+            n_configs=sched.n_configs,
+            initiation_interval=sched.initiation_interval,
+            resource_ii=sched.resource_ii,
+            recurrence_ii=sched.recurrence_ii,
+            total_ops=sched.total_ops,
+            int_ops=sched.int_ops,
+            fp_ops=sched.fp_ops,
+            mem_ops=sched.mem_ops,
+            guard_ops=sched.guard_ops,
+            edges=sched.edges,
+            fu_utilization=sched.fu_utilization,
+            ilp=sched.ilp,
+        )
+
+
+@dataclass
+class AnalysisSummary:
+    """Flat, picklable record of the step-1/2 analysis of one workload."""
+
+    name: str
+    suite: str
+    flavor: str
+    executed_paths: int
+    total_executions: int
+    top_path_coverage: float
+    top_path_ops: int
+    braid_n_paths: int
+    braid_coverage: float
+    path_frame: Optional[FrameSummary]
+    braid_frame: Optional[FrameSummary]
+
+    @classmethod
+    def from_analysis(cls, analysis: WorkloadAnalysis) -> "AnalysisSummary":
+        w = analysis.profiled.workload
+        top = analysis.top_path
+        braid = analysis.top_braid
+        return cls(
+            name=w.name,
+            suite=w.suite,
+            flavor=w.flavor,
+            executed_paths=analysis.profiled.paths.executed_paths,
+            total_executions=analysis.profiled.paths.total_executions,
+            top_path_coverage=top.coverage if top else 0.0,
+            top_path_ops=top.ops if top else 0,
+            braid_n_paths=braid.n_paths if braid else 0,
+            braid_coverage=braid.coverage if braid else 0.0,
+            path_frame=(
+                FrameSummary.from_frame(analysis.path_frame)
+                if analysis.path_frame is not None
+                else None
+            ),
+            braid_frame=(
+                FrameSummary.from_frame(analysis.braid_frame)
+                if analysis.braid_frame is not None
+                else None
+            ),
+        )
+
+
+@dataclass
+class WorkloadEvaluation:
+    """Step 3 products: the Fig. 9 / Fig. 10 data points.
+
+    Every field is a flat summary dataclass, so evaluations pickle cheaply
+    — that is what lets ``evaluate_all(jobs=N)`` ship them between worker
+    processes and the artifact cache persist them verbatim.
+    """
+
+    summary: AnalysisSummary
     path_oracle: Optional[OffloadOutcome]
     path_history: Optional[OffloadOutcome]
     braid: Optional[OffloadOutcome]
     hls: Optional[HLSReport]
-    braid_schedule: Optional[ScheduleResult]
+    braid_schedule: Optional[ScheduleSummary]
 
     @property
     def name(self) -> str:
-        return self.analysis.name
+        return self.summary.name
+
+    @property
+    def flavor(self) -> str:
+        return self.summary.flavor
 
 
 class NeedlePipeline:
-    """Caches analyses/evaluations so every benchmark shares one pass."""
+    """Caches analyses/evaluations so every benchmark shares one pass.
 
-    def __init__(self, config: Optional[SystemConfig] = None):
+    ``cache`` layers a persistent on-disk artifact store under the
+    in-memory dictionaries: pass an :class:`ArtifactCache`, a directory
+    path, or ``None`` (in-memory only, the default).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        cache: "Optional[ArtifactCache | str]" = None,
+    ):
         self.config = config or DEFAULT_CONFIG
         self.simulator = OffloadSimulator(self.config)
+        if isinstance(cache, str):
+            cache = ArtifactCache(cache)
+        self.cache = cache
         self._analyses: Dict[str, WorkloadAnalysis] = {}
         self._evaluations: Dict[str, WorkloadEvaluation] = {}
 
@@ -82,7 +222,7 @@ class NeedlePipeline:
         cached = self._analyses.get(workload.name)
         if cached is not None:
             return cached
-        profiled = profile_workload(workload)
+        profiled = profile_workload(workload, artifact_cache=self.cache)
         ranked = rank_paths(profiled.paths)
         # offload braids merge hot same-entry/exit paths only (cold siblings
         # would waste fabric area and energy under predication)
@@ -111,6 +251,20 @@ class NeedlePipeline:
         cached = self._evaluations.get(workload.name)
         if cached is not None:
             return cached
+        key = None
+        if self.cache is not None:
+            key, _built = workload_key(workload, self.config)
+            stored = self.cache.get(EVALUATION_KIND, key)
+            if isinstance(stored, WorkloadEvaluation):
+                self._evaluations[workload.name] = stored
+                return stored
+        evaluation = self._evaluate_uncached(workload)
+        if self.cache is not None and key is not None:
+            self.cache.put(EVALUATION_KIND, key, evaluation)
+        self._evaluations[workload.name] = evaluation
+        return evaluation
+
+    def _evaluate_uncached(self, workload: Workload) -> WorkloadEvaluation:
         analysis = self.analyse(workload)
         profiled = analysis.profiled
 
@@ -144,25 +298,87 @@ class NeedlePipeline:
         braid_sched = None
         if analysis.braid_frame is not None:
             hls = HLSEstimator().estimate(analysis.braid_frame)
-            braid_sched = CGRAScheduler(self.config.cgra).schedule(
-                analysis.braid_frame
+            braid_sched = ScheduleSummary.from_schedule(
+                CGRAScheduler(self.config.cgra).schedule(analysis.braid_frame)
             )
 
-        evaluation = WorkloadEvaluation(
-            analysis=analysis,
+        return WorkloadEvaluation(
+            summary=AnalysisSummary.from_analysis(analysis),
             path_oracle=path_oracle,
             path_history=path_history,
             braid=braid_outcome,
             hls=hls,
             braid_schedule=braid_sched,
         )
-        self._evaluations[workload.name] = evaluation
-        return evaluation
 
     # -- suite sweeps -----------------------------------------------------------------
 
-    def analyse_all(self, workloads) -> List[WorkloadAnalysis]:
-        return [self.analyse(w) for w in workloads]
+    def analyse_all(
+        self, workloads, jobs: Optional[int] = None
+    ) -> List[WorkloadAnalysis]:
+        """Analyse a suite, optionally sharded over ``jobs`` processes."""
+        workloads = list(workloads)
+        if not self._use_jobs(jobs, workloads, self._analyses):
+            return [self.analyse(w) for w in workloads]
+        results = self._fan_out(_analyse_worker, workloads, jobs)
+        for w, analysis in zip(workloads, results):
+            self._analyses[w.name] = analysis
+        return results
 
-    def evaluate_all(self, workloads) -> List[WorkloadEvaluation]:
-        return [self.evaluate(w) for w in workloads]
+    def evaluate_all(
+        self, workloads, jobs: Optional[int] = None
+    ) -> List[WorkloadEvaluation]:
+        """Evaluate a suite, optionally sharded over ``jobs`` processes.
+
+        Rows come back in suite order and are bitwise-identical to the
+        serial path: each worker runs the same deterministic pipeline, and
+        the pool only changes *where* a workload is computed.
+        """
+        workloads = list(workloads)
+        if not self._use_jobs(jobs, workloads, self._evaluations):
+            return [self.evaluate(w) for w in workloads]
+        results = self._fan_out(_evaluate_worker, workloads, jobs)
+        for w, evaluation in zip(workloads, results):
+            self._evaluations[w.name] = evaluation
+        return results
+
+    # -- fan-out helpers ----------------------------------------------------
+
+    def _use_jobs(self, jobs: Optional[int], workloads, memo: Dict) -> bool:
+        if jobs is None or jobs <= 1 or len(workloads) <= 1:
+            return False
+        # everything already in memory: the serial loop is pure lookup
+        if all(w.name in memo for w in workloads):
+            return False
+        return True
+
+    def _fan_out(self, worker, workloads, jobs: int) -> List:
+        cache_root = self.cache.root if self.cache is not None else None
+        max_workers = min(jobs, len(workloads))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(worker, w, self.config, cache_root)
+                for w in workloads
+            ]
+            # deterministic suite order: collect in submission order
+            return [f.result() for f in futures]
+
+
+# -- process-pool workers (module level: must be picklable by reference) --------
+
+
+def _worker_pipeline(config: SystemConfig, cache_root: Optional[str]) -> NeedlePipeline:
+    cache = ArtifactCache(cache_root) if cache_root is not None else None
+    return NeedlePipeline(config, cache=cache)
+
+
+def _analyse_worker(
+    workload: Workload, config: SystemConfig, cache_root: Optional[str]
+) -> WorkloadAnalysis:
+    return _worker_pipeline(config, cache_root).analyse(workload)
+
+
+def _evaluate_worker(
+    workload: Workload, config: SystemConfig, cache_root: Optional[str]
+) -> WorkloadEvaluation:
+    return _worker_pipeline(config, cache_root).evaluate(workload)

@@ -19,7 +19,7 @@ needs:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.cfg import CFG
 from ..analysis.dominators import DominatorTree
@@ -31,6 +31,8 @@ from ..ir.function import Function
 EXIT = "<BL-EXIT>"
 #: Virtual source for fake edges into loop headers.
 ENTRY = "<BL-ENTRY>"
+# Compare sentinels with ==, never `is`: a numbering that round-trips
+# through pickle (the artifact cache) carries copies of these strings.
 
 
 class PathNumberingError(Exception):
@@ -105,7 +107,7 @@ class BallLarusNumbering:
         order = self._topo_order()
         for node in reversed(order):
             succs = self._dag_succs[node]
-            if node is EXIT or not succs:
+            if node == EXIT or not succs:
                 self.num_paths_from[node] = 1
                 continue
             total = 0
@@ -157,7 +159,7 @@ class BallLarusNumbering:
         blocks: List[BasicBlock] = []
         node: object = ENTRY
         remaining = path_id
-        while node is not EXIT:
+        while node != EXIT:
             succs = self._dag_succs[node]
             chosen = None
             chosen_val = -1
@@ -169,7 +171,7 @@ class BallLarusNumbering:
                 raise PathNumberingError("decode stuck at %r" % node)
             remaining -= chosen_val
             node = chosen
-            if node is not EXIT:
+            if node != EXIT:
                 blocks.append(node)
         if remaining != 0:  # pragma: no cover - numbering guarantees exactness
             raise PathNumberingError("decode residue %d" % remaining)

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..ir.block import BasicBlock
-from ..ir.instructions import Instruction
 from .path_profile import PathProfile
 
 

@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict
 
 from .path_profile import PathProfile
-from .ranking import RankedPath, count_ops, latency_weight, rank_paths
+from .ranking import latency_weight, rank_paths
 
 
 @dataclass

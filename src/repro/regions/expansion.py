@@ -10,7 +10,7 @@ the two are concatenated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..ir.block import BasicBlock
 from ..profiling.path_profile import PathProfile

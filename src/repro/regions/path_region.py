@@ -7,10 +7,8 @@ from the path at runtime triggers a guard failure and rollback to the host.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
-from ..ir.block import BasicBlock
-from ..ir.instructions import CondBranch, Phi
+from ..ir.instructions import CondBranch
 from ..profiling.ranking import RankedPath
 from .region import Region
 

@@ -3,7 +3,7 @@ figures (4, 5, 6, 9, 10)."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 def bar_chart(

@@ -13,7 +13,7 @@ kept separate so the protocol itself is unit-testable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 MODIFIED = "M"
 EXCLUSIVE = "E"

@@ -9,12 +9,20 @@ the youngest older store to the *same* address).
 
 Complexity is O(n) in trace length with small constants, so whole-workload
 traces simulate in well under a second.
+
+The replay loop consumes pre-decoded micro-ops: the first time a block is
+seen, each instruction is classified once into ``(kind, inst, latency,
+writes_result)`` and the list is memoized on the model, so the per-dynamic-
+instruction cost is an integer dispatch instead of an ``isinstance`` chain
+plus latency-table lookups.  The decode cache lives on the
+:class:`OOOModel` instance — models are cheap and short-lived, which keeps
+the cache trivially coherent with any IR transformation.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..ir.block import BasicBlock
@@ -60,6 +68,15 @@ class OOOResult:
         return out
 
 
+#: micro-op kinds produced by block decode
+_UOP_PHI = 0
+_UOP_LOAD = 1
+_UOP_STORE = 2
+_UOP_BRANCH = 3
+_UOP_INT = 4
+_UOP_FP = 5
+
+
 class OOOModel:
     """Replays block traces through the OOO timing model."""
 
@@ -74,6 +91,27 @@ class OOOModel:
         self.memory_system = memory_system
         self.fixed_load_latency = fixed_load_latency
         self.fixed_store_latency = fixed_store_latency
+        self._uops: Dict[BasicBlock, List[Tuple[int, Instruction, int, bool]]] = {}
+
+    def _decode(self, block: BasicBlock) -> List[Tuple[int, Instruction, int, bool]]:
+        """Classify each instruction once: (kind, inst, issue latency,
+        writes_result).  Memoized per block on this model instance."""
+        uops = []
+        for inst in block.instructions:
+            writes = not inst.type.is_void
+            if isinstance(inst, Phi):
+                uops.append((_UOP_PHI, inst, 0, writes))
+            elif isinstance(inst, Load):
+                uops.append((_UOP_LOAD, inst, self.fixed_load_latency, writes))
+            elif isinstance(inst, Store):
+                uops.append((_UOP_STORE, inst, self.fixed_store_latency, writes))
+            elif isinstance(inst, (Branch, CondBranch, Ret)):
+                uops.append((_UOP_BRANCH, inst, 1, writes))
+            elif inst.is_float:
+                uops.append((_UOP_FP, inst, max(1, inst.latency), writes))
+            else:
+                uops.append((_UOP_INT, inst, max(1, inst.latency), writes))
+        return uops
 
     def simulate(
         self,
@@ -109,13 +147,25 @@ class OOOModel:
         heapq.heapify(alu_free)
         heapq.heapify(fpu_free)
 
+        uop_cache = self._uops
+        fetch_width = cfg.fetch_width
+        retire_width = cfg.retire_width
+        rob_entries = cfg.rob_entries
+        fast_memory = self.memory_system is None
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
         prev_block: Optional[BasicBlock] = None
         for block in block_trace:
             if block is None:
                 prev_block = None
                 continue
-            for inst in block.instructions:
-                if isinstance(inst, Phi):
+            uops = uop_cache.get(block)
+            if uops is None:
+                uops = self._decode(block)
+                uop_cache[block] = uops
+            for kind, inst, latency, writes in uops:
+                if kind == _UOP_PHI:
                     # register rename: value forwards from the taken edge
                     result.phis += 1
                     if prev_block is not None:
@@ -126,11 +176,11 @@ class OOOModel:
                     continue
 
                 # -- allocate (fetch/rename bandwidth + ROB occupancy) ------
-                if alloc_in_cycle >= cfg.fetch_width:
+                if alloc_in_cycle >= fetch_width:
                     alloc_cycle += 1
                     alloc_in_cycle = 0
-                if len(rob) >= cfg.rob_entries:
-                    oldest = rob[rob_head % cfg.rob_entries]
+                if len(rob) >= rob_entries:
+                    oldest = rob[rob_head % rob_entries]
                     if oldest > alloc_cycle:
                         alloc_cycle = oldest
                         alloc_in_cycle = 0
@@ -145,55 +195,57 @@ class OOOModel:
                         ready = t
 
                 # -- issue / execute ------------------------------------------
-                if isinstance(inst, Load):
+                if kind == _UOP_INT:
+                    unit = heappop(alu_free)
+                    start = ready if ready > unit else unit
+                    heappush(alu_free, start + 1)
+                    result.int_ops += 1
+                    done = start + latency
+                elif kind == _UOP_FP:
+                    unit = heappop(fpu_free)
+                    start = ready if ready > unit else unit
+                    heappush(fpu_free, start + 1)
+                    result.fp_ops += 1
+                    done = start + latency
+                elif kind == _UOP_LOAD:
                     addr = self._next_mem(mem_iter, result)
                     if addr is not None:
                         dep = last_store_to.get(addr // 8, 0.0)
                         if dep > ready:
                             ready = dep
-                    latency = self._mem_latency(addr, False, result)
-                    start = ready
-                    done = start + latency
+                    if not fast_memory or addr is None:
+                        latency = self._mem_latency(addr, False, result)
+                    done = ready + latency
                     result.loads += 1
-                elif isinstance(inst, Store):
+                elif kind == _UOP_STORE:
                     addr = self._next_mem(mem_iter, result)
-                    start = ready
-                    done = start + self.fixed_store_latency
-                    self._mem_latency(addr, True, result)
+                    done = ready + latency
+                    if not fast_memory:
+                        self._mem_latency(addr, True, result)
                     if addr is not None:
                         last_store_to[addr // 8] = done
-                    last_store_any = max(last_store_any, done)
+                        if done > last_store_any:
+                            last_store_any = done
+                    elif done > last_store_any:
+                        last_store_any = done
                     result.stores += 1
-                elif isinstance(inst, (Branch, CondBranch, Ret)):
-                    start = ready
-                    done = start + 1
+                else:  # _UOP_BRANCH
+                    done = ready + 1
                     result.branches += 1
-                else:
-                    if inst.is_float:
-                        unit = heapq.heappop(fpu_free)
-                        start = max(ready, unit)
-                        heapq.heappush(fpu_free, start + 1)
-                        result.fp_ops += 1
-                    else:
-                        unit = heapq.heappop(alu_free)
-                        start = max(ready, unit)
-                        heapq.heappush(alu_free, start + 1)
-                        result.int_ops += 1
-                    done = start + max(1, inst.latency)
 
-                if not inst.type.is_void:
+                if writes:
                     finish[inst] = done
 
                 # -- retire (in order, retire_width per cycle) -----------------
-                width_slot = retire_times[retire_idx % cfg.retire_width]
+                width_slot = retire_times[retire_idx % retire_width]
                 retire = max(done, last_retire, width_slot + 1)
-                retire_times[retire_idx % cfg.retire_width] = retire
+                retire_times[retire_idx % retire_width] = retire
                 retire_idx += 1
                 last_retire = retire
-                if len(rob) < cfg.rob_entries:
+                if len(rob) < rob_entries:
                     rob.append(retire)
                 else:
-                    rob[rob_head % cfg.rob_entries] = retire
+                    rob[rob_head % rob_entries] = retire
                     rob_head += 1
 
             prev_block = block

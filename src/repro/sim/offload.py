@@ -16,17 +16,17 @@ hierarchy (host port vs. uncore accelerator port).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..frames.frame import Frame, build_frame
+from ..frames.frame import Frame
 from ..profiling.ranking import count_ops
 from ..interp.events import FunctionTrace
 from ..profiling.path_profile import PathProfile
 from .cache import MemorySystem
 from .config import DEFAULT_CONFIG, SystemConfig
 from .core_ooo import OOOModel, OOOResult
-from .energy import EnergyBreakdown, EnergyModel
+from .energy import EnergyModel
 
 
 @dataclass

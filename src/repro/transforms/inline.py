@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from ..ir.block import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import Branch, Call, Instruction, Phi, Ret
+from ..ir.instructions import Branch, Call, Phi, Ret
 from ..ir.values import Value
 from .clone import clone_body_into
 

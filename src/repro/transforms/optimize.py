@@ -8,7 +8,7 @@ of the LLVM passes Needle assumes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..interp.interpreter import (
     _FCMP_FNS,

@@ -7,7 +7,7 @@ Use :func:`get` to fetch a workload by its paper name (e.g. ``"470.lbm"``),
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from .base import ProfiledWorkload, Workload, clear_profile_cache, profile_workload
 from .builders import (

@@ -10,7 +10,7 @@ Profiles are cached per workload because several tables/figures reuse them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..interp.events import FunctionTrace, MultiTracer, TraceRecorder
 from ..interp.interpreter import Interpreter
@@ -58,11 +58,38 @@ class ProfiledWorkload:
 _PROFILE_CACHE: Dict[str, ProfiledWorkload] = {}
 
 
-def profile_workload(workload: Workload, use_cache: bool = True) -> ProfiledWorkload:
-    """Build, run and profile a workload's hot function once."""
+def profile_workload(
+    workload: Workload,
+    use_cache: bool = True,
+    artifact_cache=None,
+) -> ProfiledWorkload:
+    """Build, run and profile a workload's hot function once.
+
+    ``artifact_cache`` (an :class:`~repro.artifacts.ArtifactCache`) layers a
+    persistent on-disk store under the in-memory cache: the profile is keyed
+    by the workload's IR text and run arguments, so a warm cache skips the
+    instrumented interpreter run entirely.  Profiles are config-independent,
+    hence the key carries no SystemConfig fingerprint.
+    """
     if use_cache and workload.name in _PROFILE_CACHE:
         return _PROFILE_CACHE[workload.name]
-    module, fn, args = workload.build()
+
+    built = None
+    key = None
+    if artifact_cache is not None:
+        from ..artifacts import PROFILE_KIND, workload_key
+
+        key, built = workload_key(workload, config=None)
+        stored = artifact_cache.get(PROFILE_KIND, key)
+        if isinstance(stored, ProfiledWorkload):
+            # reattach the live registry Workload (its build callable and
+            # `expected` row are not part of the cached artifact's identity)
+            stored.workload = workload
+            if use_cache:
+                _PROFILE_CACHE[workload.name] = stored
+            return stored
+
+    module, fn, args = built if built is not None else workload.build()
     paths = PathProfiler([fn])
     edges = EdgeProfiler([fn])
     recorder = TraceRecorder([fn])
@@ -77,6 +104,10 @@ def profile_workload(workload: Workload, use_cache: bool = True) -> ProfiledWork
         trace=recorder.traces[fn],
         result=result,
     )
+    if artifact_cache is not None and key is not None:
+        from ..artifacts import PROFILE_KIND
+
+        artifact_cache.put(PROFILE_KIND, key, profiled)
     if use_cache:
         _PROFILE_CACHE[workload.name] = profiled
     return profiled

@@ -12,14 +12,13 @@ from __future__ import annotations
 import random
 
 from .base import Workload
-from .data import correlated_bits, smooth_floats
+from .data import correlated_bits
 from .builders import (
     Arith,
     ArraySpec,
     BreakIf,
     If,
     LoadVal,
-    Loop,
     Reset,
     StoreVal,
     build_loop_kernel,

@@ -82,7 +82,7 @@ def test_pareto_frontier_is_monotone(profiled_loop_with_branch):
 
 
 def test_fu_library_complete():
-    from repro.accel.aladdin import _CLASS_OF, op_class
+    from repro.accel.aladdin import _CLASS_OF
 
     assert set(_CLASS_OF.values()) <= set(FU_LIBRARY)
     for cls, (dyn, leak, area) in FU_LIBRARY.items():

@@ -6,7 +6,7 @@ from repro.analysis import (
     hyperblock_size_stats,
     predication_stats,
 )
-from repro.ir import Constant, I32, IRBuilder, Module, verify_function
+from repro.ir import I32, IRBuilder, Module, verify_function
 
 
 def _straight_line_with_memory():

@@ -4,7 +4,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ir import Constant, F64, I32, IRBuilder, Module, verify_function
+from repro.artifacts import CACHE_DIR_ENV
+from repro.ir import Constant, I32, IRBuilder, Module, verify_function
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path_factory, monkeypatch):
+    """Keep every test's persistent artifact cache away from ~/.cache."""
+    monkeypatch.setenv(
+        CACHE_DIR_ENV, str(tmp_path_factory.mktemp("repro-cache"))
+    )
 
 
 def build_diamond():

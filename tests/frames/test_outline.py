@@ -1,12 +1,10 @@
 """Outlined IR frames vs FrameExecutor: two independent implementations of
 the frame semantics must agree on results, failure codes and memory state."""
 
-import pytest
-
 from repro.frames import FrameExecutor, build_frame
-from repro.frames.outline import OutlinedFrame, outline_frame
+from repro.frames.outline import outline_frame
 from repro.interp import Interpreter
-from repro.ir import Constant, I32, I64, IRBuilder, Module, verify_function
+from repro.ir import I32, IRBuilder, Module, verify_function
 from repro.profiling import rank_paths
 from repro.regions import build_braids, path_to_region
 from tests.conftest import profile_function

@@ -13,7 +13,6 @@ from repro.ir import (
     IRBuilder,
     Module,
     UndefValue,
-    verify_function,
 )
 
 

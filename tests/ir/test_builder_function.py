@@ -1,15 +1,6 @@
 import pytest
 
-from repro.ir import (
-    F64,
-    I32,
-    I64,
-    IRBuilder,
-    Module,
-    VerificationError,
-    format_function,
-    verify_function,
-)
+from repro.ir import I32, IRBuilder, Module, format_function
 
 
 def test_builder_coerces_python_numbers(diamond):

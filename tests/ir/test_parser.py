@@ -3,7 +3,6 @@ import pytest
 from repro.interp import Interpreter
 from repro.ir import (
     ParseError,
-    format_function,
     format_module,
     parse_function,
     parse_module,

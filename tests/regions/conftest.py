@@ -1,3 +1,6 @@
 """Back-compat shim: fixtures moved to the top-level tests/conftest.py."""
 
-from tests.conftest import build_anticorrelated, profile_function
+from tests.conftest import (
+    build_anticorrelated as build_anticorrelated,
+    profile_function as profile_function,
+)

@@ -1,4 +1,4 @@
-from repro.profiling import PathTraceAnalysis, rank_paths
+from repro.profiling import rank_paths
 from repro.regions import (
     braid_memory_branch_dependences,
     braid_table_row,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import CFG, DominatorTree
+from repro.analysis import DominatorTree
 from repro.analysis.loops import back_edges
 from repro.profiling import rank_paths
 from repro.regions import (

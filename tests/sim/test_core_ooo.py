@@ -1,5 +1,5 @@
 from repro.interp import Interpreter, TraceRecorder
-from repro.ir import Constant, I32, F64, IRBuilder, Module, verify_function
+from repro.ir import I32, F64, IRBuilder, Module, verify_function
 from repro.sim import HostConfig, MemorySystem, OOOModel
 
 

@@ -1,5 +1,5 @@
 from repro.analysis import DataflowGraph
-from repro.ir import F64, I32, IRBuilder, Module
+from repro.ir import F64, IRBuilder, Module
 from repro.sim import DEFAULT_CONFIG, EnergyModel, OOOResult
 
 

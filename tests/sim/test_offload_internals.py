@@ -7,7 +7,7 @@ from repro.profiling import PathProfiler, rank_paths
 from repro.regions import build_braids, path_to_region
 from repro.sim import OffloadSimulator
 
-from tests.conftest import build_counted_loop, profile_function
+from tests.conftest import build_counted_loop
 
 
 def _profiled(build, args):

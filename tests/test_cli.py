@@ -1,4 +1,5 @@
-from repro.cli import main
+from repro.cli import MISSING_CELL, evaluation_row, main
+from repro.pipeline import AnalysisSummary, WorkloadEvaluation
 
 
 def test_cli_list(capsys):
@@ -37,3 +38,67 @@ def test_cli_dump_roundtrips_through_parser(capsys):
     module = parse_module(text)
     verify_module(module)
     assert "dwt53_row_transpose" in module.functions
+
+
+def _empty_evaluation(name="barren"):
+    """A workload that produced no path frame, no braid frame, nothing."""
+    summary = AnalysisSummary(
+        name=name,
+        suite="spec",
+        flavor="int",
+        executed_paths=0,
+        total_executions=0,
+        top_path_coverage=0.0,
+        top_path_ops=0,
+        braid_n_paths=0,
+        braid_coverage=0.0,
+        path_frame=None,
+        braid_frame=None,
+    )
+    return WorkloadEvaluation(
+        summary=summary,
+        path_oracle=None,
+        path_history=None,
+        braid=None,
+        hls=None,
+        braid_schedule=None,
+    )
+
+
+def test_evaluation_row_renders_missing_outcomes_as_dashes():
+    # regression: this used to raise AttributeError on outcome.<attr>
+    row = evaluation_row("barren", _empty_evaluation())
+    assert row == ("barren",) + (MISSING_CELL,) * 5
+
+
+def test_cli_evaluate_prints_dashes_for_missing_outcomes(capsys, monkeypatch):
+    import repro.cli as cli
+    import repro.workloads as workloads
+
+    class _StubPipeline:
+        def evaluate_all(self, suite, jobs=None):
+            return [_empty_evaluation(w.name) for w in suite]
+
+    monkeypatch.setattr(cli, "_make_pipeline", lambda args: _StubPipeline())
+    monkeypatch.setattr(workloads, "all_names", lambda: ["barren"])
+    monkeypatch.setattr(
+        workloads, "get", lambda name: type("W", (), {"name": name})()
+    )
+    assert main(["evaluate"]) == 0
+    out = capsys.readouterr().out
+    assert "barren" in out
+    assert MISSING_CELL in out
+
+
+def test_cli_evaluate_with_cache_dir_and_jobs(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["evaluate", "482.sphinx3", "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+
+    assert main(argv + ["--jobs", "2"]) == 0  # warm, still exits clean
+    warm = capsys.readouterr().out
+    assert warm == cold  # cached rows identical to computed rows
+
+    assert main(["evaluate", "482.sphinx3", "--no-cache"]) == 0
+    assert capsys.readouterr().out == cold

@@ -1,0 +1,133 @@
+"""Suite fan-out determinism and pipeline-level cache round-trips."""
+
+import pytest
+
+from repro import workloads
+from repro.artifacts import ArtifactCache
+from repro.cli import evaluation_row
+from repro.pipeline import NeedlePipeline, WorkloadEvaluation
+
+#: small but structurally diverse slice of the suite: int + fp, loop-heavy
+#: and branchy kernels — enough shapes to catch ordering/pickling bugs
+#: without paying for all 29 workloads in one test.
+SUBSET = ["164.gzip", "429.mcf", "470.lbm", "dwt53"]
+
+
+def _suite(names):
+    return [workloads.get(name) for name in names]
+
+
+def _outcome_fields(outcome):
+    if outcome is None:
+        return None
+    return vars(outcome).copy()
+
+
+def _flatten(ev: WorkloadEvaluation):
+    """Every number an evaluation carries, as plain comparable data."""
+    return {
+        "summary": vars(ev.summary).copy(),
+        "path_oracle": _outcome_fields(ev.path_oracle),
+        "path_history": _outcome_fields(ev.path_history),
+        "braid": _outcome_fields(ev.braid),
+        "hls": _outcome_fields(ev.hls),
+        "braid_schedule": _outcome_fields(ev.braid_schedule),
+    }
+
+
+def test_parallel_evaluate_matches_serial_bitwise():
+    serial = NeedlePipeline().evaluate_all(_suite(SUBSET))
+    fanned = NeedlePipeline().evaluate_all(_suite(SUBSET), jobs=4)
+
+    assert [ev.name for ev in fanned] == SUBSET  # suite order preserved
+    for s, p in zip(serial, fanned):
+        assert _flatten(s) == _flatten(p)
+    # the formatted table rows are the user-visible contract
+    for name, s, p in zip(SUBSET, serial, fanned):
+        assert evaluation_row(name, s) == evaluation_row(name, p)
+
+
+def test_parallel_analyse_matches_serial():
+    names = SUBSET[:2]
+    serial = NeedlePipeline().analyse_all(_suite(names))
+    fanned = NeedlePipeline().analyse_all(_suite(names), jobs=2)
+    for s, p in zip(serial, fanned):
+        assert s.name == p.name
+        assert s.profiled.paths.counts == p.profiled.paths.counts
+        assert [r.path_id for r in s.ranked] == [r.path_id for r in p.ranked]
+        assert [b.coverage for b in s.braids] == [b.coverage for b in p.braids]
+
+
+def test_jobs_one_and_single_workload_stay_serial():
+    pipeline = NeedlePipeline()
+    suite = _suite(SUBSET[:2])
+    assert not pipeline._use_jobs(None, suite, {})
+    assert not pipeline._use_jobs(1, suite, {})
+    assert not pipeline._use_jobs(4, suite[:1], {})
+    # fully memoized suite: serial lookup beats forking workers
+    pipeline.evaluate_all(suite)
+    assert not pipeline._use_jobs(4, suite, pipeline._evaluations)
+
+
+def test_evaluation_cache_roundtrip_in_fresh_pipeline(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    name = SUBSET[0]
+
+    warm = NeedlePipeline(cache=ArtifactCache(cache_dir))
+    first = warm.evaluate(workloads.get(name))
+    assert warm.cache.hits == 0
+
+    # a brand-new pipeline (fresh in-memory state) must rebuild the exact
+    # OffloadOutcome numbers from disk alone
+    cold = NeedlePipeline(cache=ArtifactCache(cache_dir))
+    second = cold.evaluate(workloads.get(name))
+    assert cold.cache.hits > 0
+    assert _flatten(first) == _flatten(second)
+    assert second.braid is not None
+    assert second.braid.performance_improvement == pytest.approx(
+        first.braid.performance_improvement, abs=0.0
+    )
+
+
+def test_corrupt_evaluation_entry_recomputes(tmp_path):
+    import glob
+    import os
+
+    cache_dir = str(tmp_path / "cache")
+    name = SUBSET[0]
+    NeedlePipeline(cache=ArtifactCache(cache_dir)).evaluate(workloads.get(name))
+
+    for path in glob.glob(os.path.join(cache_dir, "**", "*.pkl"), recursive=True):
+        with open(path, "wb") as fh:
+            fh.write(b"\x80garbage")
+
+    pipeline = NeedlePipeline(cache=ArtifactCache(cache_dir))
+    ev = pipeline.evaluate(workloads.get(name))
+    assert ev.braid is not None  # recomputed, not crashed
+    assert pipeline.cache.misses > 0
+
+    clean = NeedlePipeline().evaluate(workloads.get(name))
+    assert _flatten(ev) == _flatten(clean)
+
+
+def test_cache_separates_configs(tmp_path):
+    from repro.sim.config import OffloadConfig, SystemConfig
+
+    cache_dir = str(tmp_path / "cache")
+    name = SUBSET[0]
+    default = NeedlePipeline(cache=ArtifactCache(cache_dir))
+    default.evaluate(workloads.get(name))
+
+    eager_cfg = SystemConfig(offload=OffloadConfig(detect_failure_at_end=False))
+    eager = NeedlePipeline(eager_cfg, cache=ArtifactCache(cache_dir))
+    ev = eager.evaluate(workloads.get(name))
+    assert eager.cache.hits == 0  # different config ⇒ different key
+    reference = NeedlePipeline(eager_cfg).evaluate(workloads.get(name))
+    assert _flatten(ev) == _flatten(reference)
+
+
+def test_pipeline_accepts_cache_path_string(tmp_path):
+    pipeline = NeedlePipeline(cache=str(tmp_path / "cache"))
+    assert isinstance(pipeline.cache, ArtifactCache)
+    pipeline.evaluate(workloads.get(SUBSET[0]))
+    assert pipeline.cache.misses > 0  # cold cache was consulted

@@ -1,6 +1,6 @@
 import pytest
 
-from repro.analysis import CFG, LoopInfo
+from repro.analysis import LoopInfo
 from repro.interp import Interpreter
 from repro.ir import verify_function
 from repro.transforms.unroll import UnrollError, unroll_hottest_loop, unroll_loop
