@@ -7,35 +7,77 @@ Superblock/Hyperblock baselines, a CGRA + OOO-core + MESI-cache cycle
 simulator, an energy model, an HLS feasibility estimator, and a 29-workload
 synthetic suite shaped after SPEC/PARSEC/PERFECT.
 
-Typical entry points::
+Public API
+----------
+The names exported here are the supported surface; deep imports keep
+working but may be rearranged between versions.
 
-    from repro import NeedlePipeline, workloads
+::
+
+    from repro import NeedlePipeline, load_workload
     pipeline = NeedlePipeline()
-    evaluation = pipeline.evaluate(workloads.get("470.lbm"))
+    evaluation = pipeline.evaluate(load_workload("470.lbm"))
     print(evaluation.braid.performance_improvement)
+
+    # suite sweep with caching, parallelism and metrics in one call
+    from repro import evaluate_suite, obs
+    obs.enable()
+    rows = evaluate_suite(jobs=4, cache_dir="/tmp/needle-cache")
+    print(obs.export.render_metrics(None))
 """
 
-from . import analysis, frames, interp, ir, profiling, regions, reporting, sim
-from . import accel, transforms, workloads
-from .artifacts import ArtifactCache
-from .pipeline import NeedlePipeline, WorkloadAnalysis, WorkloadEvaluation
+from typing import List, Optional
 
-__version__ = "1.0.0"
+from . import analysis, frames, interp, ir, obs, profiling, regions
+from . import accel, reporting, sim, transforms, workloads
+from .artifacts import ArtifactCache
+from .options import PipelineOptions
+from .pipeline import (
+    NeedlePipeline,
+    WorkloadAnalysis,
+    WorkloadEvaluation,
+    evaluate_suite,
+)
+from .sim.config import DEFAULT_CONFIG, SystemConfig
+from .workloads import Workload
+from .workloads import get as load_workload
+
+__version__ = "1.1.0"
+
+
+def suite(name: Optional[str] = None) -> List[Workload]:
+    """The workload suite in Table II order.
+
+    ``suite()`` returns all 29 workloads; ``suite("spec")``,
+    ``suite("parsec")`` or ``suite("perfect")`` narrows to one source suite.
+    """
+    if name is None:
+        return workloads.all_workloads()
+    return workloads.suite(name)
+
 
 __all__ = [
     "ArtifactCache",
+    "DEFAULT_CONFIG",
     "NeedlePipeline",
+    "PipelineOptions",
+    "SystemConfig",
+    "Workload",
     "WorkloadAnalysis",
     "WorkloadEvaluation",
     "accel",
     "analysis",
+    "evaluate_suite",
     "frames",
     "interp",
     "ir",
+    "load_workload",
+    "obs",
     "profiling",
     "regions",
     "reporting",
     "sim",
+    "suite",
     "transforms",
     "workloads",
 ]

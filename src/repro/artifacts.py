@@ -36,8 +36,12 @@ import sys
 import tempfile
 from typing import Optional, Tuple
 
+from .obs import counter as _obs_counter, enabled as _obs_enabled
+
 #: bump when the pickled artifact layout changes incompatibly
-CACHE_FORMAT_VERSION = 1
+#: (2: AnalysisSummary gained dynamic_instructions/memory_events and
+#: OffloadOutcome gained per-level memory access censuses for the obs layer)
+CACHE_FORMAT_VERSION = 2
 
 #: environment variable overriding the default cache root
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -110,6 +114,9 @@ class ArtifactCache:
                 payload = fh.read()
         except OSError:
             self.misses += 1
+            if _obs_enabled():
+                _obs_counter("artifacts.misses", 1,
+                             help="artifact cache misses", kind=kind)
             return None
         old_limit = sys.getrecursionlimit()
         try:
@@ -118,6 +125,11 @@ class ArtifactCache:
         except Exception:
             # corrupt/stale entry: evict and recompute
             self.misses += 1
+            if _obs_enabled():
+                _obs_counter("artifacts.misses", 1,
+                             help="artifact cache misses", kind=kind)
+                _obs_counter("artifacts.evictions", 1,
+                             help="corrupt entries evicted", kind=kind)
             try:
                 os.unlink(path)
             except OSError:
@@ -126,6 +138,9 @@ class ArtifactCache:
         finally:
             sys.setrecursionlimit(old_limit)
         self.hits += 1
+        if _obs_enabled():
+            _obs_counter("artifacts.hits", 1,
+                         help="artifact cache hits", kind=kind)
         return obj
 
     def put(self, kind: str, key: str, obj) -> bool:
@@ -140,6 +155,9 @@ class ArtifactCache:
             return False
         finally:
             sys.setrecursionlimit(old_limit)
+        if _obs_enabled():
+            _obs_counter("artifacts.writes", 1,
+                         help="artifacts persisted", kind=kind)
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
@@ -180,3 +198,15 @@ class ArtifactCache:
             self.hits,
             self.misses,
         )
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "EVALUATION_KIND",
+    "PROFILE_KIND",
+    "ArtifactCache",
+    "config_fingerprint",
+    "default_cache_dir",
+    "workload_key",
+]

@@ -6,12 +6,18 @@ list                 enumerate the 29-workload suite
 analyze WORKLOAD     per-workload Needle report (paths, braids, frames)
 evaluate [WORKLOAD]  Fig. 9 / Fig. 10 style numbers (one workload or all)
 dump WORKLOAD        print the workload's hot function as IR text
+metrics [WORKLOAD]   evaluate with instrumentation on; print the registry
+trace [WORKLOAD]     evaluate with instrumentation on; print the span tree
 
 ``analyze`` and ``evaluate`` persist profiles and evaluation results in a
 content-addressed artifact cache (default ``~/.cache/repro-needle``, or
 ``$REPRO_CACHE_DIR``), so repeat invocations skip re-profiling; ``--no-cache``
 bypasses it and ``--cache-dir`` relocates it.  ``evaluate --jobs N`` shards
-the suite across N worker processes.
+the suite across N worker processes.  Every pipeline command accepts
+``--metrics`` (print the observability registry afterwards) and
+``--metrics-out PATH`` (write it as JSON); the flags come from
+:class:`~repro.options.PipelineOptions`, the same options surface the
+Python API uses.
 """
 
 from __future__ import annotations
@@ -20,16 +26,31 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import workloads
-from .artifacts import ArtifactCache
+from . import obs, workloads
+from .obs import export as obs_export
+from .options import PipelineOptions
 from .pipeline import NeedlePipeline, WorkloadEvaluation
 
 
+def _options_from_args(args) -> PipelineOptions:
+    opts = PipelineOptions.from_args(args)
+    if opts.wants_metrics:
+        obs.enable(reset=True)
+    return opts
+
+
 def _make_pipeline(args) -> NeedlePipeline:
-    cache = None
-    if not getattr(args, "no_cache", False):
-        cache = ArtifactCache(getattr(args, "cache_dir", None))
-    return NeedlePipeline(cache=cache)
+    return _options_from_args(args).build_pipeline()
+
+
+def _finish_metrics(opts: PipelineOptions) -> None:
+    """Emit whatever metrics output the run asked for."""
+    if opts.metrics_out is not None:
+        with open(opts.metrics_out, "w") as fh:
+            fh.write(obs_export.to_json(None))
+    if opts.metrics:
+        print()
+        print(obs_export.render_metrics(None))
 
 
 def _cmd_list(_args) -> int:
@@ -56,7 +77,8 @@ def _cmd_analyze(args) -> int:
     from .interp import Interpreter, OpMixTracer
     from .reporting import format_table
 
-    pipeline = _make_pipeline(args)
+    opts = _options_from_args(args)
+    pipeline = opts.build_pipeline()
     w = workloads.get(args.workload)
     a = pipeline.analyse(w)
     print("%s: %d executed paths, top braid merges %d paths for %.1f%% coverage"
@@ -83,6 +105,7 @@ def _cmd_analyze(args) -> int:
         print("braid frame: %d ops, %d guards, %d psi, %d live-in, %d live-out"
               % (f.op_count, f.guard_count, len(f.psis),
                  len(f.live_ins), len(f.live_outs)))
+    _finish_metrics(opts)
     return 0
 
 
@@ -110,14 +133,20 @@ def evaluation_row(name: str, ev: WorkloadEvaluation) -> tuple:
     )
 
 
-def _cmd_evaluate(args) -> int:
-    from .reporting import format_table
-
+def _run_evaluations(args, opts: PipelineOptions):
     pipeline = _make_pipeline(args)
     names = [args.workload] if args.workload else workloads.all_names()
     evaluations = pipeline.evaluate_all(
-        [workloads.get(name) for name in names], jobs=args.jobs
+        [workloads.get(name) for name in names], jobs=opts.jobs
     )
+    return names, evaluations
+
+
+def _cmd_evaluate(args) -> int:
+    from .reporting import format_table
+
+    opts = _options_from_args(args)
+    names, evaluations = _run_evaluations(args, opts)
     rows = [evaluation_row(name, ev) for name, ev in zip(names, evaluations)]
     print(format_table(
         ["workload", "path oracle %", "path hist %", "braid %",
@@ -125,22 +154,35 @@ def _cmd_evaluate(args) -> int:
         rows,
         title="Needle offload evaluation",
     ))
+    _finish_metrics(opts)
     return 0
 
 
-def _add_cache_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help="artifact cache root (default: $REPRO_CACHE_DIR or "
-        "~/.cache/repro-needle)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="bypass the persistent artifact cache",
-    )
+def _cmd_metrics(args) -> int:
+    opts = _options_from_args(args)
+    obs.enable(reset=True)
+    _run_evaluations(args, opts)
+    if args.format == "json":
+        print(obs_export.to_json(None))
+    elif args.format == "prom":
+        print(obs_export.to_prometheus(None))
+    else:
+        print(obs_export.render_metrics(None))
+    if opts.metrics_out is not None:
+        with open(opts.metrics_out, "w") as fh:
+            fh.write(obs_export.to_json(None))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    opts = _options_from_args(args)
+    obs.enable(reset=True)
+    _run_evaluations(args, opts)
+    print(obs_export.render_trace(None))
+    if opts.metrics_out is not None:
+        with open(opts.metrics_out, "w") as fh:
+            fh.write(obs_export.to_json(None))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,26 +202,44 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="per-workload Needle analysis")
     p.add_argument("workload")
     p.add_argument("--top", type=int, default=5)
-    _add_cache_options(p)
+    PipelineOptions.add_cli_arguments(p, jobs=False)
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("evaluate", help="simulate offload (Fig. 9/10 numbers)")
     p.add_argument("workload", nargs="?", default=None)
-    p.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        metavar="N",
-        help="shard the suite across N worker processes",
-    )
-    _add_cache_options(p)
+    PipelineOptions.add_cli_arguments(p)
     p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "metrics",
+        help="evaluate with instrumentation on and print the metric registry",
+    )
+    p.add_argument("workload", nargs="?", default=None)
+    p.add_argument(
+        "--format",
+        choices=("table", "json", "prom"),
+        default="table",
+        help="output format (human table, JSON, or Prometheus text)",
+    )
+    PipelineOptions.add_cli_arguments(p)
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "trace",
+        help="evaluate with instrumentation on and print the span tree",
+    )
+    p.add_argument("workload", nargs="?", default=None)
+    PipelineOptions.add_cli_arguments(p)
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
+
+
+__all__ = ["build_parser", "evaluation_row", "main"]
 
 
 if __name__ == "__main__":  # pragma: no cover

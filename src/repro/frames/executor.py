@@ -21,6 +21,7 @@ from ..interp.interpreter import (
     _INT_BINOP_FNS,
 )
 from ..interp.memory import Memory
+from ..obs import counter as _obs_counter, enabled as _obs_enabled
 from ..ir.block import BasicBlock
 from ..ir.instructions import (
     Alloca,
@@ -95,6 +96,21 @@ class FrameExecutor:
 
         ``live_in_values`` must supply every value in ``frame.live_ins``.
         """
+        result = self._run(frame, live_in_values)
+        if _obs_enabled():
+            kind = frame.region.kind
+            _obs_counter(
+                "frames.commits" if result.success else "frames.aborts", 1,
+                help="frame invocations that committed (or rolled back)",
+                region=kind)
+            if not result.success:
+                _obs_counter("frames.rolled_back_stores",
+                             result.stores_logged,
+                             help="undo-log entries replayed by aborts",
+                             region=kind)
+        return result
+
+    def _run(self, frame: Frame, live_in_values: Dict[Value, object]) -> FrameResult:
         missing = [v for v in frame.live_ins if v not in live_in_values]
         if missing:
             raise FrameExecutionError(

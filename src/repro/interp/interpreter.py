@@ -43,6 +43,7 @@ from ..ir.instructions import (
 from ..ir.module import Module
 from ..ir.types import Type
 from ..ir.values import Constant, GlobalArray, UndefValue, Value
+from ..obs import counter as _obs_counter, enabled as _obs_enabled
 from .events import Tracer
 from .memory import Memory
 
@@ -153,10 +154,25 @@ class Interpreter:
     # -- execution ---------------------------------------------------------------
 
     def run(self, fn: "Function | str", args: Sequence = ()):
-        """Execute ``fn`` with ``args``; returns the function's return value."""
+        """Execute ``fn`` with ``args``; returns the function's return value.
+
+        Observability is charged here, at the run boundary, never inside
+        the thunk loop: when :mod:`repro.obs` is enabled the aggregate
+        instruction count of the whole run is published as one counter
+        increment, so the hot loop carries zero instrumentation cost.
+        """
         if isinstance(fn, str):
             fn = self.module.get_function(fn)
-        return self._run_function(fn, list(args))
+        before = self.executed_instructions
+        result = self._run_function(fn, list(args))
+        if _obs_enabled():
+            _obs_counter("interp.runtime.instructions",
+                         self.executed_instructions - before,
+                         help="instructions executed by live interpreter runs",
+                         function=fn.name)
+            _obs_counter("interp.runtime.runs", 1,
+                         help="top-level interpreter runs", function=fn.name)
+        return result
 
     def _run_function(self, fn: Function, args: List):
         if len(args) != len(fn.args):

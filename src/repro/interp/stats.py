@@ -56,6 +56,22 @@ class OpMix:
         return self.opcodes.most_common(n)
 
 
+def opcode_census(trace) -> Counter:
+    """Dynamic per-opcode execution counts reconstructed from a recorded
+    :class:`~repro.interp.events.FunctionTrace`.
+
+    Cost is static-instructions × distinct-blocks, not dynamic length:
+    each block's opcode census is taken once and scaled by its execution
+    count — cheap enough to run at profile-publication time without
+    touching the interpreter's hot loop.
+    """
+    census: Counter = Counter()
+    for block, count in trace.block_counts().items():
+        for inst in block.instructions:
+            census[inst.opcode] += count
+    return census
+
+
 class OpMixTracer(Tracer):
     """Accumulates per-function dynamic opcode counts."""
 

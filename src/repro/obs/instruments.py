@@ -1,0 +1,139 @@
+"""Record-derived (semantic) metric publication.
+
+The determinism contract — cached, parallel and serial runs of the same
+suite report identical semantic counters — is only achievable if the
+semantic numbers come from the pipeline's *result records* rather than
+from live execution: a cache-served evaluation never runs the interpreter
+or the simulator, but it carries the exact same
+:class:`~repro.pipeline.WorkloadEvaluation` record a cold run produced.
+This module is the single place those records are flattened into the
+registry; everything it publishes is marked ``semantic=True``.
+
+Access is duck-typed on purpose: importing :mod:`repro.pipeline` here
+would create an import cycle (pipeline → obs → pipeline).
+"""
+
+from __future__ import annotations
+
+from . import counter, enabled, gauge
+
+#: (strategy label, attribute on WorkloadEvaluation) pairs
+_STRATEGIES = (
+    ("path-oracle", "path_oracle"),
+    ("path-history", "path_history"),
+    ("braid", "braid"),
+)
+
+
+def _publish_outcome(workload: str, strategy: str, outcome) -> None:
+    counter("sim.cycles", outcome.needle_cycles, semantic=True,
+            help="simulated cycles under Needle offload",
+            workload=workload, strategy=strategy)
+    counter("sim.baseline_cycles", outcome.baseline_cycles, semantic=True,
+            help="simulated host-only cycles",
+            workload=workload, strategy=strategy)
+    counter("sim.energy_pj", outcome.needle_energy_pj, semantic=True,
+            help="simulated energy under Needle offload (pJ)",
+            workload=workload, strategy=strategy)
+    counter("sim.baseline_energy_pj", outcome.baseline_energy_pj,
+            semantic=True, help="simulated host-only energy (pJ)",
+            workload=workload, strategy=strategy)
+    counter("sim.frame_invocations", outcome.invocations, semantic=True,
+            help="frame invocations attempted",
+            workload=workload, strategy=strategy)
+    counter("sim.frame_guard_failures", outcome.failures, semantic=True,
+            help="frame invocations aborted by a guard (Fig. 10 discussion)",
+            workload=workload, strategy=strategy)
+    for port, attr in (("host", "host_mem_levels"),
+                       ("accel", "accel_mem_levels")):
+        for level, n in sorted(getattr(outcome, attr, {}).items()):
+            counter("sim.mem_accesses", n, semantic=True,
+                    help="memory accesses served per hierarchy level",
+                    workload=workload, strategy=strategy,
+                    port=port, level=level)
+
+
+def _publish_frame(workload: str, region: str, frame_summary) -> None:
+    gauge("frames.ops", frame_summary.op_count, semantic=True,
+          help="operations in the software frame",
+          workload=workload, region=region)
+    gauge("frames.guards", frame_summary.guard_count, semantic=True,
+          help="guard ops protecting the speculative frame",
+          workload=workload, region=region)
+    gauge("frames.psis", frame_summary.psi_count, semantic=True,
+          help="psi-selects merging braid arms",
+          workload=workload, region=region)
+    gauge("frames.live_values",
+          frame_summary.live_in_count + frame_summary.live_out_count,
+          semantic=True, help="live-in + live-out transfer values",
+          workload=workload, region=region)
+    gauge("frames.stores", frame_summary.store_count, semantic=True,
+          help="undo-logged stores in the frame",
+          workload=workload, region=region)
+
+
+def publish_workload_evaluation(evaluation) -> None:
+    """Flatten one ``WorkloadEvaluation`` into semantic metric series.
+
+    Called exactly once per evaluation record *production* (computed,
+    or loaded from the artifact cache) in whichever process produced it;
+    parallel workers publish into their scoped registry and the parent
+    merges, so the totals match a serial run by construction.
+    """
+    if not enabled():
+        return
+    summary = evaluation.summary
+    w = summary.name
+    counter("pipeline.workloads_evaluated", 1, semantic=True,
+            help="workload evaluations produced", suite=summary.suite)
+    counter("interp.instructions_retired", summary.dynamic_instructions,
+            semantic=True,
+            help="dynamic instructions retired by the profiling run",
+            workload=w)
+    counter("interp.memory_trace_events", summary.memory_events,
+            semantic=True,
+            help="load/store events in the recorded memory trace",
+            workload=w)
+    counter("profile.path_executions", summary.total_executions,
+            semantic=True, help="Ball-Larus path executions recorded",
+            workload=w)
+    counter("profile.paths_recorded", summary.executed_paths, semantic=True,
+            help="distinct Ball-Larus paths observed (Table II:C1)",
+            workload=w)
+    gauge("profile.top_path_coverage", summary.top_path_coverage,
+          semantic=True, help="coverage of the hottest path", workload=w)
+    gauge("regions.braid_coverage", summary.braid_coverage, semantic=True,
+          help="coverage of the top braid", workload=w)
+    gauge("regions.braid_paths", summary.braid_n_paths, semantic=True,
+          help="paths merged into the top braid", workload=w)
+
+    for strategy, attr in _STRATEGIES:
+        outcome = getattr(evaluation, attr)
+        if outcome is not None:
+            _publish_outcome(w, strategy, outcome)
+
+    if summary.path_frame is not None:
+        _publish_frame(w, "bl-path", summary.path_frame)
+    if summary.braid_frame is not None:
+        _publish_frame(w, "braid", summary.braid_frame)
+
+    sched = evaluation.braid_schedule
+    if sched is not None:
+        gauge("cgra.schedule_cycles", sched.cycles, semantic=True,
+              help="CGRA schedule makespan for the braid frame", workload=w)
+        gauge("cgra.initiation_interval", sched.initiation_interval,
+              semantic=True, help="pipelined initiation interval",
+              workload=w)
+        gauge("cgra.fu_utilization", sched.fu_utilization, semantic=True,
+              help="functional-unit utilisation of the mapped frame",
+              workload=w)
+        gauge("cgra.ilp", sched.ilp, semantic=True,
+              help="ops per schedule cycle", workload=w)
+
+    hls = evaluation.hls
+    if hls is not None:
+        gauge("hls.alm_fraction", hls.alm_fraction, semantic=True,
+              help="Cyclone V ALM fraction consumed (§VI)", workload=w)
+
+
+__all__ = ["publish_workload_evaluation"]

@@ -1,0 +1,346 @@
+"""Metric primitives and the registry they live in.
+
+Three metric kinds, all labelled:
+
+* :class:`Counter` — monotonically accumulating totals (events, cycles,
+  instructions).  Merging registries *adds* counter series.
+* :class:`Gauge` — point-in-time values (wall seconds, utilisation).
+  Merging keeps the incoming value (last writer wins).
+* :class:`Histogram` — bucketed distributions with ``sum`` and ``count``.
+  Merging adds bucket contents.
+
+Each metric carries a ``semantic`` flag separating two determinism
+classes.  *Semantic* series are derived from pipeline result records and
+must be identical whether a run was serial, sharded over a process pool,
+or served from the artifact cache — :meth:`MetricsRegistry.semantic_series`
+exposes exactly that comparable subset.  *Operational* series (wall
+times, artifact-cache hits, worker ids) describe how the run happened and
+may legitimately differ between runs.
+
+Registries cross process boundaries as plain-dict :meth:`snapshots
+<MetricsRegistry.snapshot>`: a worker serialises its registry, ships it
+back through the process pool, and the parent folds it in with
+:meth:`MetricsRegistry.merge_snapshot`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .spans import SpanNode
+
+#: canonical form of a label set: sorted (key, value-as-str) pairs
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: histogram bucket upper bounds used when none are supplied (seconds-ish
+#: scale, but dimensionless: callers pick their own unit)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+def label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical, hashable, order-independent form of a label mapping."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricTypeError(TypeError):
+    """A metric name was re-registered with a different kind."""
+
+
+class Metric:
+    """Base: a named family of labelled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", semantic: bool = False):
+        self.name = name
+        self.help = help
+        self.semantic = semantic
+        self.values: Dict[LabelKey, object] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    def series(self) -> List[Tuple[LabelKey, object]]:
+        """(labels, value) pairs in deterministic (sorted-label) order."""
+        return sorted(self.values.items())
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return "<%s %s: %d series>" % (
+            type(self).__name__, self.name, len(self.values)
+        )
+
+    # -- snapshot / merge ---------------------------------------------------
+
+    def _snapshot_value(self, value) -> object:
+        return value
+
+    def _merge_value(self, key: LabelKey, value) -> None:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Accumulating total; merge adds."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1, **labels) -> None:
+        key = label_key(labels)
+        self.values[key] = self.values.get(key, 0) + value
+
+    def value(self, **labels) -> float:
+        return self.values.get(label_key(labels), 0)
+
+    def _merge_value(self, key: LabelKey, value) -> None:
+        self.values[key] = self.values.get(key, 0) + value
+
+
+class Gauge(Metric):
+    """Point-in-time value; merge keeps the incoming (latest) value."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self.values[label_key(labels)] = value
+
+    def value(self, **labels) -> Optional[float]:
+        return self.values.get(label_key(labels))
+
+    def _merge_value(self, key: LabelKey, value) -> None:
+        self.values[key] = value
+
+
+class Histogram(Metric):
+    """Bucketed distribution; merge adds buckets, sums and counts.
+
+    Stored per label set as ``[bucket_counts, sum, count]`` where
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]`` exclusive of
+    earlier buckets, plus one trailing overflow cell.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        semantic: bool = False,
+        buckets: Optional[Iterable[float]] = None,
+    ):
+        super().__init__(name, help=help, semantic=semantic)
+        self.buckets: Tuple[float, ...] = tuple(
+            sorted(buckets if buckets is not None else DEFAULT_BUCKETS)
+        )
+
+    def observe(self, value: float, **labels) -> None:
+        key = label_key(labels)
+        state = self.values.get(key)
+        if state is None:
+            state = [[0] * (len(self.buckets) + 1), 0.0, 0]
+            self.values[key] = state
+        idx = len(self.buckets)  # overflow cell
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        state[0][idx] += 1
+        state[1] += value
+        state[2] += 1
+
+    def stats(self, **labels) -> Optional[Dict[str, object]]:
+        state = self.values.get(label_key(labels))
+        if state is None:
+            return None
+        return {"buckets": list(state[0]), "sum": state[1], "count": state[2]}
+
+    def _snapshot_value(self, value) -> object:
+        return [list(value[0]), value[1], value[2]]
+
+    def _merge_value(self, key: LabelKey, value) -> None:
+        state = self.values.get(key)
+        if state is None:
+            self.values[key] = [list(value[0]), value[1], value[2]]
+            return
+        for i, n in enumerate(value[0]):
+            state[0][i] += n
+        state[1] += value[1]
+        state[2] += value[2]
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """Holds every metric family plus completed span trees.
+
+    One global instance backs the :mod:`repro.obs` module-level helpers;
+    worker processes run against scoped private instances and ship
+    snapshots back to the parent.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+        #: completed root spans, in completion order
+        self.span_roots: List[SpanNode] = []
+        #: currently-open span stack (innermost last)
+        self.span_stack: List[SpanNode] = []
+
+    # -- metric access -----------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, semantic: bool, **kw):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help=help, semantic=semantic, **kw)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise MetricTypeError(
+                "metric %r already registered as %s, requested %s"
+                % (name, metric.kind, cls.kind)
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", semantic: bool = False) -> Counter:
+        return self._get_or_create(Counter, name, help, semantic)
+
+    def gauge(self, name: str, help: str = "", semantic: bool = False) -> Gauge:
+        return self._get_or_create(Gauge, name, help, semantic)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        semantic: bool = False,
+        buckets: Optional[Iterable[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, semantic, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def metrics(self) -> List[Metric]:
+        """All metric families, sorted by name."""
+        return [self._metrics[n] for n in sorted(self._metrics)]
+
+    def clear(self) -> None:
+        self._metrics.clear()
+        self.span_roots = []
+        self.span_stack = []
+
+    # -- spans -------------------------------------------------------------
+
+    def open_span(self, name: str, labels: Dict[str, object]) -> SpanNode:
+        node = SpanNode(name=name, labels={k: str(v) for k, v in labels.items()})
+        self.span_stack.append(node)
+        return node
+
+    def close_span(self, node: SpanNode) -> None:
+        # pop through to the node, healing the stack even if a span leaked
+        while self.span_stack:
+            top = self.span_stack.pop()
+            if top is node:
+                break
+        if self.span_stack:
+            self.span_stack[-1].children.append(node)
+        else:
+            self.span_roots.append(node)
+
+    def adopt_spans(self, spans: List[SpanNode]) -> None:
+        """Attach foreign (e.g. worker) root spans under the innermost open
+        span, or as roots when nothing is open."""
+        if self.span_stack:
+            self.span_stack[-1].children.extend(spans)
+        else:
+            self.span_roots.extend(spans)
+
+    # -- snapshot / merge ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict, picklable/JSON-able image of the registry."""
+        metrics = []
+        for metric in self.metrics():
+            entry = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "help": metric.help,
+                "semantic": metric.semantic,
+                "series": [
+                    {
+                        "labels": dict(key),
+                        "value": metric._snapshot_value(value),
+                    }
+                    for key, value in metric.series()
+                ],
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+            metrics.append(entry)
+        return {
+            "metrics": metrics,
+            "spans": [node.to_dict() for node in self.span_roots],
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges overwrite,
+        span trees attach under the innermost open span."""
+        for entry in snapshot.get("metrics", ()):
+            cls = _KINDS.get(entry.get("kind"))
+            if cls is None:
+                continue
+            kw = {}
+            if cls is Histogram and entry.get("buckets"):
+                kw["buckets"] = entry["buckets"]
+            metric = self._get_or_create(
+                cls,
+                entry["name"],
+                entry.get("help", ""),
+                bool(entry.get("semantic")),
+                **kw,
+            )
+            for series in entry.get("series", ()):
+                metric._merge_value(
+                    label_key(series.get("labels", {})), series["value"]
+                )
+        spans = [
+            SpanNode.from_dict(d) for d in snapshot.get("spans", ())
+        ]
+        if spans:
+            self.adopt_spans(spans)
+
+    # -- determinism contract ----------------------------------------------
+
+    def semantic_series(self) -> List[Tuple[str, LabelKey, object]]:
+        """Every series of every semantic metric, fully sorted.
+
+        This is the comparable subset: serial, parallel and cached runs of
+        the same suite must produce identical lists.
+        """
+        out: List[Tuple[str, LabelKey, object]] = []
+        for metric in self.metrics():
+            if not metric.semantic:
+                continue
+            for key, value in metric.series():
+                out.append((metric.name, key, metric._snapshot_value(value)))
+        return out
+
+    def __repr__(self) -> str:
+        return "<MetricsRegistry: %d metrics, %d spans>" % (
+            len(self._metrics), len(self.span_roots)
+        )
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelKey",
+    "Metric",
+    "MetricTypeError",
+    "MetricsRegistry",
+    "label_key",
+]

@@ -1,0 +1,92 @@
+"""Hierarchical timing spans.
+
+A span measures one named stretch of work (``analyse``, ``evaluate``,
+``simulate_offload``) with arbitrary labels; nested spans form the timing
+tree a pipeline run produces.  Spans serialise to plain dicts so worker
+processes can ship their trees back to the parent, where they are grafted
+under the parent's open span.
+
+Durations are wall-clock (:func:`time.perf_counter`) and therefore
+*operational* data — never part of the semantic-determinism contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SpanNode:
+    """One completed (or in-flight) span."""
+
+    name: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    start: float = 0.0
+    duration: float = 0.0
+    children: List["SpanNode"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "duration": self.duration,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanNode":
+        return cls(
+            name=data.get("name", "?"),
+            labels=dict(data.get("labels", {})),
+            duration=float(data.get("duration", 0.0)),
+            children=[cls.from_dict(c) for c in data.get("children", ())],
+        )
+
+    def walk(self):
+        """Depth-first iteration over this subtree (self first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class NoopSpan:
+    """Reusable do-nothing context manager: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: singleton handed out whenever instrumentation is disabled
+NOOP_SPAN = NoopSpan()
+
+
+class SpanContext:
+    """Context manager recording one span into a registry."""
+
+    __slots__ = ("registry", "name", "labels", "node")
+
+    def __init__(self, registry, name: str, labels: Dict[str, object]):
+        self.registry = registry
+        self.name = name
+        self.labels = labels
+        self.node: SpanNode = None  # type: ignore[assignment]
+
+    def __enter__(self) -> SpanNode:
+        self.node = self.registry.open_span(self.name, self.labels)
+        self.node.start = time.perf_counter()
+        return self.node
+
+    def __exit__(self, *exc) -> bool:
+        self.node.duration = time.perf_counter() - self.node.start
+        self.registry.close_span(self.node)
+        return False
+
+
+__all__ = ["NOOP_SPAN", "NoopSpan", "SpanContext", "SpanNode"]

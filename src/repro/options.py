@@ -1,0 +1,136 @@
+"""One options surface shared by the CLI and the Python API.
+
+Every knob the pipeline accepts — parallelism, artifact-cache placement,
+metrics collection — lives in :class:`PipelineOptions`.  ``cli.py`` builds
+its argparse flags *from* this class and parses *back into* it, so the
+command line and the programmatic API cannot drift: a new knob added here
+shows up in both automatically.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from .artifacts import ArtifactCache
+from .sim.config import SystemConfig
+
+
+def validate_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Normalise a ``jobs`` request.
+
+    ``None`` and ``1`` mean serial; values below 1 are invalid — rather
+    than handing them to ``ProcessPoolExecutor`` (which would raise a
+    cryptic ``ValueError`` mid-sweep) we warn clearly and fall back to
+    serial execution.
+    """
+    if jobs is None:
+        return None
+    jobs = int(jobs)
+    if jobs < 1:
+        warnings.warn(
+            "jobs=%d is invalid (need >= 1); falling back to serial "
+            "evaluation" % jobs,
+            stacklevel=3,
+        )
+        return None
+    return jobs
+
+
+@dataclass
+class PipelineOptions:
+    """Everything configurable about a pipeline run.
+
+    ``config``       Table V system parameters (``None`` = paper default).
+    ``jobs``         process-pool width for suite sweeps (``None``/1 = serial).
+    ``cache_dir``    artifact cache root (``None`` = ``$REPRO_CACHE_DIR`` or
+                     ``~/.cache/repro-needle``).
+    ``no_cache``     bypass the persistent artifact cache entirely.
+    ``metrics``      collect obs metrics/spans during the run.
+    ``metrics_out``  write the metrics registry as JSON to this path.
+    """
+
+    config: Optional[SystemConfig] = None
+    jobs: Optional[int] = None
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+    metrics: bool = False
+    metrics_out: Optional[str] = None
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def wants_metrics(self) -> bool:
+        """Does this run need instrumentation turned on?"""
+        return self.metrics or self.metrics_out is not None
+
+    def normalized_jobs(self) -> Optional[int]:
+        """``jobs`` validated for pool use (warns + serial on bad input)."""
+        return validate_jobs(self.jobs)
+
+    def build_cache(self) -> Optional[ArtifactCache]:
+        """The artifact cache this run should use (``None`` when bypassed)."""
+        if self.no_cache:
+            return None
+        return ArtifactCache(self.cache_dir)
+
+    def build_pipeline(self):
+        """A :class:`~repro.pipeline.NeedlePipeline` honouring these options."""
+        from .pipeline import NeedlePipeline
+
+        return NeedlePipeline(
+            self.config, cache=self.build_cache(), options=self
+        )
+
+    # -- argparse bridge ---------------------------------------------------
+
+    @classmethod
+    def add_cli_arguments(cls, parser, jobs: bool = True) -> None:
+        """Install this class's knobs as flags on an argparse parser."""
+        if jobs:
+            parser.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                metavar="N",
+                help="shard the suite across N worker processes",
+            )
+        parser.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="artifact cache root (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro-needle)",
+        )
+        parser.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="bypass the persistent artifact cache",
+        )
+        parser.add_argument(
+            "--metrics",
+            action="store_true",
+            help="collect and print observability metrics for this run",
+        )
+        parser.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write the metrics registry as JSON to PATH",
+        )
+
+    @classmethod
+    def from_args(cls, args) -> "PipelineOptions":
+        """Build options from a parsed argparse namespace (missing flags
+        keep their dataclass defaults, so every subcommand can share this)."""
+        kwargs = {}
+        for f in fields(cls):
+            if f.name == "config":
+                continue
+            if hasattr(args, f.name):
+                kwargs[f.name] = getattr(args, f.name)
+        return cls(**kwargs)
+
+
+__all__ = ["PipelineOptions", "validate_jobs"]

@@ -25,14 +25,19 @@ Suite sweeps scale two ways:
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from . import obs
 from .accel.cgra import CGRAScheduler, ScheduleResult
 from .accel.hls import HLSEstimator, HLSReport
 from .artifacts import EVALUATION_KIND, ArtifactCache, workload_key
 from .frames.frame import Frame, build_frame
+from .obs.instruments import publish_workload_evaluation
+from .options import PipelineOptions, validate_jobs
 from .profiling.ranking import RankedPath, rank_paths
 from .regions.braid import Braid, build_braids
 from .regions.path_region import path_to_region
@@ -141,6 +146,11 @@ class AnalysisSummary:
     braid_coverage: float
     path_frame: Optional[FrameSummary]
     braid_frame: Optional[FrameSummary]
+    #: dynamic instructions / memory events of the profiling run, carried
+    #: on the record so cache-served evaluations report the same semantic
+    #: counters as cold runs (the obs determinism contract)
+    dynamic_instructions: int = 0
+    memory_events: int = 0
 
     @classmethod
     def from_analysis(cls, analysis: WorkloadAnalysis) -> "AnalysisSummary":
@@ -153,6 +163,8 @@ class AnalysisSummary:
             flavor=w.flavor,
             executed_paths=analysis.profiled.paths.executed_paths,
             total_executions=analysis.profiled.paths.total_executions,
+            dynamic_instructions=analysis.profiled.trace.dynamic_instructions,
+            memory_events=len(analysis.profiled.trace.memory),
             top_path_coverage=top.coverage if top else 0.0,
             top_path_ops=top.ops if top else 0,
             braid_n_paths=braid.n_paths if braid else 0,
@@ -207,7 +219,13 @@ class NeedlePipeline:
         self,
         config: Optional[SystemConfig] = None,
         cache: "Optional[ArtifactCache | str]" = None,
+        options: Optional[PipelineOptions] = None,
     ):
+        if options is not None:
+            config = config or options.config
+            if cache is None and not options.no_cache:
+                cache = options.build_cache()
+        self.options = options or PipelineOptions(config=config)
         self.config = config or DEFAULT_CONFIG
         self.simulator = OffloadSimulator(self.config)
         if isinstance(cache, str):
@@ -222,18 +240,23 @@ class NeedlePipeline:
         cached = self._analyses.get(workload.name)
         if cached is not None:
             return cached
-        profiled = profile_workload(workload, artifact_cache=self.cache)
-        ranked = rank_paths(profiled.paths)
-        # offload braids merge hot same-entry/exit paths only (cold siblings
-        # would waste fabric area and energy under predication)
-        braids = build_braids(profiled.function, ranked, min_weight_ratio=0.02)
+        with obs.span("analyse", workload=workload.name):
+            profiled = profile_workload(workload, artifact_cache=self.cache)
+            ranked = rank_paths(profiled.paths)
+            # offload braids merge hot same-entry/exit paths only (cold
+            # siblings would waste fabric area and energy under predication)
+            braids = build_braids(
+                profiled.function, ranked, min_weight_ratio=0.02
+            )
 
-        path_frame = None
-        if ranked:
-            path_frame = build_frame(path_to_region(profiled.function, ranked[0]))
-        braid_frame = None
-        if braids:
-            braid_frame = build_frame(braids[0].region)
+            path_frame = None
+            if ranked:
+                path_frame = build_frame(
+                    path_to_region(profiled.function, ranked[0])
+                )
+            braid_frame = None
+            if braids:
+                braid_frame = build_frame(braids[0].region)
 
         analysis = WorkloadAnalysis(
             profiled=profiled,
@@ -251,16 +274,30 @@ class NeedlePipeline:
         cached = self._evaluations.get(workload.name)
         if cached is not None:
             return cached
-        key = None
-        if self.cache is not None:
-            key, _built = workload_key(workload, self.config)
-            stored = self.cache.get(EVALUATION_KIND, key)
-            if isinstance(stored, WorkloadEvaluation):
-                self._evaluations[workload.name] = stored
-                return stored
-        evaluation = self._evaluate_uncached(workload)
-        if self.cache is not None and key is not None:
-            self.cache.put(EVALUATION_KIND, key, evaluation)
+        t0 = time.perf_counter()
+        with obs.span("evaluate", workload=workload.name):
+            evaluation = None
+            source = "computed"
+            key = None
+            if self.cache is not None:
+                key, _built = workload_key(workload, self.config)
+                stored = self.cache.get(EVALUATION_KIND, key)
+                if isinstance(stored, WorkloadEvaluation):
+                    evaluation = stored
+                    source = "artifact-cache"
+            if evaluation is None:
+                evaluation = self._evaluate_uncached(workload)
+                if self.cache is not None and key is not None:
+                    self.cache.put(EVALUATION_KIND, key, evaluation)
+        if obs.enabled():
+            obs.counter("pipeline.cache_outcome", 1,
+                        help="where each evaluation record came from",
+                        workload=workload.name, outcome=source)
+            obs.gauge("pipeline.evaluate_seconds",
+                      time.perf_counter() - t0,
+                      help="wall time to produce one evaluation",
+                      workload=workload.name)
+            publish_workload_evaluation(evaluation)
         self._evaluations[workload.name] = evaluation
         return evaluation
 
@@ -318,9 +355,11 @@ class NeedlePipeline:
     ) -> List[WorkloadAnalysis]:
         """Analyse a suite, optionally sharded over ``jobs`` processes."""
         workloads = list(workloads)
+        jobs = validate_jobs(jobs)
         if not self._use_jobs(jobs, workloads, self._analyses):
             return [self.analyse(w) for w in workloads]
-        results = self._fan_out(_analyse_worker, workloads, jobs)
+        with obs.span("analyse_all", jobs=jobs, workloads=len(workloads)):
+            results = self._fan_out(_analyse_worker, workloads, jobs)
         for w, analysis in zip(workloads, results):
             self._analyses[w.name] = analysis
         return results
@@ -332,12 +371,15 @@ class NeedlePipeline:
 
         Rows come back in suite order and are bitwise-identical to the
         serial path: each worker runs the same deterministic pipeline, and
-        the pool only changes *where* a workload is computed.
+        the pool only changes *where* a workload is computed.  Invalid
+        ``jobs`` values (< 1) warn and fall back to serial.
         """
         workloads = list(workloads)
+        jobs = validate_jobs(jobs)
         if not self._use_jobs(jobs, workloads, self._evaluations):
             return [self.evaluate(w) for w in workloads]
-        results = self._fan_out(_evaluate_worker, workloads, jobs)
+        with obs.span("evaluate_all", jobs=jobs, workloads=len(workloads)):
+            results = self._fan_out(_evaluate_worker, workloads, jobs)
         for w, evaluation in zip(workloads, results):
             self._evaluations[w.name] = evaluation
         return results
@@ -353,15 +395,59 @@ class NeedlePipeline:
         return True
 
     def _fan_out(self, worker, workloads, jobs: int) -> List:
+        """Shard over a process pool; workers return ``(result, obs
+        snapshot-or-None)`` and the parent folds the registries back in,
+        in deterministic submission order."""
         cache_root = self.cache.root if self.cache is not None else None
+        collect = obs.enabled()
         max_workers = min(jobs, len(workloads))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = [
-                pool.submit(worker, w, self.config, cache_root)
+                pool.submit(worker, w, self.config, cache_root, collect)
                 for w in workloads
             ]
             # deterministic suite order: collect in submission order
-            return [f.result() for f in futures]
+            pairs = [f.result() for f in futures]
+        results = []
+        for result, snap in pairs:
+            if snap is not None:
+                obs.merge(snap)
+            results.append(result)
+        return results
+
+
+# -- suite façade -----------------------------------------------------------
+
+
+def evaluate_suite(
+    names=None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    config: Optional[SystemConfig] = None,
+    options: Optional[PipelineOptions] = None,
+) -> List[WorkloadEvaluation]:
+    """One-call evaluation of the suite (or a named subset of it).
+
+    The supported public entry point for "give me the Fig. 9/10 numbers":
+    resolves workload names, honours the artifact cache and process-pool
+    sharding, and returns evaluations in suite order.  Keyword arguments
+    are shorthands for the matching :class:`~repro.options.PipelineOptions`
+    fields; pass ``options`` to control everything at once.
+    """
+    from . import workloads as workload_registry
+
+    opts = options or PipelineOptions(
+        config=config, jobs=jobs, cache_dir=cache_dir
+    )
+    pipeline = opts.build_pipeline()
+    if names is None:
+        suite = workload_registry.all_workloads()
+    else:
+        suite = [
+            workload_registry.get(n) if isinstance(n, str) else n
+            for n in names
+        ]
+    return pipeline.evaluate_all(suite, jobs=opts.jobs)
 
 
 # -- process-pool workers (module level: must be picklable by reference) --------
@@ -372,13 +458,46 @@ def _worker_pipeline(config: SystemConfig, cache_root: Optional[str]) -> NeedleP
     return NeedlePipeline(config, cache=cache)
 
 
+def _run_worker(method, workload, config, cache_root, collect: bool):
+    """Run one workload in a pool worker, optionally collecting obs data
+    into a private registry whose snapshot rides back with the result."""
+    if not collect:
+        result = getattr(_worker_pipeline(config, cache_root), method)(workload)
+        return result, None
+    with obs.scoped() as reg:
+        obs.counter("pipeline.worker_tasks", 1,
+                    help="workloads processed per pool worker",
+                    worker=str(os.getpid()))
+        result = getattr(_worker_pipeline(config, cache_root), method)(workload)
+        snap = reg.snapshot()
+    return result, snap
+
+
 def _analyse_worker(
-    workload: Workload, config: SystemConfig, cache_root: Optional[str]
-) -> WorkloadAnalysis:
-    return _worker_pipeline(config, cache_root).analyse(workload)
+    workload: Workload,
+    config: SystemConfig,
+    cache_root: Optional[str],
+    collect: bool = False,
+):
+    return _run_worker("analyse", workload, config, cache_root, collect)
 
 
 def _evaluate_worker(
-    workload: Workload, config: SystemConfig, cache_root: Optional[str]
-) -> WorkloadEvaluation:
-    return _worker_pipeline(config, cache_root).evaluate(workload)
+    workload: Workload,
+    config: SystemConfig,
+    cache_root: Optional[str],
+    collect: bool = False,
+):
+    return _run_worker("evaluate", workload, config, cache_root, collect)
+
+
+__all__ = [
+    "AnalysisSummary",
+    "FrameSummary",
+    "NeedlePipeline",
+    "PipelineOptions",
+    "ScheduleSummary",
+    "WorkloadAnalysis",
+    "WorkloadEvaluation",
+    "evaluate_suite",
+]

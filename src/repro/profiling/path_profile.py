@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from ..interp.events import Tracer
 from ..ir.block import BasicBlock
 from ..ir.function import Function
+from ..obs import counter as _obs_counter, enabled as _obs_enabled
 from .ball_larus import BallLarusNumbering
 
 
@@ -27,6 +28,11 @@ class PathProfile:
     numbering: BallLarusNumbering
     counts: Counter = field(default_factory=Counter)
     trace: List[int] = field(default_factory=list)
+    # decode memo: region discovery decodes the same hot ids repeatedly, so
+    # cache the block sequences; excluded from equality/pickle identity.
+    _decoded: Dict[int, List[BasicBlock]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     @property
     def executed_paths(self) -> int:
@@ -42,7 +48,19 @@ class PathProfile:
         return self.counts.most_common(n)
 
     def decode(self, path_id: int) -> List[BasicBlock]:
-        return self.numbering.decode(path_id)
+        blocks = self._decoded.get(path_id)
+        if blocks is None:
+            blocks = self.numbering.decode(path_id)
+            self._decoded[path_id] = blocks
+            if _obs_enabled():
+                _obs_counter("profile.decode.misses", 1,
+                             help="Ball-Larus path decodes that walked the DAG",
+                             function=self.function.name)
+        elif _obs_enabled():
+            _obs_counter("profile.decode.hits", 1,
+                         help="Ball-Larus path decodes served by the memo",
+                         function=self.function.name)
+        return blocks
 
 
 class PathProfiler(Tracer):
@@ -120,3 +138,6 @@ def profile_paths(module, fn_name: str, args, interpreter_cls=None, **interp_kwa
     interp = cls(module, tracer=profiler, **interp_kwargs)
     interp.run(fn, args)
     return profiler.profiles[fn]
+
+
+__all__ = ["PathProfile", "PathProfiler", "profile_paths"]

@@ -16,10 +16,11 @@ hierarchy (host port vs. uncore accelerator port).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..frames.frame import Frame
+from ..obs import span as _obs_span
 from ..profiling.ranking import count_ops
 from ..interp.events import FunctionTrace
 from ..profiling.path_profile import PathProfile
@@ -53,6 +54,12 @@ class OffloadOutcome:
     predictor_precision: float = 1.0
     frame_ops: int = 0
     schedule_cycles: int = 0
+    #: accesses served per hierarchy level ("l1"/"l2"/"dram") when the
+    #: recorded address stream replays through each port — carried on the
+    #: record so the obs layer reports identical simulated-cache counters
+    #: for cold, parallel and cache-served evaluations
+    host_mem_levels: Dict[str, int] = field(default_factory=dict)
+    accel_mem_levels: Dict[str, int] = field(default_factory=dict)
 
     @property
     def performance_improvement(self) -> float:
@@ -83,19 +90,31 @@ class OffloadSimulator:
     ) -> Tuple[float, float]:
         """(host avg load latency, accel avg load latency) from the recorded
         address stream; L1/L2 hit latencies when there is no stream."""
+        host_lat, accel_lat, _host_levels, _accel_levels = self._calibrate(trace)
+        return host_lat, accel_lat
+
+    def _calibrate(
+        self, trace: Optional[FunctionTrace]
+    ) -> Tuple[float, float, Dict[str, int], Dict[str, int]]:
+        """Latency calibration plus the per-level access census of the
+        replay (the simulated cache hit/miss numbers the obs layer reports)."""
         hier = self.config.memory
         host_lat = float(hier.l1.latency)
         accel_lat = float(hier.l2.latency)
+        host_levels: Dict[str, int] = {}
+        accel_levels: Dict[str, int] = {}
         if trace is not None and trace.memory:
             host_mem = MemorySystem(hier)
             prof = host_mem.profile_stream(trace.memory, port="host")
+            host_levels = dict(prof.level_counts)
             if prof.loads:
                 host_lat = prof.avg_load_latency
             accel_mem = MemorySystem(hier)
             prof_a = accel_mem.profile_stream(trace.memory, port="accel")
+            accel_levels = dict(prof_a.level_counts)
             if prof_a.loads:
                 accel_lat = prof_a.avg_load_latency
-        return host_lat, accel_lat
+        return host_lat, accel_lat, host_levels, accel_levels
 
     # -- host path costs ---------------------------------------------------------------
 
@@ -224,7 +243,28 @@ class OffloadSimulator:
             evaluate_predictor,
         )
 
-        host_lat, accel_lat = self.calibrate_memory(trace)
+        with _obs_span("simulate_offload", workload=workload,
+                       kind=frame.region.kind, predictor=predictor_kind):
+            return self._simulate_offload(
+                workload, profile, frame, predictor_kind, trace, coverage,
+                CGRAScheduler, HistoryPredictor, OraclePredictor,
+                evaluate_predictor,
+            )
+
+    def _simulate_offload(
+        self,
+        workload: str,
+        profile: PathProfile,
+        frame: Frame,
+        predictor_kind,
+        trace,
+        coverage,
+        CGRAScheduler,
+        HistoryPredictor,
+        OraclePredictor,
+        evaluate_predictor,
+    ) -> OffloadOutcome:
+        host_lat, accel_lat, host_levels, accel_levels = self._calibrate(trace)
         costs = self.path_costs(profile, host_lat)
         base_cycles, base_energy = self.baseline(profile, costs)
 
@@ -344,4 +384,9 @@ class OffloadSimulator:
             predictor_precision=evaluation.precision,
             frame_ops=frame.op_count,
             schedule_cycles=sched.cycles,
+            host_mem_levels=host_levels,
+            accel_mem_levels=accel_levels,
         )
+
+
+__all__ = ["OffloadOutcome", "OffloadSimulator", "PathCost"]

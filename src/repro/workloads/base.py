@@ -16,6 +16,7 @@ from ..interp.events import FunctionTrace, MultiTracer, TraceRecorder
 from ..interp.interpreter import Interpreter
 from ..ir.function import Function
 from ..ir.module import Module
+from ..obs import counter as _obs_counter, enabled as _obs_enabled, span as _obs_span
 from ..profiling.edge_profile import EdgeProfile, EdgeProfiler
 from ..profiling.path_profile import PathProfile, PathProfiler
 
@@ -87,14 +88,19 @@ def profile_workload(
             stored.workload = workload
             if use_cache:
                 _PROFILE_CACHE[workload.name] = stored
+            if _obs_enabled():
+                _obs_counter("profile.cache_outcome", 1,
+                             help="where each profile came from",
+                             workload=workload.name, outcome="artifact-cache")
             return stored
 
-    module, fn, args = built if built is not None else workload.build()
-    paths = PathProfiler([fn])
-    edges = EdgeProfiler([fn])
-    recorder = TraceRecorder([fn])
-    interp = Interpreter(module, tracer=MultiTracer(paths, edges, recorder))
-    result = interp.run(fn, args)
+    with _obs_span("profile", workload=workload.name):
+        module, fn, args = built if built is not None else workload.build()
+        paths = PathProfiler([fn])
+        edges = EdgeProfiler([fn])
+        recorder = TraceRecorder([fn])
+        interp = Interpreter(module, tracer=MultiTracer(paths, edges, recorder))
+        result = interp.run(fn, args)
     profiled = ProfiledWorkload(
         workload=workload,
         module=module,
@@ -104,6 +110,20 @@ def profile_workload(
         trace=recorder.traces[fn],
         result=result,
     )
+    if _obs_enabled():
+        from ..interp.stats import opcode_census
+
+        _obs_counter("profile.cache_outcome", 1,
+                     help="where each profile came from",
+                     workload=workload.name, outcome="instrumented-run")
+        _obs_counter("profile.runtime.path_executions",
+                     profiled.paths.total_executions,
+                     help="paths flushed by live instrumented runs",
+                     workload=workload.name)
+        for opcode, n in sorted(opcode_census(profiled.trace).items()):
+            _obs_counter("interp.runtime.opcode_executions", n,
+                         help="dynamic opcode mix of live profiling runs",
+                         workload=workload.name, opcode=opcode)
     if artifact_cache is not None and key is not None:
         from ..artifacts import PROFILE_KIND
 
@@ -115,3 +135,11 @@ def profile_workload(
 
 def clear_profile_cache() -> None:
     _PROFILE_CACHE.clear()
+
+
+__all__ = [
+    "ProfiledWorkload",
+    "Workload",
+    "clear_profile_cache",
+    "profile_workload",
+]

@@ -1,0 +1,94 @@
+"""Exporter output: deterministic JSON, Prometheus text, human views."""
+
+import json
+
+from repro.obs import export
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("interp.instructions_retired",
+                    help="dynamic instructions", semantic=True)
+    c.inc(1200, workload="dwt53")
+    c.inc(800, workload="470.lbm")
+    reg.gauge("pipeline.evaluate_seconds",
+              help="wall time").set(0.25, workload="dwt53")
+    reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+    return reg
+
+
+GOLDEN_PROM = """\
+# HELP interp_instructions_retired dynamic instructions
+# TYPE interp_instructions_retired counter
+interp_instructions_retired{workload="470.lbm"} 800
+interp_instructions_retired{workload="dwt53"} 1200
+# TYPE lat histogram
+lat_bucket{le="0.1"} 1
+lat_bucket{le="1"} 1
+lat_bucket{le="+Inf"} 1
+lat_sum 0.05
+lat_count 1
+# HELP pipeline_evaluate_seconds wall time
+# TYPE pipeline_evaluate_seconds gauge
+pipeline_evaluate_seconds{workload="dwt53"} 0.25
+"""
+
+
+def test_prometheus_golden_output():
+    assert export.to_prometheus(_sample_registry()) == GOLDEN_PROM
+
+
+def test_json_is_deterministic_and_parseable():
+    a = export.to_json(_sample_registry())
+    b = export.to_json(_sample_registry())
+    assert a == b
+    data = json.loads(a)
+    names = [m["name"] for m in data["metrics"]]
+    assert names == sorted(names)
+
+
+def test_semantic_json_filters_operational_metrics():
+    data = json.loads(export.semantic_json(_sample_registry()))
+    assert [m["name"] for m in data["metrics"]] == [
+        "interp.instructions_retired"
+    ]
+
+
+def test_exporters_accept_registry_snapshot_and_none():
+    reg = _sample_registry()
+    assert export.to_json(reg) == export.to_json(reg.snapshot())
+
+    from repro import obs
+
+    old = obs.set_registry(reg)
+    try:
+        assert export.to_json(None) == export.to_json(reg)
+    finally:
+        obs.set_registry(old)
+
+
+def test_render_metrics_marks_semantic_and_aligns():
+    text = export.render_metrics(_sample_registry())
+    assert "*interp.instructions_retired" in text
+    assert " pipeline.evaluate_seconds" in text
+    assert "count=1 sum=0.05" in text
+    assert "* = semantic" in text
+
+
+def test_render_metrics_empty_registry_hint():
+    text = export.render_metrics(MetricsRegistry())
+    assert "no metrics recorded" in text
+
+
+def test_render_trace_indents_children():
+    reg = MetricsRegistry()
+    with_span = reg.open_span("outer", {"workload": "x"})
+    inner = reg.open_span("inner", {})
+    reg.close_span(inner)
+    reg.close_span(with_span)
+    text = export.render_trace(reg)
+    lines = text.splitlines()
+    assert lines[0].startswith("outer (workload=x)")
+    assert lines[1].startswith("  inner")
+    assert "ms" in lines[0]

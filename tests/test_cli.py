@@ -90,6 +90,56 @@ def test_cli_evaluate_prints_dashes_for_missing_outcomes(capsys, monkeypatch):
     assert MISSING_CELL in out
 
 
+def test_cli_evaluate_metrics_out_writes_registry_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "m.json"
+    argv = ["evaluate", "dwt53", "--no-cache", "--metrics-out", str(out_path)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    data = json.loads(out_path.read_text())
+    names = [m["name"] for m in data["metrics"]]
+    assert "interp.instructions_retired" in names
+    assert "pipeline.workloads_evaluated" in names
+    assert data["spans"], "span tree missing from metrics dump"
+
+
+def test_cli_metrics_command_table_and_prom(capsys):
+    assert main(["metrics", "dwt53", "--no-cache"]) == 0
+    table = capsys.readouterr().out
+    assert "*interp.instructions_retired" in table
+    assert "* = semantic" in table
+
+    assert main(["metrics", "dwt53", "--no-cache", "--format", "prom"]) == 0
+    prom = capsys.readouterr().out
+    assert "# TYPE interp_instructions_retired counter" in prom
+    assert 'interp_instructions_retired{workload="dwt53"}' in prom
+
+
+def test_cli_metrics_command_json(capsys):
+    import json
+
+    assert main(["metrics", "dwt53", "--no-cache", "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert any(
+        m["name"] == "sim.cycles" for m in data["metrics"]
+    )
+
+
+def test_cli_trace_command_prints_span_tree(capsys):
+    assert main(["trace", "dwt53", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "evaluate (workload=dwt53)" in out
+    assert "ms" in out
+
+
+def test_cli_evaluate_with_metrics_flag_appends_table(capsys):
+    assert main(["evaluate", "dwt53", "--no-cache", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "Needle offload evaluation" in out  # the normal table first
+    assert "* = semantic" in out  # then the metrics listing
+
+
 def test_cli_evaluate_with_cache_dir_and_jobs(tmp_path, capsys):
     cache_dir = str(tmp_path / "cache")
     argv = ["evaluate", "482.sphinx3", "--cache-dir", cache_dir]
