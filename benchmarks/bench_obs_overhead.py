@@ -1,11 +1,17 @@
-"""Overhead budget for the observability layer.
+"""Overhead budget for the observability layer (and fault-site flag tests).
 
 Times cold serial evaluation of the full suite twice in one process:
 
 * **no-op** — ``obs`` disabled, the production default.  Every
-  instrumentation site costs one function call and one flag test.
+  instrumentation site costs one function call and one flag test.  Since
+  the resilience PR, the hot loops also carry fault-injection sites
+  (frame executor, interpreter entry, artifact cache); with no
+  :class:`~repro.resilience.faults.FaultPlan` installed — asserted below
+  — each costs the same flag-test pattern, so the no-op number and its
+  <2% budget now cover the disabled-injection path too.
 * **instrumented** — ``obs`` enabled: counters, gauges and span trees
-  collected for the whole run.
+  collected for the whole run.  Fault injection stays off: chaos plans
+  are a test-time tool, never part of the measured production modes.
 
 Run as a script (CI does)::
 
@@ -52,7 +58,12 @@ def recorded_cold_serial():
 def time_suite(enabled: bool, repeats: int) -> float:
     """Best-of-``repeats`` cold serial evaluation of the full suite."""
     from repro import NeedlePipeline, obs, suite
+    from repro.resilience import faults
     from repro.workloads.base import clear_profile_cache
+
+    # both modes must measure the *disabled* fault-injection path: a
+    # stray ambient plan would turn this benchmark into a chaos run
+    assert not faults.enabled() and faults.active() is None
 
     workloads = suite()
     best = float("inf")

@@ -29,7 +29,7 @@ working but may be rearranged between versions.
 from typing import List, Optional
 
 from . import analysis, frames, interp, ir, obs, profiling, regions
-from . import accel, reporting, sim, transforms, workloads
+from . import accel, reporting, resilience, sim, transforms, workloads
 from .artifacts import ArtifactCache
 from .options import PipelineOptions
 from .pipeline import (
@@ -38,6 +38,7 @@ from .pipeline import (
     WorkloadEvaluation,
     evaluate_suite,
 )
+from .resilience import FaultPlan, FaultSpec, WorkloadFailure
 from .sim.config import DEFAULT_CONFIG, SystemConfig
 from .workloads import Workload
 from .workloads import get as load_workload
@@ -59,12 +60,15 @@ def suite(name: Optional[str] = None) -> List[Workload]:
 __all__ = [
     "ArtifactCache",
     "DEFAULT_CONFIG",
+    "FaultPlan",
+    "FaultSpec",
     "NeedlePipeline",
     "PipelineOptions",
     "SystemConfig",
     "Workload",
     "WorkloadAnalysis",
     "WorkloadEvaluation",
+    "WorkloadFailure",
     "accel",
     "analysis",
     "evaluate_suite",
@@ -76,6 +80,7 @@ __all__ = [
     "profiling",
     "regions",
     "reporting",
+    "resilience",
     "sim",
     "suite",
     "transforms",

@@ -37,6 +37,11 @@ import tempfile
 from typing import Optional, Tuple
 
 from .obs import counter as _obs_counter, enabled as _obs_enabled
+from .resilience.faults import (
+    SITE_CACHE_TRUNCATE,
+    consult as _flt_consult,
+    enabled as _flt_enabled,
+)
 
 #: bump when the pickled artifact layout changes incompatibly
 #: (2: AnalysisSummary gained dynamic_instructions/memory_events and
@@ -155,6 +160,13 @@ class ArtifactCache:
             return False
         finally:
             sys.setrecursionlimit(old_limit)
+        if _flt_enabled():
+            # chaos site: ship a truncated payload to disk, proving the
+            # defensive read path treats it as a clean miss + eviction
+            spec = _flt_consult(SITE_CACHE_TRUNCATE, kind)
+            if spec is not None:
+                keep = int(spec.payload.get("keep", max(1, len(payload) // 2)))
+                payload = payload[:keep]
         if _obs_enabled():
             _obs_counter("artifacts.writes", 1,
                          help="artifacts persisted", kind=kind)

@@ -17,7 +17,11 @@ the suite across N worker processes.  Every pipeline command accepts
 ``--metrics`` (print the observability registry afterwards) and
 ``--metrics-out PATH`` (write it as JSON); the flags come from
 :class:`~repro.options.PipelineOptions`, the same options surface the
-Python API uses.
+Python API uses.  Suite sweeps are fail-safe: ``--timeout``,
+``--retries`` and ``--fail-fast`` control the retry/quarantine policy
+(quarantined workloads render as ``failed:<kind>`` rows), and
+``--fault-plan plan.json`` injects a deterministic chaos plan
+(docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from . import obs, workloads
 from .obs import export as obs_export
 from .options import PipelineOptions
 from .pipeline import NeedlePipeline, WorkloadEvaluation
+from .resilience import WorkloadFailure
 
 
 def _options_from_args(args) -> PipelineOptions:
@@ -122,7 +127,22 @@ def _percent_cell(outcome, attr: str):
 
 
 def evaluation_row(name: str, ev: WorkloadEvaluation) -> tuple:
-    """One table row; missing outcomes render as em-dashes, never crash."""
+    """One table row; missing outcomes render as em-dashes, never crash.
+
+    A quarantined workload (its slot holds a
+    :class:`~repro.resilience.WorkloadFailure`) renders as a failure
+    marker instead of numbers — the sweep reports it, it does not
+    abort the table.
+    """
+    if isinstance(ev, WorkloadFailure):
+        return (
+            name,
+            "failed:%s x%d" % (ev.kind, ev.attempts),
+            MISSING_CELL,
+            MISSING_CELL,
+            MISSING_CELL,
+            MISSING_CELL,
+        )
     return (
         name,
         _percent_cell(ev.path_oracle, "performance_improvement"),

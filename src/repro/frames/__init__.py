@@ -9,6 +9,7 @@ from .frame import (
     build_frame,
 )
 from .executor import (
+    FrameBudgetExhausted,
     FrameExecutionError,
     FrameExecutor,
     FrameResult,
@@ -20,6 +21,7 @@ __all__ = [
     "OutlinedFrame",
     "outline_frame",
     "Frame",
+    "FrameBudgetExhausted",
     "FrameBuildError",
     "FrameExecutionError",
     "FrameExecutor",

@@ -6,6 +6,16 @@ control tries to leave the region anywhere other than the exit block, the
 frame aborts and the undo log restores memory exactly — the property the
 paper's software speculation depends on, and the one our property tests
 verify byte-for-byte.
+
+Atomicity holds on *every* exit, not just the scripted abort path: any
+exception escaping mid-frame (an unexecutable construct, a semantic
+error, an injected fault) replays the undo log before propagating, and a
+per-invocation step budget (:class:`FrameBudgetExhausted`, the analogue
+of the interpreter's fuel) bounds a malformed region's control flow so a
+runaway frame cannot wedge its worker.  The named fault sites consulted
+here (``frame.exception``, ``frame.store_corrupt``, ``frame.guard_flip``)
+are what the chaos suite uses to prove all of this under duress; they
+cost one flag test each when no plan is installed.
 """
 
 from __future__ import annotations
@@ -40,11 +50,30 @@ from ..ir.instructions import (
     UnaryOp,
 )
 from ..ir.values import Constant, GlobalArray, UndefValue, Value
+from ..resilience.faults import (
+    SITE_FRAME_EXCEPTION,
+    SITE_FRAME_GUARD_FLIP,
+    SITE_FRAME_STORE_CORRUPT,
+    FaultInjected,
+    consult as _flt_consult,
+    corrupt_value as _flt_corrupt,
+    enabled as _flt_enabled,
+)
 from .frame import Frame
+
+#: step-budget floor / per-block multiplier used when no explicit budget
+#: is given: generous enough for any legal region walk (paths visit each
+#: block once; braids re-converge), tight enough to stop a runaway loop
+MIN_STEP_BUDGET = 4096
+STEP_BUDGET_FACTOR = 64
 
 
 class FrameExecutionError(Exception):
     """Frame execution hit an unexecutable construct."""
+
+
+class FrameBudgetExhausted(FrameExecutionError):
+    """The invocation exceeded its block-step budget (fuel analogue)."""
 
 
 @dataclass
@@ -87,16 +116,39 @@ class FrameResult:
 class FrameExecutor:
     """Runs frames atomically over a shared memory."""
 
-    def __init__(self, memory: Memory, global_base: Dict[GlobalArray, int]):
+    def __init__(
+        self,
+        memory: Memory,
+        global_base: Dict[GlobalArray, int],
+        step_budget: Optional[int] = None,
+    ):
         self.memory = memory
         self.global_base = global_base
+        #: per-invocation block-step limit; ``None`` derives one from the
+        #: region size at run time
+        self.step_budget = step_budget
 
     def run(self, frame: Frame, live_in_values: Dict[Value, object]) -> FrameResult:
         """Execute ``frame``; on guard failure memory is rolled back.
 
         ``live_in_values`` must supply every value in ``frame.live_ins``.
+        Exceptions escaping mid-frame also roll memory back before
+        propagating — an invocation never half-commits.
         """
-        result = self._run(frame, live_in_values)
+        try:
+            result = self._run(frame, live_in_values)
+        except BaseException:
+            if _obs_enabled():
+                kind = frame.region.kind
+                _obs_counter(
+                    "frames.aborts", 1,
+                    help="frame invocations that committed (or rolled back)",
+                    region=kind)
+                _obs_counter(
+                    "frames.exception_aborts", 1,
+                    help="aborts forced by an exception escaping the frame",
+                    region=kind)
+            raise
         if _obs_enabled():
             kind = frame.region.kind
             _obs_counter(
@@ -119,6 +171,19 @@ class FrameExecutor:
             )
         env: Dict[Value, object] = dict(live_in_values)
         undo = UndoLog()
+        try:
+            return self._run_body(frame, env, undo)
+        except BaseException:
+            # the undo log is the atomicity guarantee: whatever already
+            # ran its speculative stores is reverted before the caller
+            # sees the exception (rollback clears the log, so the scripted
+            # abort paths inside _run_body are not replayed twice)
+            undo.rollback(self.memory)
+            raise
+
+    def _run_body(
+        self, frame: Frame, env: Dict[Value, object], undo: "UndoLog"
+    ) -> FrameResult:
         region = frame.region
         order = region.blocks
         is_path = region.kind in ("bl-path", "superblock", "expanded")
@@ -128,9 +193,26 @@ class FrameExecutor:
         block = region.entry
         prev: Optional[BasicBlock] = None
         path_index = 0
+        budget = self.step_budget
+        if budget is None:
+            budget = max(MIN_STEP_BUDGET, STEP_BUDGET_FACTOR * len(order))
 
         while True:
             result.blocks_executed += 1
+            # fuel analogue: a malformed region whose control flow never
+            # reaches the exit must abort (and roll back), not hang the
+            # worker that invoked it
+            if result.blocks_executed > budget:
+                raise FrameBudgetExhausted(
+                    "frame exceeded %d block steps (region %s)"
+                    % (budget, region.kind)
+                )
+            if _flt_enabled():
+                spec = _flt_consult(SITE_FRAME_EXCEPTION, block.name)
+                if spec is not None:
+                    raise FaultInjected(
+                        "injected mid-frame exception at block %s" % block.name
+                    )
             # φs: entry φs come from live-ins; interior φs resolve from the
             # incoming edge actually taken (ψ semantics for braids).
             staged = []
@@ -156,7 +238,7 @@ class FrameExecutor:
                 if isinstance(inst, Phi):
                     continue
                 if isinstance(inst, (Branch, CondBranch, Ret)):
-                    succ = self._next_successor(inst, env)
+                    succ = self._next_successor(inst, env, block)
                     if block is (order[-1] if order else None):
                         # frame completes; host resumes at succ (or return)
                         result.exit_successor = succ
@@ -222,7 +304,12 @@ class FrameExecutor:
             addr = self._eval(inst.address, env)
             undo.record(self.memory, addr)
             result.stores_logged += 1
-            self.memory.write(addr, inst.value.type, self._eval(inst.value, env))
+            value = self._eval(inst.value, env)
+            if _flt_enabled():
+                spec = _flt_consult(SITE_FRAME_STORE_CORRUPT, inst.name)
+                if spec is not None:
+                    value = _flt_corrupt(value, spec)
+            self.memory.write(addr, inst.value.type, value)
         elif isinstance(inst, Gep):
             env[inst] = self._eval(inst.base, env) + self._eval(
                 inst.index, env
@@ -241,15 +328,21 @@ class FrameExecutor:
         else:  # pragma: no cover
             raise FrameExecutionError("cannot execute %r in frame" % inst.opcode)
 
-    def _next_successor(self, inst, env) -> Optional[BasicBlock]:
+    def _next_successor(
+        self, inst, env, block: Optional[BasicBlock] = None
+    ) -> Optional[BasicBlock]:
         if isinstance(inst, Branch):
             return inst.target
         if isinstance(inst, CondBranch):
-            return (
-                inst.true_target
-                if self._eval(inst.cond, env)
-                else inst.false_target
-            )
+            taken = bool(self._eval(inst.cond, env))
+            if _flt_enabled():
+                spec = _flt_consult(
+                    SITE_FRAME_GUARD_FLIP,
+                    block.name if block is not None else None,
+                )
+                if spec is not None:
+                    taken = not taken
+            return inst.true_target if taken else inst.false_target
         return None  # Ret
 
     def _eval(self, value: Value, env):

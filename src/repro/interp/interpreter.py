@@ -44,6 +44,12 @@ from ..ir.module import Module
 from ..ir.types import Type
 from ..ir.values import Constant, GlobalArray, UndefValue, Value
 from ..obs import counter as _obs_counter, enabled as _obs_enabled
+from ..resilience.faults import (
+    SITE_INTERP_RUN,
+    FaultInjected,
+    consult as _flt_consult,
+    enabled as _flt_enabled,
+)
 from .events import Tracer
 from .memory import Memory
 
@@ -163,6 +169,14 @@ class Interpreter:
         """
         if isinstance(fn, str):
             fn = self.module.get_function(fn)
+        # chaos site at the run boundary (never inside the thunk loop):
+        # proves profiling failures surface as clean workload failures
+        if _flt_enabled():
+            spec = _flt_consult(SITE_INTERP_RUN, fn.name)
+            if spec is not None:
+                raise FaultInjected(
+                    "injected interpreter fault running %s" % fn.name
+                )
         before = self.executed_instructions
         result = self._run_function(fn, list(args))
         if _obs_enabled():

@@ -49,6 +49,13 @@ class PipelineOptions:
     ``no_cache``     bypass the persistent artifact cache entirely.
     ``metrics``      collect obs metrics/spans during the run.
     ``metrics_out``  write the metrics registry as JSON to this path.
+    ``timeout``      per-workload wall-clock budget in seconds for pool
+                     sweeps (``None`` = unlimited).
+    ``retries``      failed workload attempts retried before quarantine.
+    ``fail_fast``    propagate the first workload failure instead of
+                     retrying/quarantining.
+    ``fault_plan``   a :class:`~repro.resilience.FaultPlan` (or a path to
+                     its JSON form) injected into the run — chaos testing.
     """
 
     config: Optional[SystemConfig] = None
@@ -57,6 +64,10 @@ class PipelineOptions:
     no_cache: bool = False
     metrics: bool = False
     metrics_out: Optional[str] = None
+    timeout: Optional[float] = None
+    retries: int = 2
+    fail_fast: bool = False
+    fault_plan: "Optional[object]" = None  # FaultPlan | str path to JSON
 
     # -- derived views -----------------------------------------------------
 
@@ -81,6 +92,36 @@ class PipelineOptions:
 
         return NeedlePipeline(
             self.config, cache=self.build_cache(), options=self
+        )
+
+    def resolve_fault_plan(self):
+        """The run's :class:`~repro.resilience.FaultPlan`, if any.
+
+        Accepts a plan object or a path to its JSON form (the CLI's
+        ``--fault-plan`` hands a path through unchanged).
+        """
+        if self.fault_plan is None:
+            return None
+        from .resilience.faults import FaultPlan
+
+        if isinstance(self.fault_plan, FaultPlan):
+            return self.fault_plan
+        return FaultPlan.from_json_file(str(self.fault_plan))
+
+    def failure_policy(self):
+        """The :class:`~repro.resilience.FailurePolicy` for suite sweeps.
+
+        Chaos runs reuse the fault plan's seed for retry jitter, so a
+        seeded scenario replays with identical pacing decisions.
+        """
+        from .resilience.runner import FailurePolicy
+
+        plan = self.resolve_fault_plan()
+        return FailurePolicy(
+            timeout=self.timeout,
+            retries=max(0, int(self.retries)),
+            fail_fast=self.fail_fast,
+            seed=plan.seed if plan is not None else 0,
         )
 
     # -- argparse bridge ---------------------------------------------------
@@ -118,6 +159,35 @@ class PipelineOptions:
             default=None,
             metavar="PATH",
             help="write the metrics registry as JSON to PATH",
+        )
+        parser.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SEC",
+            help="per-workload wall-clock budget for --jobs sweeps "
+            "(default: unlimited)",
+        )
+        parser.add_argument(
+            "--retries",
+            type=int,
+            default=cls.retries,
+            metavar="N",
+            help="failed workload attempts retried before quarantine "
+            "(default: %d)" % cls.retries,
+        )
+        parser.add_argument(
+            "--fail-fast",
+            action="store_true",
+            help="stop at the first workload failure instead of "
+            "quarantining it",
+        )
+        parser.add_argument(
+            "--fault-plan",
+            default=None,
+            metavar="PATH",
+            help="inject the deterministic fault plan described by this "
+            "JSON file (chaos testing; see docs/resilience.md)",
         )
 
     @classmethod

@@ -21,13 +21,22 @@ Suite sweeps scale two ways:
   and evaluation summaries on disk keyed by (IR text, run args, config,
   format version), so a second CLI/bench/test run skips re-profiling
   entirely.
+
+Suite sweeps are *fail-safe*: instead of a bare ``f.result()`` fan-out
+that dies with its first worker, both the pool and serial paths run
+through :mod:`repro.resilience` — per-workload timeouts, bounded
+retries with seeded backoff, ``BrokenProcessPool`` recovery (respawn,
+resubmit only what is incomplete) and quarantine.  A sweep always
+returns one entry per workload: the evaluation, or a structured
+:class:`~repro.resilience.WorkloadFailure` record.  ``fail_fast=True``
+restores propagate-first-error semantics, now with the workload name
+attached (:class:`~repro.resilience.WorkloadExecutionError`).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -39,6 +48,19 @@ from .frames.frame import Frame, build_frame
 from .obs.instruments import publish_workload_evaluation
 from .options import PipelineOptions, validate_jobs
 from .profiling.ranking import RankedPath, rank_paths
+from .resilience import faults as _faults
+from .resilience.faults import (
+    SITE_WORKER_CRASH,
+    SITE_WORKER_EXCEPTION,
+    SITE_WORKER_HANG,
+    FaultInjected,
+    FaultPlan,
+)
+from .resilience.runner import (
+    WorkloadExecutionError,
+    WorkloadFailure,
+    run_failsafe,
+)
 from .regions.braid import Braid, build_braids
 from .regions.path_region import path_to_region
 from .sim.config import DEFAULT_CONFIG, SystemConfig
@@ -357,11 +379,12 @@ class NeedlePipeline:
         workloads = list(workloads)
         jobs = validate_jobs(jobs)
         if not self._use_jobs(jobs, workloads, self._analyses):
-            return [self.analyse(w) for w in workloads]
+            return self._run_serial(self.analyse, workloads, self._analyses)
         with obs.span("analyse_all", jobs=jobs, workloads=len(workloads)):
             results = self._fan_out(_analyse_worker, workloads, jobs)
         for w, analysis in zip(workloads, results):
-            self._analyses[w.name] = analysis
+            if not isinstance(analysis, WorkloadFailure):
+                self._analyses[w.name] = analysis
         return results
 
     def evaluate_all(
@@ -373,15 +396,23 @@ class NeedlePipeline:
         serial path: each worker runs the same deterministic pipeline, and
         the pool only changes *where* a workload is computed.  Invalid
         ``jobs`` values (< 1) warn and fall back to serial.
+
+        A workload that keeps failing (exception, timeout, worker crash)
+        is retried per :class:`~repro.options.PipelineOptions` and then
+        quarantined: its slot in the returned list holds a
+        :class:`~repro.resilience.WorkloadFailure` instead of crashing
+        the sweep.  With ``fail_fast`` the first failure raises
+        :class:`~repro.resilience.WorkloadExecutionError`.
         """
         workloads = list(workloads)
         jobs = validate_jobs(jobs)
         if not self._use_jobs(jobs, workloads, self._evaluations):
-            return [self.evaluate(w) for w in workloads]
+            return self._run_serial(self.evaluate, workloads, self._evaluations)
         with obs.span("evaluate_all", jobs=jobs, workloads=len(workloads)):
             results = self._fan_out(_evaluate_worker, workloads, jobs)
         for w, evaluation in zip(workloads, results):
-            self._evaluations[w.name] = evaluation
+            if not isinstance(evaluation, WorkloadFailure):
+                self._evaluations[w.name] = evaluation
         return results
 
     # -- fan-out helpers ----------------------------------------------------
@@ -394,26 +425,78 @@ class NeedlePipeline:
             return False
         return True
 
+    def _fault_plan(self) -> Optional[FaultPlan]:
+        return self.options.resolve_fault_plan()
+
+    def _run_serial(self, call, workloads, memo: Dict) -> List:
+        """Serial sweep with the same retry/quarantine contract as the
+        pool path (timeouts excepted: a thread cannot interrupt itself)."""
+        policy = self.options.failure_policy()
+        plan = self._fault_plan()
+        out = []
+        for w in workloads:
+            # memoised results never re-run, so they cannot re-fail
+            if w.name in memo:
+                out.append(memo[w.name])
+                continue
+            attempt = 0
+            while True:
+                try:
+                    if plan is not None:
+                        with _faults.installed(plan, attempt=attempt):
+                            out.append(call(w))
+                    else:
+                        out.append(call(w))
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if policy.fail_fast:
+                        raise WorkloadExecutionError(
+                            w.name, "exception"
+                        ) from exc
+                    if obs.enabled():
+                        obs.counter("resilience.retries"
+                                    if attempt <= policy.retries
+                                    else "resilience.quarantined", 1,
+                                    help="suite-sweep failure handling",
+                                    kind="exception")
+                    if attempt > policy.retries:
+                        out.append(WorkloadFailure(
+                            workload=w.name, kind="exception",
+                            attempts=attempt,
+                            error_type=type(exc).__name__, error=str(exc),
+                        ))
+                        break
+                    time.sleep(policy.backoff(attempt, w.name))
+        return out
+
     def _fan_out(self, worker, workloads, jobs: int) -> List:
-        """Shard over a process pool; workers return ``(result, obs
-        snapshot-or-None)`` and the parent folds the registries back in,
-        in deterministic submission order."""
+        """Shard over a fail-safe process pool; workers return ``(result,
+        obs snapshot-or-None)``.  Snapshots are folded in as each worker
+        finishes — a later failure can no longer drop metrics that were
+        already collected — and failed workloads come back as
+        :class:`WorkloadFailure` records in their suite slot."""
         cache_root = self.cache.root if self.cache is not None else None
         collect = obs.enabled()
-        max_workers = min(jobs, len(workloads))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(worker, w, self.config, cache_root, collect)
-                for w in workloads
-            ]
-            # deterministic suite order: collect in submission order
-            pairs = [f.result() for f in futures]
-        results = []
-        for result, snap in pairs:
+
+        def _absorb(_workload, pair):
+            _result, snap = pair
             if snap is not None:
                 obs.merge(snap)
-            results.append(result)
-        return results
+
+        rows = run_failsafe(
+            worker,
+            workloads,
+            jobs=jobs,
+            policy=self.options.failure_policy(),
+            task_args=(self.config, cache_root, collect),
+            plan=self._fault_plan(),
+            key_fn=lambda w: w.name,
+            on_result=_absorb,
+        )
+        return [
+            row if isinstance(row, WorkloadFailure) else row[0] for row in rows
+        ]
 
 
 # -- suite façade -----------------------------------------------------------
@@ -425,6 +508,10 @@ def evaluate_suite(
     cache_dir: Optional[str] = None,
     config: Optional[SystemConfig] = None,
     options: Optional[PipelineOptions] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    fail_fast: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> List[WorkloadEvaluation]:
     """One-call evaluation of the suite (or a named subset of it).
 
@@ -433,11 +520,20 @@ def evaluate_suite(
     sharding, and returns evaluations in suite order.  Keyword arguments
     are shorthands for the matching :class:`~repro.options.PipelineOptions`
     fields; pass ``options`` to control everything at once.
+
+    The sweep is fail-safe: a workload that keeps failing is retried
+    (``retries``, per-attempt ``timeout`` under ``jobs``) and then
+    quarantined as a :class:`~repro.resilience.WorkloadFailure` in its
+    suite slot, so partial results always come back.  ``fail_fast=True``
+    raises on the first failure instead.
     """
     from . import workloads as workload_registry
 
     opts = options or PipelineOptions(
-        config=config, jobs=jobs, cache_dir=cache_dir
+        config=config, jobs=jobs, cache_dir=cache_dir,
+        timeout=timeout,
+        retries=retries if retries is not None else PipelineOptions.retries,
+        fail_fast=fail_fast, fault_plan=fault_plan,
     )
     pipeline = opts.build_pipeline()
     if names is None:
@@ -458,19 +554,48 @@ def _worker_pipeline(config: SystemConfig, cache_root: Optional[str]) -> NeedleP
     return NeedlePipeline(config, cache=cache)
 
 
-def _run_worker(method, workload, config, cache_root, collect: bool):
+def _consult_worker_faults(name: str) -> None:
+    """The chaos suite's worker-level sites: crash, hang, exception."""
+    if not _faults.enabled():
+        return
+    spec = _faults.consult(SITE_WORKER_CRASH, name)
+    if spec is not None:
+        # simulate a segfault/OOM-kill: no cleanup, no exception — the
+        # parent sees BrokenProcessPool
+        os._exit(int(spec.payload.get("exit_code", 13)))
+    spec = _faults.consult(SITE_WORKER_HANG, name)
+    if spec is not None:
+        time.sleep(float(spec.payload.get("seconds", 3600.0)))
+    spec = _faults.consult(SITE_WORKER_EXCEPTION, name)
+    if spec is not None:
+        raise FaultInjected("injected worker exception for %s" % name)
+
+
+def _run_worker(method, workload, config, cache_root, collect: bool,
+                plan: Optional[FaultPlan] = None, attempt: int = 0):
     """Run one workload in a pool worker, optionally collecting obs data
-    into a private registry whose snapshot rides back with the result."""
-    if not collect:
-        result = getattr(_worker_pipeline(config, cache_root), method)(workload)
-        return result, None
-    with obs.scoped() as reg:
-        obs.counter("pipeline.worker_tasks", 1,
-                    help="workloads processed per pool worker",
-                    worker=str(os.getpid()))
-        result = getattr(_worker_pipeline(config, cache_root), method)(workload)
-        snap = reg.snapshot()
-    return result, snap
+    into a private registry whose snapshot rides back with the result.
+
+    The fault plan is installed fresh per (task, attempt) — and any
+    injector the forked child inherited from the parent is cleared — so
+    a worker's fault pattern depends only on the task, never on pool
+    scheduling.
+    """
+    _faults.install(plan, attempt=attempt)
+    try:
+        _consult_worker_faults(workload.name)
+        if not collect:
+            result = getattr(_worker_pipeline(config, cache_root), method)(workload)
+            return result, None
+        with obs.scoped() as reg:
+            obs.counter("pipeline.worker_tasks", 1,
+                        help="workloads processed per pool worker",
+                        worker=str(os.getpid()))
+            result = getattr(_worker_pipeline(config, cache_root), method)(workload)
+            snap = reg.snapshot()
+        return result, snap
+    finally:
+        _faults.uninstall()
 
 
 def _analyse_worker(
@@ -478,8 +603,11 @@ def _analyse_worker(
     config: SystemConfig,
     cache_root: Optional[str],
     collect: bool = False,
+    plan: Optional[FaultPlan] = None,
+    attempt: int = 0,
 ):
-    return _run_worker("analyse", workload, config, cache_root, collect)
+    return _run_worker("analyse", workload, config, cache_root, collect,
+                       plan, attempt)
 
 
 def _evaluate_worker(
@@ -487,8 +615,11 @@ def _evaluate_worker(
     config: SystemConfig,
     cache_root: Optional[str],
     collect: bool = False,
+    plan: Optional[FaultPlan] = None,
+    attempt: int = 0,
 ):
-    return _run_worker("evaluate", workload, config, cache_root, collect)
+    return _run_worker("evaluate", workload, config, cache_root, collect,
+                       plan, attempt)
 
 
 __all__ = [
@@ -499,5 +630,7 @@ __all__ = [
     "ScheduleSummary",
     "WorkloadAnalysis",
     "WorkloadEvaluation",
+    "WorkloadExecutionError",
+    "WorkloadFailure",
     "evaluate_suite",
 ]

@@ -1,0 +1,58 @@
+"""Resilience subsystem: deterministic fault injection + fail-safe sweeps.
+
+Two halves, designed to be used together:
+
+* :mod:`repro.resilience.faults` — a seeded :class:`FaultPlan` consulted
+  at named sites inside the frame executor, interpreter, artifact cache
+  and pool workers.  Zero-cost when disabled (one flag test per site,
+  same discipline as :mod:`repro.obs`); byte-reproducible when enabled.
+* :mod:`repro.resilience.runner` — :func:`run_failsafe`, the pool
+  fan-out with per-task timeouts, seeded-backoff retries,
+  ``BrokenProcessPool`` recovery and quarantine, returning partial
+  results plus :class:`WorkloadFailure` records instead of crashing.
+
+See ``docs/resilience.md`` for the site list, retry policy and the
+chaos-testing workflow.
+"""
+
+from .faults import (
+    ALL_SITES,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active,
+    consult,
+    corrupt_value,
+    enabled,
+    install,
+    installed,
+    uninstall,
+)
+from .runner import (
+    FailurePolicy,
+    WorkloadExecutionError,
+    WorkloadFailure,
+    run_failsafe,
+    split_failures,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "FailurePolicy",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "WorkloadExecutionError",
+    "WorkloadFailure",
+    "active",
+    "consult",
+    "corrupt_value",
+    "enabled",
+    "install",
+    "installed",
+    "run_failsafe",
+    "split_failures",
+    "uninstall",
+]

@@ -1,0 +1,334 @@
+"""Fail-safe suite execution: the pool fan-out that survives its workers.
+
+``ProcessPoolExecutor`` alone is brittle in exactly the ways a long
+suite sweep cannot afford: one worker exception unwinds the whole run,
+one hung workload stalls it forever, and one hard-killed child breaks
+the pool and poisons every in-flight future with ``BrokenProcessPool``.
+:func:`run_failsafe` wraps the fan-out so the sweep *always completes*:
+
+* **per-task timeouts** — a task past its deadline is charged a
+  ``timeout`` failure; the wedged worker's pool is killed and respawned,
+  and the other in-flight tasks are resubmitted without charge;
+* **bounded retries** — each failed attempt backs off exponentially
+  with deterministic seeded jitter before the task runs again;
+* **pool-crash recovery** — on ``BrokenProcessPool`` the pool is
+  respawned and incomplete tasks rerun *one at a time* ("careful
+  mode"), so the next crash unambiguously blames its task instead of
+  charging innocent neighbours;
+* **quarantine** — a task that exhausts its retries is replaced in the
+  result list by a structured :class:`WorkloadFailure` record, and the
+  sweep moves on.
+
+Blame is only ever assigned on evidence (an exception from the task's
+own future, its own missed deadline, or a crash while running alone),
+which is what makes the final record set a deterministic function of
+the workloads and the installed :class:`~repro.resilience.faults.FaultPlan`
+— rerunning a chaos scenario with the same seed reproduces the same
+outcome, byte for byte.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .. import obs
+from .faults import FaultPlan, _unit
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How the runner reacts when a task misbehaves.
+
+    ``timeout``       per-attempt wall-clock budget in seconds (``None``
+                      = unlimited; pool mode only — a serial run cannot
+                      interrupt its own thread).
+    ``retries``       failed attempts retried before quarantine, so a
+                      task runs at most ``retries + 1`` times.
+    ``backoff_base``  first-retry delay; doubles per attempt.
+    ``backoff_cap``   upper bound on any single delay.
+    ``fail_fast``     propagate the first failure as
+                      :class:`WorkloadExecutionError` instead of
+                      retrying/quarantining (the pre-resilience crash
+                      behaviour, now with the workload name attached).
+    ``seed``          jitter seed; chaos runs reuse the fault plan's.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    fail_fast: bool = False
+    seed: int = 0
+
+    def backoff(self, failed_attempts: int, key: str) -> float:
+        """Delay before the next attempt of ``key`` (deterministic)."""
+        if self.backoff_base <= 0:
+            return 0.0
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** max(0, failed_attempts - 1)))
+        # +-25% seeded jitter de-synchronises retry herds without
+        # sacrificing replayability
+        return delay * (0.75 + 0.5 * _unit(self.seed, "backoff", key, failed_attempts))
+
+
+@dataclass
+class WorkloadFailure:
+    """Structured record of a task that exhausted its failure budget.
+
+    Appears in suite results *in place of* the evaluation it failed to
+    produce, so ``zip(workloads, results)`` stays aligned.  Fields are
+    deliberately wall-clock-free: the record of a seeded chaos run is
+    bit-identical across reruns.
+    """
+
+    workload: str
+    kind: str  #: ``exception`` | ``timeout`` | ``crash``
+    attempts: int
+    error_type: str = ""
+    error: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.workload
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+class WorkloadExecutionError(RuntimeError):
+    """A task failure surfaced under ``fail_fast`` (names its workload)."""
+
+    def __init__(self, workload: str, kind: str):
+        super().__init__("workload %r failed (%s)" % (workload, kind))
+        self.workload = workload
+        self.kind = kind
+
+
+def split_failures(results: Sequence) -> Tuple[list, List[WorkloadFailure]]:
+    """Partition mixed suite results into (successes, failures)."""
+    good, bad = [], []
+    for r in results:
+        (bad if isinstance(r, WorkloadFailure) else good).append(r)
+    return good, bad
+
+
+class _Task:
+    """Mutable per-item scheduling state."""
+
+    __slots__ = ("index", "item", "key", "attempt", "future", "deadline",
+                 "not_before")
+
+    def __init__(self, index, item, key):
+        self.index = index
+        self.item = item
+        self.key = key
+        self.attempt = 0  #: failed attempts so far
+        self.future = None
+        self.deadline = None
+        self.not_before = 0.0
+
+
+def _default_key(item) -> str:
+    return getattr(item, "name", str(item))
+
+
+def run_failsafe(
+    task: Callable,
+    items: Sequence,
+    *,
+    jobs: int,
+    policy: Optional[FailurePolicy] = None,
+    task_args: tuple = (),
+    plan: Optional[FaultPlan] = None,
+    key_fn: Callable = _default_key,
+    on_result: Optional[Callable] = None,
+) -> List:
+    """Run ``task(item, *task_args, plan, attempt)`` for every item.
+
+    ``task`` must be a module-level callable (pickled by reference into
+    pool workers).  Returns one entry per item, in item order: the
+    task's return value, or a :class:`WorkloadFailure`.  ``on_result``
+    fires as each success lands — before any later failure can abort
+    the sweep — so callers can fold in side data (obs snapshots)
+    without losing the work already done.
+    """
+    items = list(items)
+    policy = policy or FailurePolicy()
+    results: List[object] = [None] * len(items)
+    tasks = [_Task(i, item, key_fn(item)) for i, item in enumerate(items)]
+    incomplete = {t.index: t for t in tasks}
+    max_workers = max(1, min(jobs, len(items)))
+
+    pool: Optional[ProcessPoolExecutor] = None
+    pending = {}  # future -> _Task
+    careful = False  # one-at-a-time after a crash: accurate blame
+    spawned = 0
+
+    def spawn() -> ProcessPoolExecutor:
+        nonlocal spawned
+        spawned += 1
+        if spawned > 1 and obs.enabled():
+            obs.counter("resilience.pool_respawns", 1,
+                        help="process pools respawned after crash/hang")
+        return ProcessPoolExecutor(max_workers=1 if careful else max_workers)
+
+    def teardown(graceful: bool) -> None:
+        nonlocal pool
+        if pool is None:
+            return
+        if not graceful:
+            # a wedged or hard-killed child never drains the call queue;
+            # kill the children outright before abandoning the pool
+            # (private attr, guarded — worst case we leak until exit)
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+        try:
+            pool.shutdown(wait=graceful, cancel_futures=True)
+        except Exception:
+            pass
+        pool = None
+
+    def release_pending() -> None:
+        """Return every in-flight task to the submit queue, uncharged."""
+        for t in pending.values():
+            t.future = None
+            t.deadline = None
+        pending.clear()
+
+    def charge(t: _Task, kind: str, exc: Optional[BaseException]) -> None:
+        """One failed attempt for ``t``: retry with backoff or quarantine."""
+        t.attempt += 1
+        t.future = None
+        t.deadline = None
+        if policy.fail_fast:
+            teardown(graceful=False)
+            raise WorkloadExecutionError(t.key, kind) from exc
+        if t.attempt > policy.retries:
+            results[t.index] = WorkloadFailure(
+                workload=t.key,
+                kind=kind,
+                attempts=t.attempt,
+                error_type=type(exc).__name__ if exc is not None else "",
+                error=str(exc) if exc is not None else "",
+            )
+            del incomplete[t.index]
+            if obs.enabled():
+                obs.counter("resilience.quarantined", 1,
+                            help="tasks that exhausted their retry budget",
+                            kind=kind)
+        else:
+            t.not_before = time.monotonic() + policy.backoff(t.attempt, t.key)
+            if obs.enabled():
+                obs.counter("resilience.retries", 1,
+                            help="failed attempts scheduled for retry",
+                            kind=kind)
+
+    try:
+        while incomplete:
+            if pool is None:
+                pool = spawn()
+            now = time.monotonic()
+
+            # submit eligible tasks in deterministic index order; careful
+            # mode keeps exactly one in flight
+            try:
+                for t in sorted(incomplete.values(), key=lambda t: t.index):
+                    if t.future is not None or t.not_before > now:
+                        continue
+                    if careful and pending:
+                        break
+                    t.future = pool.submit(task, t.item, *task_args, plan, t.attempt)
+                    t.deadline = (
+                        now + policy.timeout if policy.timeout is not None else None
+                    )
+                    pending[t.future] = t
+                    if careful:
+                        break
+            except BrokenProcessPool:
+                release_pending()
+                teardown(graceful=False)
+                careful = True
+                continue
+
+            if not pending:
+                # everyone is backing off; sleep until the earliest retry
+                wake = min(
+                    t.not_before for t in incomplete.values() if t.future is None
+                )
+                time.sleep(max(0.0, min(wake - now, policy.backoff_cap)))
+                continue
+
+            horizon = [t.deadline for t in pending.values() if t.deadline is not None]
+            horizon += [
+                t.not_before
+                for t in incomplete.values()
+                if t.future is None and t.not_before > now
+            ]
+            wait_for = max(0.01, min(horizon) - now) if horizon else None
+            done, _ = wait(list(pending), timeout=wait_for,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+
+            if not done:
+                expired = [
+                    t for t in pending.values()
+                    if t.deadline is not None and t.deadline <= now
+                ]
+                if expired:
+                    if obs.enabled():
+                        obs.counter("resilience.timeouts", len(expired),
+                                    help="attempts that exceeded the per-task "
+                                         "deadline")
+                    # the expired tasks' workers are wedged; the whole pool
+                    # goes with them, and the other in-flight tasks rerun
+                    # without charge
+                    release_pending()
+                    teardown(graceful=False)
+                    for t in expired:
+                        charge(t, "timeout", None)
+                continue
+
+            broke = False
+            for f in done:
+                t = pending.pop(f)
+                exc = f.exception()
+                if exc is None:
+                    results[t.index] = f.result()
+                    del incomplete[t.index]
+                    t.future = None
+                    if on_result is not None:
+                        on_result(t.item, results[t.index])
+                elif isinstance(exc, BrokenProcessPool):
+                    broke = True
+                    if careful:
+                        # one task in flight: the blame is unambiguous
+                        charge(t, "crash", exc)
+                    else:
+                        t.future = None  # innocent until run alone
+                        t.deadline = None
+                else:
+                    charge(t, "exception", exc)
+            if broke:
+                release_pending()
+                teardown(graceful=False)
+                careful = True
+    finally:
+        teardown(graceful=not pending)
+
+    return results
+
+
+__all__ = [
+    "FailurePolicy",
+    "WorkloadExecutionError",
+    "WorkloadFailure",
+    "run_failsafe",
+    "split_failures",
+]

@@ -1,0 +1,75 @@
+"""Chaos scenario: a truncated cache payload is a clean miss.
+
+The ``cache.truncated_payload`` site makes ``put()`` ship a cut-short
+pickle to disk — the on-disk shape of a crash mid-write that somehow
+survived the atomic-replace protocol, or of bit rot.  The defensive
+``get()`` path must treat it as a miss, evict the entry, and let the
+pipeline recompute and overwrite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.artifacts import EVALUATION_KIND, PROFILE_KIND, ArtifactCache
+from repro.pipeline import evaluate_suite
+from repro.resilience import faults
+from repro.resilience.faults import SITE_CACHE_TRUNCATE, FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.chaos
+
+KEY = "ab" + "0" * 62  # well-formed sha256-shaped key
+
+
+def _entry_path(cache, kind, key):
+    return os.path.join(cache.root, kind, key[:2], key + ".pkl")
+
+
+def test_truncated_payload_is_clean_miss_and_evicted(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "cache"))
+    plan = FaultPlan(specs=(
+        FaultSpec(site=SITE_CACHE_TRUNCATE, key=PROFILE_KIND, times=1,
+                  payload={"keep": 5}),
+    ))
+    with faults.installed(plan):
+        assert cache.put(PROFILE_KIND, KEY, {"big": list(range(100))})
+        path = _entry_path(cache, PROFILE_KIND, KEY)
+        assert os.path.getsize(path) == 5  # the write really was cut short
+
+        assert cache.get(PROFILE_KIND, KEY) is None  # miss, not an exception
+        assert cache.misses == 1 and cache.hits == 0
+        assert not os.path.exists(path)  # evicted
+
+        # recompute-and-overwrite works: the spec's times budget is spent
+        assert cache.put(PROFILE_KIND, KEY, {"big": list(range(100))})
+        assert cache.get(PROFILE_KIND, KEY) == {"big": list(range(100))}
+
+
+def test_truncation_site_keys_by_kind(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "cache"))
+    plan = FaultPlan(specs=(
+        FaultSpec(site=SITE_CACHE_TRUNCATE, key=PROFILE_KIND, times=-1,
+                  payload={"keep": 1}),
+    ))
+    with faults.installed(plan):
+        cache.put(PROFILE_KIND, KEY, [1, 2, 3])
+        cache.put(EVALUATION_KIND, KEY, [4, 5, 6])
+    assert cache.get(PROFILE_KIND, KEY) is None
+    assert cache.get(EVALUATION_KIND, KEY) == [4, 5, 6]
+
+
+def test_pipeline_recomputes_through_truncated_artifacts(tmp_path):
+    # every artifact written during the sweep is truncated; the *next*
+    # sweep sees only corrupt entries, misses cleanly, and still
+    # produces the same evaluation
+    plan = FaultPlan(specs=(
+        FaultSpec(site=SITE_CACHE_TRUNCATE, times=-1, payload={"keep": 7}),
+    ))
+    cache_dir = str(tmp_path / "cache")
+    with faults.installed(plan):
+        first = evaluate_suite(names=["dwt53"], cache_dir=cache_dir)
+    second = evaluate_suite(names=["dwt53"], cache_dir=cache_dir)
+    assert first[0].name == second[0].name == "dwt53"
+    assert second[0].braid is not None

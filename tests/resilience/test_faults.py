@@ -1,0 +1,116 @@
+"""Unit semantics of the fault-injection core: matching, windows,
+determinism, JSON round-trips and ambient installation."""
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    corrupt_value,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def fire_pattern(injector, site, key, n):
+    """True/False per consultation, for ``n`` consultations."""
+    return [injector.consult(site, key) is not None for _ in range(n)]
+
+
+def test_disabled_by_default():
+    assert not faults.enabled()
+    assert faults.active() is None
+    assert faults.consult("worker.crash", "x") is None
+
+
+def test_installed_context_restores_previous_state():
+    outer = FaultPlan(specs=(FaultSpec(site="a"),))
+    with faults.installed(outer):
+        assert faults.enabled()
+        with faults.installed(None):
+            assert not faults.enabled()
+        assert faults.enabled()
+        assert faults.active().plan is outer
+    assert not faults.enabled()
+
+
+def test_site_and_key_matching():
+    plan = FaultPlan(specs=(FaultSpec(site="s", key="k", times=-1),))
+    inj = FaultInjector(plan)
+    assert inj.consult("other", "k") is None
+    assert inj.consult("s", "nope") is None
+    assert inj.consult("s", "k") is not None
+
+
+def test_none_key_matches_any():
+    inj = FaultInjector(FaultPlan(specs=(FaultSpec(site="s", times=-1),)))
+    assert inj.consult("s", "anything") is not None
+    assert inj.consult("s", None) is not None
+
+
+def test_after_and_times_windows():
+    plan = FaultPlan(specs=(FaultSpec(site="s", after=2, times=2),))
+    inj = FaultInjector(plan)
+    # skip 2, fire 2, then exhausted
+    assert fire_pattern(inj, "s", None, 6) == [
+        False, False, True, True, False, False,
+    ]
+
+
+def test_unlimited_times():
+    inj = FaultInjector(FaultPlan(specs=(FaultSpec(site="s", times=-1),)))
+    assert all(fire_pattern(inj, "s", None, 10))
+
+
+def test_attempt_gating():
+    plan = FaultPlan(specs=(FaultSpec(site="s", times=-1, attempts=(0, 2)),))
+    assert FaultInjector(plan, attempt=0).consult("s") is not None
+    assert FaultInjector(plan, attempt=1).consult("s") is None
+    assert FaultInjector(plan, attempt=2).consult("s") is not None
+
+
+def test_probability_is_deterministic_and_seed_sensitive():
+    plan7 = FaultPlan(seed=7, specs=(
+        FaultSpec(site="s", times=-1, probability=0.5),
+    ))
+    a = fire_pattern(FaultInjector(plan7), "s", "k", 64)
+    b = fire_pattern(FaultInjector(plan7), "s", "k", 64)
+    assert a == b  # same plan, same sequence
+    assert any(a) and not all(a)  # p=0.5 actually mixes
+    plan8 = FaultPlan(seed=8, specs=plan7.specs)
+    c = fire_pattern(FaultInjector(plan8), "s", "k", 64)
+    assert a != c  # the seed matters
+
+
+def test_plan_json_round_trip(tmp_path):
+    plan = FaultPlan(seed=3, specs=(
+        FaultSpec(site="worker.hang", key="470.lbm", after=1, times=2,
+                  payload={"seconds": 9.5}),
+        FaultSpec(site="frame.guard_flip", probability=0.25,
+                  attempts=(0, 1)),
+    ))
+    path = tmp_path / "plan.json"
+    import json
+
+    path.write_text(json.dumps(plan.to_dict()))
+    loaded = FaultPlan.from_json_file(str(path))
+    assert loaded == plan
+
+
+def test_plan_is_picklable():
+    import pickle
+
+    plan = FaultPlan(seed=1, specs=(
+        FaultSpec(site="worker.crash", key="x", payload={"exit_code": 3}),
+    ))
+    assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+def test_corrupt_value_flips_and_payload_overrides():
+    spec = FaultSpec(site="frame.store_corrupt")
+    assert corrupt_value(21, spec) != 21
+    assert corrupt_value(2.5, spec) != 2.5
+    forced = FaultSpec(site="frame.store_corrupt", payload={"value": 99})
+    assert corrupt_value(21, forced) == 99

@@ -1,0 +1,184 @@
+"""Property tests: frame atomicity survives injected faults.
+
+Under arbitrary combinations of injected store corruption, guard flips
+and mid-frame exceptions, a frame invocation either commits or leaves
+memory *byte-for-byte* identical to before the call — and the whole
+scenario replays identically from the same plan seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.frames import (
+    FrameBudgetExhausted,
+    FrameExecutor,
+    build_frame,
+)
+from repro.interp import Interpreter
+from repro.ir import Constant, I32, IRBuilder, Module, verify_function
+from repro.profiling import rank_paths
+from repro.regions import path_to_region
+from repro.resilience import faults
+from repro.resilience.faults import (
+    SITE_FRAME_EXCEPTION,
+    SITE_FRAME_GUARD_FLIP,
+    SITE_FRAME_STORE_CORRUPT,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+)
+from tests.conftest import profile_function
+
+pytestmark = pytest.mark.chaos
+
+
+def _kernel():
+    """Store-heavy loop with a data-dependent guard on the hot path."""
+    m = Module()
+    src = m.add_global("src", I32, 64, init=[v % 13 - 2 for v in range(64)])
+    dst = m.add_global("dst", I32, 64)
+    fn = m.add_function("k", [("n", I32)], I32)
+    b = IRBuilder(fn)
+    entry = b.add_block("entry")
+    header = b.add_block("header")
+    body = b.add_block("body")
+    hot = b.add_block("hot")
+    cold = b.add_block("cold")
+    latch = b.add_block("latch")
+    exit_ = b.add_block("exit")
+
+    b.set_block(entry)
+    b.br(header)
+
+    b.set_block(header)
+    i = b.phi(I32, "i")
+    cond = b.icmp("slt", i, fn.arg("n"))
+    b.condbr(cond, body, exit_)
+
+    b.set_block(body)
+    a_in = b.gep(src, i, 4)
+    v = b.load(I32, a_in)
+    pos = b.icmp("sgt", v, 0)
+    b.condbr(pos, hot, cold)
+
+    b.set_block(hot)
+    tripled = b.mul(v, 3)
+    a_out = b.gep(dst, i, 4)
+    b.store(tripled, a_out)
+    b.br(latch)
+
+    b.set_block(cold)
+    b.br(latch)
+
+    b.set_block(latch)
+    i2 = b.add(i, 1)
+    b.br(header)
+
+    i.add_incoming(entry, Constant(I32, 0))
+    i.add_incoming(latch, i2)
+
+    b.set_block(exit_)
+    b.ret(i)
+    verify_function(fn)
+    return m, fn
+
+
+_M, _FN = _kernel()
+_PP, _EP = profile_function(_M, _FN, [[64]])
+_FRAME = build_frame(path_to_region(_FN, rank_paths(_PP)[0]))
+_PHI_I = _FRAME.region.entry.phis[0]
+
+
+def _invoke(plan, i, n, step_budget=None):
+    """One frame invocation under ``plan`` on a fresh interpreter.
+
+    Returns ``(outcome, diff)`` where outcome is the FrameResult success
+    flag, or the exception class name when the invocation raised.
+    """
+    interp = Interpreter(_M)
+    snap = interp.memory.snapshot()
+    execu = FrameExecutor(
+        interp.memory, interp.global_base, step_budget=step_budget
+    )
+    with faults.installed(plan):
+        try:
+            result = execu.run(_FRAME, {_PHI_I: i, _FN.arg("n"): n})
+        except (FaultInjected, FrameBudgetExhausted) as exc:
+            return type(exc).__name__, interp.memory.diff(snap)
+    return result.success, interp.memory.diff(snap)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    i=st.integers(-4, 80),
+    n=st.integers(0, 64),
+    seed=st.integers(0, 2**16),
+    p_flip=st.floats(0.0, 1.0),
+    p_exc=st.floats(0.0, 1.0),
+    corrupt=st.booleans(),
+)
+def test_rollback_is_byte_identical_under_faults(
+    i, n, seed, p_flip, p_exc, corrupt
+):
+    specs = [
+        FaultSpec(site=SITE_FRAME_GUARD_FLIP, times=-1, probability=p_flip),
+        FaultSpec(site=SITE_FRAME_EXCEPTION, times=-1, probability=p_exc),
+    ]
+    if corrupt:
+        specs.append(
+            FaultSpec(site=SITE_FRAME_STORE_CORRUPT, times=-1,
+                      probability=0.5)
+        )
+    plan = FaultPlan(seed=seed, specs=tuple(specs))
+
+    outcome, diff = _invoke(plan, i, n)
+    if outcome is not True:
+        # abort — scripted (guard failure) or exceptional (injected
+        # fault): memory must be exactly as before the invocation
+        assert diff == {}
+
+    # determinism: the same plan on a fresh interpreter replays the same
+    # outcome and the same memory effect
+    outcome2, diff2 = _invoke(plan, i, n)
+    assert outcome2 == outcome
+    assert diff2 == diff
+
+
+def test_step_budget_aborts_and_rolls_back():
+    # i=3 drives the hot path (src[3] = 1 > 0): header, body, hot run
+    # within a budget of 3 — the store commits speculatively — then the
+    # 4th block step trips the budget and the store must be undone
+    outcome, diff = _invoke(FaultPlan(), 3, 64, step_budget=3)
+    assert outcome == "FrameBudgetExhausted"
+    assert diff == {}
+
+
+def test_step_budget_zero_cost_default_untouched():
+    outcome, diff = _invoke(FaultPlan(), 3, 64)
+    assert outcome is True
+    assert len(diff) == 1  # exactly the one hot-path store
+
+
+def test_exception_abort_is_counted_in_obs():
+    plan = FaultPlan(specs=(
+        FaultSpec(site=SITE_FRAME_EXCEPTION, key="hot", times=-1),
+    ))
+    obs.disable()
+    obs.registry().clear()
+    obs.enable(reset=True)
+    try:
+        outcome, diff = _invoke(plan, 3, 64)
+        assert outcome == "FaultInjected"
+        assert diff == {}
+        reg = obs.registry()
+        kind = _FRAME.region.kind
+        assert reg.counter("frames.aborts").value(region=kind) == 1
+        assert reg.counter("frames.exception_aborts").value(region=kind) == 1
+        assert reg.counter("resilience.faults_injected").value(
+            site=SITE_FRAME_EXCEPTION) == 1
+    finally:
+        obs.disable()
+        obs.registry().clear()

@@ -7,12 +7,15 @@ import repro
 PUBLIC_API = [
     "ArtifactCache",
     "DEFAULT_CONFIG",
+    "FaultPlan",
+    "FaultSpec",
     "NeedlePipeline",
     "PipelineOptions",
     "SystemConfig",
     "Workload",
     "WorkloadAnalysis",
     "WorkloadEvaluation",
+    "WorkloadFailure",
     "accel",
     "analysis",
     "evaluate_suite",
@@ -24,6 +27,7 @@ PUBLIC_API = [
     "profiling",
     "regions",
     "reporting",
+    "resilience",
     "sim",
     "suite",
     "transforms",
@@ -89,6 +93,9 @@ def test_internal_modules_declare_all():
     import repro.options
     import repro.pipeline
     import repro.profiling.path_profile
+    import repro.resilience
+    import repro.resilience.faults
+    import repro.resilience.runner
     import repro.sim.offload
     import repro.workloads.base
 
@@ -99,6 +106,9 @@ def test_internal_modules_declare_all():
         repro.options,
         repro.pipeline,
         repro.profiling.path_profile,
+        repro.resilience,
+        repro.resilience.faults,
+        repro.resilience.runner,
         repro.sim.offload,
         repro.workloads.base,
     ):
