@@ -1,7 +1,9 @@
 """Pipeline throughput: cold vs warm-cache vs parallel suite evaluation.
 
 Times three ways of evaluating the full 29-workload suite with real wall
-clocks and records them to ``benchmarks/results/pipeline_scaling.txt``:
+clocks and records them to ``benchmarks/results/pipeline_scaling.txt``
+(and, machine-readable, to the ``pipeline_scaling`` section of
+``BENCH_sim.json`` at the repo root):
 
 * **cold serial** — fresh pipeline, empty artifact cache: every workload is
   profiled, framed, scheduled and simulated from scratch;
@@ -25,7 +27,7 @@ from repro import ArtifactCache, NeedlePipeline
 from repro.cli import evaluation_row
 from repro.workloads.base import clear_profile_cache
 
-from .conftest import save_result
+from .conftest import save_result, update_bench_json
 
 #: at least 2 so the ProcessPoolExecutor path genuinely runs even on a
 #: single-core container (where it measures pure pool overhead)
@@ -74,6 +76,15 @@ def test_pipeline_scaling(tmp_path_factory, suite):
         "warm/parallel rows verified bitwise-identical to cold serial",
     ]
     save_result("pipeline_scaling", "\n".join(lines))
+    update_bench_json("pipeline_scaling", {
+        "suite_size": len(suite),
+        "jobs": _JOBS,
+        "cold_serial_seconds": cold,
+        "warm_cache_seconds": warm,
+        "parallel_seconds": parallel,
+        "warm_speedup": cold / warm,
+        "parallel_speedup": cold / parallel,
+    })
 
     assert warm < cold
     assert warm < 2.0

@@ -1,0 +1,175 @@
+"""Simulation-time benchmark: run-length trace kernels + simulation memo.
+
+Measures, with real wall clocks and the artifact cache disabled, what the
+two new perf layers buy:
+
+* **per-workload** — the three-strategy simulation bill (path-oracle,
+  path-history, braid) under the reference configuration
+  (``trace_kernels="events"``, memo off) vs the shipped one
+  (``trace_kernels="rle"``, memo on), best of ``_REPEATS`` cold runs
+  each, with the outcomes checked identical;
+* **per-stage** — cold one-shot times for the memoizable sub-simulations
+  (memory calibration, host path costs) summed over the suite: these are
+  what the memo lets the three strategies pay once instead of thrice;
+* **suite-level** — cold full-suite wall clock in the shipped
+  configuration, plus a warm artifact-cache pass whose speedup is gated
+  against the floor recorded in the committed ``BENCH_sim.json``
+  (same-ratio comparisons are machine-stable, unlike absolute seconds —
+  the pattern of ``bench_obs_overhead.py``).
+
+Everything lands machine-readable in ``BENCH_sim.json`` at the repo root
+(section ``"sim_memo"``) next to the ``pipeline_scaling`` section, and
+human-readable in ``benchmarks/results/sim_memo.txt``.
+"""
+
+import os
+import time
+
+from repro.options import PipelineOptions
+from repro.sim import KERNELS_EVENTS, KERNELS_RLE, OffloadSimulator
+from repro.workloads.base import clear_profile_cache
+
+from .conftest import load_bench_json, save_result, update_bench_json
+
+#: cold repeats per (workload, mode); best is kept to shed scheduler noise
+_REPEATS = 3
+
+#: the acceptance bar: the shipped configuration must at least halve the
+#: three-strategy simulation time on at least this fraction of the suite
+_SPEEDUP_BAR = 2.0
+_SUITE_FRACTION = 0.5
+
+#: warm-cache suite speedup floor used when BENCH_sim.json has none yet
+_DEFAULT_WARM_FLOOR = 3.0
+
+
+def _three_strategies(sim, analysis):
+    """The exact simulation calls one pipeline evaluation makes."""
+    profiled = analysis.profiled
+    out = []
+    if analysis.path_frame is not None:
+        out.append(sim.simulate_offload(
+            profiled.workload.name, profiled.paths, analysis.path_frame,
+            "oracle", profiled.trace,
+        ))
+        out.append(sim.simulate_offload(
+            profiled.workload.name, profiled.paths, analysis.path_frame,
+            "history", profiled.trace,
+        ))
+    if analysis.braid_frame is not None:
+        out.append(sim.simulate_offload(
+            profiled.workload.name, profiled.paths, analysis.braid_frame,
+            "oracle", profiled.trace, coverage=analysis.top_braid.coverage,
+        ))
+    return out
+
+
+def _best_of(make_sim, analysis):
+    best, outcomes = float("inf"), None
+    for _ in range(_REPEATS):
+        sim = make_sim()  # fresh simulator: every repeat is a cold run
+        t0 = time.perf_counter()
+        outcomes = _three_strategies(sim, analysis)
+        best = min(best, time.perf_counter() - t0)
+    return best, outcomes
+
+
+def test_sim_memo_speedup(suite):
+    # analysis (profiling, framing) is shared and untimed: the claim under
+    # test is about *simulation* time, which is where the memo and the
+    # kernels live
+    pipe = PipelineOptions(no_cache=True).build_pipeline()
+    analyses = {w.name: pipe.analyse(w) for w in suite}
+
+    per_workload = []
+    for w in suite:
+        analysis = analyses[w.name]
+        ref_t, ref_out = _best_of(
+            lambda: OffloadSimulator(memo=False, trace_kernels=KERNELS_EVENTS),
+            analysis,
+        )
+        fast_t, fast_out = _best_of(
+            lambda: OffloadSimulator(trace_kernels=KERNELS_RLE), analysis,
+        )
+        # a wrong-but-fast simulator is worthless
+        assert [vars(a) for a in fast_out] == [vars(b) for b in ref_out]
+        per_workload.append({
+            "workload": w.name,
+            "reference_seconds": ref_t,
+            "fast_seconds": fast_t,
+            "speedup": ref_t / fast_t,
+        })
+
+    # per-stage breakdown: what one cold pass over the suite spends in the
+    # memoizable sub-simulations (paid 3x without the memo, 1x with it)
+    stage = {"calibrate_seconds": 0.0, "path_costs_seconds": 0.0}
+    for w in suite:
+        profiled = analyses[w.name].profiled
+        sim = OffloadSimulator(memo=False)
+        t0 = time.perf_counter()
+        cal = sim.calibrate(profiled.trace)
+        stage["calibrate_seconds"] += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sim.path_costs(profiled.paths, cal.host_load_latency)
+        stage["path_costs_seconds"] += time.perf_counter() - t0
+
+    # suite-level wall clocks: cold (no artifact cache), then cold + warm
+    # against a scratch cache for the gated warm-path speedup
+    clear_profile_cache()
+    t0 = time.perf_counter()
+    PipelineOptions(no_cache=True).build_pipeline().evaluate_all(suite)
+    cold_suite = time.perf_counter() - t0
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        clear_profile_cache()
+        opts = dict(cache_dir=os.path.join(cache_dir, "cache"))
+        PipelineOptions(**opts).build_pipeline().evaluate_all(suite)
+        clear_profile_cache()
+        t0 = time.perf_counter()
+        PipelineOptions(**opts).build_pipeline().evaluate_all(suite)
+        warm_suite = time.perf_counter() - t0
+    warm_speedup = cold_suite / warm_suite
+
+    n_fast = sum(row["speedup"] >= _SPEEDUP_BAR for row in per_workload)
+    recorded = load_bench_json().get("sim_memo", {})
+    warm_floor = recorded.get("warm_speedup_floor", _DEFAULT_WARM_FLOOR)
+
+    update_bench_json("sim_memo", {
+        "suite_size": len(suite),
+        "repeats": _REPEATS,
+        "per_workload": per_workload,
+        "per_stage_cold": stage,
+        "workloads_at_least_%gx" % _SPEEDUP_BAR: n_fast,
+        "cold_suite_seconds": cold_suite,
+        "warm_suite_seconds": warm_suite,
+        "warm_speedup": warm_speedup,
+        "warm_speedup_floor": warm_floor,
+    })
+
+    lines = [
+        "three-strategy simulation time, reference (events, no memo) vs "
+        "shipped (rle + memo); best of %d cold runs" % _REPEATS,
+        "",
+    ]
+    for row in sorted(per_workload, key=lambda r: -r["speedup"]):
+        lines.append("%-22s ref %7.2f ms   fast %7.2f ms   %5.2fx" % (
+            row["workload"], row["reference_seconds"] * 1e3,
+            row["fast_seconds"] * 1e3, row["speedup"],
+        ))
+    lines += [
+        "",
+        ">= %.0fx on %d/%d workloads (gate: at least %d)"
+        % (_SPEEDUP_BAR, n_fast, len(suite),
+           int(len(suite) * _SUITE_FRACTION + 0.5)),
+        "memoizable stages, cold, suite total: calibrate %.2f s, "
+        "path costs %.2f s" % (
+            stage["calibrate_seconds"], stage["path_costs_seconds"]),
+        "cold suite %.2f s; warm artifact cache %.2f s (%.1fx, floor %.1fx)"
+        % (cold_suite, warm_suite, warm_speedup, warm_floor),
+    ]
+    save_result("sim_memo", "\n".join(lines))
+
+    assert n_fast >= len(suite) * _SUITE_FRACTION
+    assert warm_speedup >= warm_floor

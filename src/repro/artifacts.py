@@ -45,8 +45,10 @@ from .resilience.faults import (
 
 #: bump when the pickled artifact layout changes incompatibly
 #: (2: AnalysisSummary gained dynamic_instructions/memory_events and
-#: OffloadOutcome gained per-level memory access censuses for the obs layer)
-CACHE_FORMAT_VERSION = 2
+#: OffloadOutcome gained per-level memory access censuses for the obs layer;
+#: 3: ProfiledWorkload carries its artifact key, calibration/path-cost
+#: tables are persisted, and the offload fold accumulates per charge class)
+CACHE_FORMAT_VERSION = 3
 
 #: environment variable overriding the default cache root
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -54,6 +56,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: artifact kinds stored by the pipeline
 PROFILE_KIND = "profile"
 EVALUATION_KIND = "evaluation"
+#: sub-simulation tables persisted by the simulation memo (repro.sim.memo)
+CALIBRATION_KIND = "calibration"
+PATH_COSTS_KIND = "pathcosts"
 
 #: deep IR graphs (SSA chains, operand links) exceed the default
 #: recursion limit during pickling; raised temporarily around dump/load
@@ -192,7 +197,8 @@ class ArtifactCache:
     def clear(self) -> int:
         """Delete every stored artifact; returns the number removed."""
         removed = 0
-        for kind in (PROFILE_KIND, EVALUATION_KIND):
+        for kind in (PROFILE_KIND, EVALUATION_KIND,
+                     CALIBRATION_KIND, PATH_COSTS_KIND):
             base = os.path.join(self.root, kind)
             for dirpath, _dirs, files in os.walk(base):
                 for name in files:
@@ -215,7 +221,9 @@ class ArtifactCache:
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
+    "CALIBRATION_KIND",
     "EVALUATION_KIND",
+    "PATH_COSTS_KIND",
     "PROFILE_KIND",
     "ArtifactCache",
     "config_fingerprint",

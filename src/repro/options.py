@@ -56,6 +56,12 @@ class PipelineOptions:
                      retrying/quarantining.
     ``fault_plan``   a :class:`~repro.resilience.FaultPlan` (or a path to
                      its JSON form) injected into the run — chaos testing.
+    ``trace_kernels`` offload-accounting kernels: ``"rle"`` (closed-form
+                     run folds, the default) or ``"events"`` (the
+                     event-by-event reference path; bitwise-identical
+                     outcomes, property-tested).
+    ``no_sim_memo``  disable the cross-strategy simulation memo (every
+                     strategy recomputes calibration/path costs/schedules).
     """
 
     config: Optional[SystemConfig] = None
@@ -68,6 +74,8 @@ class PipelineOptions:
     retries: int = 2
     fail_fast: bool = False
     fault_plan: "Optional[object]" = None  # FaultPlan | str path to JSON
+    trace_kernels: str = "rle"
+    no_sim_memo: bool = False
 
     # -- derived views -----------------------------------------------------
 
@@ -188,6 +196,20 @@ class PipelineOptions:
             metavar="PATH",
             help="inject the deterministic fault plan described by this "
             "JSON file (chaos testing; see docs/resilience.md)",
+        )
+        parser.add_argument(
+            "--trace-kernels",
+            choices=("rle", "events"),
+            default=cls.trace_kernels,
+            help="offload-accounting kernels: closed-form run folds "
+            "('rle', default) or the event-by-event reference path "
+            "('events'); outcomes are bitwise-identical",
+        )
+        parser.add_argument(
+            "--no-sim-memo",
+            action="store_true",
+            help="disable the cross-strategy simulation memo (recompute "
+            "calibration, path costs and schedules per strategy)",
         )
 
     @classmethod

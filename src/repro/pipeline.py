@@ -64,6 +64,7 @@ from .resilience.runner import (
 from .regions.braid import Braid, build_braids
 from .regions.path_region import path_to_region
 from .sim.config import DEFAULT_CONFIG, SystemConfig
+from .sim.memo import SimulationMemo
 from .sim.offload import OffloadOutcome, OffloadSimulator
 from .workloads.base import ProfiledWorkload, Workload, profile_workload
 
@@ -249,10 +250,21 @@ class NeedlePipeline:
                 cache = options.build_cache()
         self.options = options or PipelineOptions(config=config)
         self.config = config or DEFAULT_CONFIG
-        self.simulator = OffloadSimulator(self.config)
         if isinstance(cache, str):
             cache = ArtifactCache(cache)
         self.cache = cache
+        # one simulation memo per pipeline: the three strategies of each
+        # evaluation share calibration/path-cost/schedule sub-simulations,
+        # and (with an artifact cache) the tables persist across runs
+        self.sim_memo: Optional[SimulationMemo] = (
+            None if self.options.no_sim_memo
+            else SimulationMemo(cache=self.cache)
+        )
+        self.simulator = OffloadSimulator(
+            self.config,
+            memo=False if self.sim_memo is None else self.sim_memo,
+            trace_kernels=self.options.trace_kernels,
+        )
         self._analyses: Dict[str, WorkloadAnalysis] = {}
         self._evaluations: Dict[str, WorkloadEvaluation] = {}
 
@@ -327,6 +339,10 @@ class NeedlePipeline:
         analysis = self.analyse(workload)
         profiled = analysis.profiled
 
+        # the profile's content key upgrades the simulation memo to
+        # persistent, cross-process entries (None = identity keys only)
+        akey = profiled.artifact_key
+
         path_oracle = path_history = braid_outcome = None
         if analysis.path_frame is not None:
             path_oracle = self.simulator.simulate_offload(
@@ -335,6 +351,7 @@ class NeedlePipeline:
                 analysis.path_frame,
                 "oracle",
                 profiled.trace,
+                artifact_key=akey,
             )
             path_history = self.simulator.simulate_offload(
                 workload.name,
@@ -342,6 +359,7 @@ class NeedlePipeline:
                 analysis.path_frame,
                 "history",
                 profiled.trace,
+                artifact_key=akey,
             )
         if analysis.braid_frame is not None:
             braid_outcome = self.simulator.simulate_offload(
@@ -351,6 +369,7 @@ class NeedlePipeline:
                 "oracle",
                 profiled.trace,
                 coverage=analysis.top_braid.coverage,
+                artifact_key=akey,
             )
 
         hls = None
@@ -472,24 +491,28 @@ class NeedlePipeline:
 
     def _fan_out(self, worker, workloads, jobs: int) -> List:
         """Shard over a fail-safe process pool; workers return ``(result,
-        obs snapshot-or-None)``.  Snapshots are folded in as each worker
-        finishes — a later failure can no longer drop metrics that were
-        already collected — and failed workloads come back as
-        :class:`WorkloadFailure` records in their suite slot."""
+        obs snapshot-or-None, memo snapshot-or-None)``.  Snapshots are
+        folded in as each worker finishes — a later failure can no longer
+        drop metrics or memo entries that were already collected — and
+        failed workloads come back as :class:`WorkloadFailure` records in
+        their suite slot."""
         cache_root = self.cache.root if self.cache is not None else None
         collect = obs.enabled()
 
-        def _absorb(_workload, pair):
-            _result, snap = pair
+        def _absorb(_workload, row):
+            _result, snap, memo_snap = row
             if snap is not None:
                 obs.merge(snap)
+            if memo_snap is not None and self.sim_memo is not None:
+                self.sim_memo.merge(memo_snap)
 
         rows = run_failsafe(
             worker,
             workloads,
             jobs=jobs,
             policy=self.options.failure_policy(),
-            task_args=(self.config, cache_root, collect),
+            task_args=(self.config, cache_root, collect,
+                       self.options.trace_kernels, self.options.no_sim_memo),
             plan=self._fault_plan(),
             key_fn=lambda w: w.name,
             on_result=_absorb,
@@ -549,9 +572,20 @@ def evaluate_suite(
 # -- process-pool workers (module level: must be picklable by reference) --------
 
 
-def _worker_pipeline(config: SystemConfig, cache_root: Optional[str]) -> NeedlePipeline:
+def _worker_pipeline(
+    config: SystemConfig,
+    cache_root: Optional[str],
+    trace_kernels: str = "rle",
+    no_sim_memo: bool = False,
+) -> NeedlePipeline:
     cache = ArtifactCache(cache_root) if cache_root is not None else None
-    return NeedlePipeline(config, cache=cache)
+    opts = PipelineOptions(
+        config=config,
+        no_cache=cache is None,
+        trace_kernels=trace_kernels,
+        no_sim_memo=no_sim_memo,
+    )
+    return NeedlePipeline(config, cache=cache, options=opts)
 
 
 def _consult_worker_faults(name: str) -> None:
@@ -572,9 +606,12 @@ def _consult_worker_faults(name: str) -> None:
 
 
 def _run_worker(method, workload, config, cache_root, collect: bool,
+                trace_kernels: str = "rle", no_sim_memo: bool = False,
                 plan: Optional[FaultPlan] = None, attempt: int = 0):
     """Run one workload in a pool worker, optionally collecting obs data
     into a private registry whose snapshot rides back with the result.
+    The worker pipeline's simulation-memo snapshot travels back the same
+    way, so the parent's memo warms up as the sweep progresses.
 
     The fault plan is installed fresh per (task, attempt) — and any
     injector the forked child inherited from the parent is cleared — so
@@ -584,16 +621,21 @@ def _run_worker(method, workload, config, cache_root, collect: bool,
     _faults.install(plan, attempt=attempt)
     try:
         _consult_worker_faults(workload.name)
+        pipe = _worker_pipeline(config, cache_root, trace_kernels, no_sim_memo)
         if not collect:
-            result = getattr(_worker_pipeline(config, cache_root), method)(workload)
-            return result, None
-        with obs.scoped() as reg:
-            obs.counter("pipeline.worker_tasks", 1,
-                        help="workloads processed per pool worker",
-                        worker=str(os.getpid()))
-            result = getattr(_worker_pipeline(config, cache_root), method)(workload)
-            snap = reg.snapshot()
-        return result, snap
+            result = getattr(pipe, method)(workload)
+            snap = None
+        else:
+            with obs.scoped() as reg:
+                obs.counter("pipeline.worker_tasks", 1,
+                            help="workloads processed per pool worker",
+                            worker=str(os.getpid()))
+                result = getattr(pipe, method)(workload)
+                snap = reg.snapshot()
+        memo_snap = (
+            pipe.sim_memo.snapshot() if pipe.sim_memo is not None else None
+        )
+        return result, snap, memo_snap
     finally:
         _faults.uninstall()
 
@@ -603,11 +645,13 @@ def _analyse_worker(
     config: SystemConfig,
     cache_root: Optional[str],
     collect: bool = False,
+    trace_kernels: str = "rle",
+    no_sim_memo: bool = False,
     plan: Optional[FaultPlan] = None,
     attempt: int = 0,
 ):
     return _run_worker("analyse", workload, config, cache_root, collect,
-                       plan, attempt)
+                       trace_kernels, no_sim_memo, plan, attempt)
 
 
 def _evaluate_worker(
@@ -615,11 +659,13 @@ def _evaluate_worker(
     config: SystemConfig,
     cache_root: Optional[str],
     collect: bool = False,
+    trace_kernels: str = "rle",
+    no_sim_memo: bool = False,
     plan: Optional[FaultPlan] = None,
     attempt: int = 0,
 ):
     return _run_worker("evaluate", workload, config, cache_root, collect,
-                       plan, attempt)
+                       trace_kernels, no_sim_memo, plan, attempt)
 
 
 __all__ = [

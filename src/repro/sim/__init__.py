@@ -18,6 +18,7 @@ from .cache import (
     CacheStats,
     MemorySystem,
     StreamProfile,
+    profile_stream_dual,
 )
 from .coherence import (
     CoherenceActions,
@@ -30,7 +31,18 @@ from .coherence import (
 )
 from .core_ooo import OOOModel, OOOResult
 from .energy import EnergyBreakdown, EnergyModel
+from .memo import Calibration, SimulationMemo, content_key
 from .offload import OffloadOutcome, OffloadSimulator, PathCost
+from .trace_kernels import (
+    ChargeCensus,
+    KERNEL_MODES,
+    KERNELS_EVENTS,
+    KERNELS_RLE,
+    RLETrace,
+    census_from_events,
+    census_from_segments,
+    run_length_encode,
+)
 
 __all__ = [
     "AccessResult",
@@ -39,6 +51,8 @@ __all__ = [
     "Cache",
     "CacheConfig",
     "CacheStats",
+    "Calibration",
+    "ChargeCensus",
     "CoherenceActions",
     "CoherenceError",
     "DEFAULT_CONFIG",
@@ -48,6 +62,9 @@ __all__ = [
     "EnergyModel",
     "HostConfig",
     "INVALID",
+    "KERNEL_MODES",
+    "KERNELS_EVENTS",
+    "KERNELS_RLE",
     "MemoryHierarchyConfig",
     "MemorySystem",
     "MESIDirectory",
@@ -58,7 +75,14 @@ __all__ = [
     "OOOModel",
     "OOOResult",
     "PathCost",
+    "RLETrace",
     "SHARED",
+    "SimulationMemo",
     "StreamProfile",
     "SystemConfig",
+    "census_from_events",
+    "census_from_segments",
+    "content_key",
+    "profile_stream_dual",
+    "run_length_encode",
 ]

@@ -172,28 +172,101 @@ class MemorySystem:
 
     # -- bulk profiling -----------------------------------------------------------
 
+    def _compile_port(self, port: str):
+        """A replay closure for one port: ``access(addr, is_write) ->
+        (latency, level_index)`` with every per-access attribute lookup
+        hoisted into locals and no :class:`AccessResult` allocation.
+
+        Level indices are 0=l1, 1=l2, 2=dram.  The closure mutates the
+        same cache state as :meth:`host_access`/:meth:`accel_access` in
+        the same order, except DRAM/coherence tallies which the caller
+        folds back via the returned ``finish()`` hook — final
+        :class:`MemorySystem` state is identical either way.
+        """
+        hier = self.hierarchy
+        l1_lat = hier.l1.latency
+        l2_lat = hier.l2.latency
+        dram_lat = hier.dram_latency
+        if port == "host":
+            l1_access = self.l1.access
+            l2_access = self.l2.access
+            host_l12 = l1_lat + l2_lat
+            host_dram = host_l12 + dram_lat
+            counters = {"dram": 0}
+
+            def access(addr: int, is_write: bool):
+                if l1_access(addr, is_write):
+                    return l1_lat, 0
+                if l2_access(addr, is_write):
+                    return host_l12, 1
+                counters["dram"] += 1
+                return host_dram, 2
+
+            def finish() -> None:
+                self.dram_accesses += counters["dram"]
+                counters["dram"] = 0
+
+            return access, finish
+
+        l1_contains = self.l1.contains
+        l1_invalidate = self.l1.invalidate
+        l2_access = self.l2.access
+        accel_dram = l2_lat + dram_lat
+        counters = {"dram": 0, "inval": 0}
+
+        def access(addr: int, is_write: bool):  # noqa: F811 - port variant
+            extra = 0
+            if l1_contains(addr):
+                if is_write:
+                    # MESI: the accelerator's write invalidates the host copy
+                    dirty = l1_invalidate(addr)
+                    counters["inval"] += 1
+                    if dirty:
+                        extra += l2_lat  # writeback to L2 first
+                else:
+                    # read snoops a (possibly dirty) host copy: serve via L2
+                    extra += 2
+            if l2_access(addr, is_write):
+                return l2_lat + extra, 1
+            counters["dram"] += 1
+            return accel_dram + extra, 2
+
+        def finish() -> None:  # noqa: F811 - port variant
+            self.dram_accesses += counters["dram"]
+            self.coherence_invalidations += counters["inval"]
+            counters["dram"] = counters["inval"] = 0
+
+        return access, finish
+
     def profile_stream(
         self, stream, port: str = "host"
     ) -> "StreamProfile":
         """Replay an (opcode, address) stream; returns average latencies."""
-        access = self.host_access if port == "host" else self.accel_access
+        access, finish = self._compile_port(port)
         load_lat = load_n = store_lat = store_n = 0
-        levels = {"l1": 0, "l2": 0, "dram": 0}
+        l1_n = l2_n = dram_n = 0
         for opcode, addr in stream:
-            res = access(addr, opcode == "store")
-            levels[res.level] += 1
-            if opcode == "store":
-                store_lat += res.latency
+            is_store = opcode == "store"
+            lat, level = access(addr, is_store)
+            if level == 0:
+                l1_n += 1
+            elif level == 1:
+                l2_n += 1
+            else:
+                dram_n += 1
+            if is_store:
+                store_lat += lat
                 store_n += 1
             else:
-                load_lat += res.latency
+                load_lat += lat
                 load_n += 1
+        finish()
         return StreamProfile(
             avg_load_latency=(load_lat / load_n) if load_n else 0.0,
             avg_store_latency=(store_lat / store_n) if store_n else 0.0,
             loads=load_n,
             stores=store_n,
-            level_counts=levels,
+            level_counts={"l1": l1_n, "l2": l2_n, "dram": dram_n},
         )
 
 
@@ -206,3 +279,58 @@ class StreamProfile:
     loads: int
     stores: int
     level_counts: Dict[str, int] = field(default_factory=dict)
+
+
+def profile_stream_dual(
+    hierarchy: Optional[MemoryHierarchyConfig], stream
+) -> Tuple[StreamProfile, StreamProfile]:
+    """Replay one (opcode, address) stream through a host-port and an
+    accel-port :class:`MemorySystem` in a single pass.
+
+    Each port owns its own MemorySystem, so their cache states are
+    disjoint and the interleaved walk produces exactly the profiles two
+    sequential :meth:`MemorySystem.profile_stream` replays would — the
+    stream (usually the longest array in a profiled workload) is just
+    traversed once instead of twice.
+    """
+    host = MemorySystem(hierarchy)
+    accel = MemorySystem(hierarchy)
+    h_access, h_finish = host._compile_port("host")
+    a_access, a_finish = accel._compile_port("accel")
+    h_load_lat = h_load_n = h_store_lat = h_store_n = 0
+    a_load_lat = a_load_n = a_store_lat = a_store_n = 0
+    h_levels = [0, 0, 0]
+    a_levels = [0, 0, 0]
+    for opcode, addr in stream:
+        is_store = opcode == "store"
+        lat, level = h_access(addr, is_store)
+        h_levels[level] += 1
+        a_lat, a_level = a_access(addr, is_store)
+        a_levels[a_level] += 1
+        if is_store:
+            h_store_lat += lat
+            h_store_n += 1
+            a_store_lat += a_lat
+            a_store_n += 1
+        else:
+            h_load_lat += lat
+            h_load_n += 1
+            a_load_lat += a_lat
+            a_load_n += 1
+    h_finish()
+    a_finish()
+    host_profile = StreamProfile(
+        avg_load_latency=(h_load_lat / h_load_n) if h_load_n else 0.0,
+        avg_store_latency=(h_store_lat / h_store_n) if h_store_n else 0.0,
+        loads=h_load_n,
+        stores=h_store_n,
+        level_counts={"l1": h_levels[0], "l2": h_levels[1], "dram": h_levels[2]},
+    )
+    accel_profile = StreamProfile(
+        avg_load_latency=(a_load_lat / a_load_n) if a_load_n else 0.0,
+        avg_store_latency=(a_store_lat / a_store_n) if a_store_n else 0.0,
+        loads=a_load_n,
+        stores=a_store_n,
+        level_counts={"l1": a_levels[0], "l2": a_levels[1], "dram": a_levels[2]},
+    )
+    return host_profile, accel_profile

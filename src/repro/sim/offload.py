@@ -11,23 +11,56 @@ undo-log rollback, and the host re-execution of the actual path.
 Host path costs come from the OOO model with loop-carried pipelining
 captured by amortising over repeated executions; memory latencies for both
 sides come from replaying the recorded address stream through the cache
-hierarchy (host port vs. uncore accelerator port).
+hierarchy (host port vs. uncore accelerator port) in one dual-port pass.
+
+Two performance layers keep whole-suite sweeps cheap without changing a
+single simulated number:
+
+* **run-length trace kernels** — the trace accounting folds an integer
+  :class:`~repro.sim.trace_kernels.ChargeCensus` instead of walking the
+  event stream, and the census comes from either the O(#runs) RLE kernel
+  (default) or the O(#events) reference kernel
+  (``trace_kernels="events"``); both produce the same census, so the
+  shared census→cycles/energy fold is bitwise-identical by construction;
+* **simulation memo** — calibration, per-path host costs, CGRA schedules
+  and the braid's effective II are memoized per (input, config slice) in
+  a :class:`~repro.sim.memo.SimulationMemo`, so the three strategies the
+  pipeline evaluates (and DSE sweeps varying only CGRA/offload knobs)
+  share one replay, one OOO table and one schedule pool.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..artifacts import CALIBRATION_KIND, PATH_COSTS_KIND
 from ..frames.frame import Frame
-from ..obs import span as _obs_span
+from ..obs import (
+    counter as _obs_counter,
+    enabled as _obs_enabled,
+    gauge as _obs_gauge,
+    span as _obs_span,
+)
 from ..profiling.ranking import count_ops
 from ..interp.events import FunctionTrace
 from ..profiling.path_profile import PathProfile
-from .cache import MemorySystem
+from .cache import profile_stream_dual
 from .config import DEFAULT_CONFIG, SystemConfig
 from .core_ooo import OOOModel, OOOResult
 from .energy import EnergyModel
+from .memo import Calibration, SimulationMemo, content_key
+from .trace_kernels import (
+    KERNEL_MODES,
+    KERNELS_EVENTS,
+    KERNELS_RLE,
+    census_from_events,
+    census_from_segments,
+    run_length_encode,
+)
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -77,44 +110,84 @@ class OffloadOutcome:
 
 
 class OffloadSimulator:
-    """Simulates host-only and Needle-offloaded execution of one workload."""
+    """Simulates host-only and Needle-offloaded execution of one workload.
 
-    def __init__(self, config: Optional[SystemConfig] = None):
+    ``memo``           a shared :class:`~repro.sim.memo.SimulationMemo`
+                       (``None`` = a fresh private one; ``False`` =
+                       disable memoization — every call recomputes).
+    ``trace_kernels``  ``"rle"`` (closed-form run folds, the default) or
+                       ``"events"`` (the event-by-event reference path).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        memo: "Optional[SimulationMemo | bool]" = None,
+        trace_kernels: str = KERNELS_RLE,
+    ):
         self.config = config or DEFAULT_CONFIG
         self.energy_model = EnergyModel(self.config.energy, self.config.cgra)
+        if memo is False:
+            self.memo: Optional[SimulationMemo] = None
+        elif memo is None or memo is True:
+            self.memo = SimulationMemo()
+        else:
+            self.memo = memo
+        if trace_kernels not in KERNEL_MODES:
+            raise ValueError(
+                "trace_kernels must be one of %r, got %r"
+                % (KERNEL_MODES, trace_kernels)
+            )
+        self.trace_kernels = trace_kernels
 
     # -- memory latency calibration ------------------------------------------------
 
-    def calibrate_memory(
-        self, trace: Optional[FunctionTrace]
-    ) -> Tuple[float, float]:
-        """(host avg load latency, accel avg load latency) from the recorded
-        address stream; L1/L2 hit latencies when there is no stream."""
-        host_lat, accel_lat, _host_levels, _accel_levels = self._calibrate(trace)
-        return host_lat, accel_lat
+    def calibrate(
+        self,
+        trace: Optional[FunctionTrace],
+        artifact_key: Optional[str] = None,
+    ) -> Calibration:
+        """Memory calibration of one workload, both ports at once.
 
-    def _calibrate(
-        self, trace: Optional[FunctionTrace]
-    ) -> Tuple[float, float, Dict[str, int], Dict[str, int]]:
-        """Latency calibration plus the per-level access census of the
-        replay (the simulated cache hit/miss numbers the obs layer reports)."""
-        hier = self.config.memory
-        host_lat = float(hier.l1.latency)
-        accel_lat = float(hier.l2.latency)
-        host_levels: Dict[str, int] = {}
-        accel_levels: Dict[str, int] = {}
-        if trace is not None and trace.memory:
-            host_mem = MemorySystem(hier)
-            prof = host_mem.profile_stream(trace.memory, port="host")
-            host_levels = dict(prof.level_counts)
-            if prof.loads:
-                host_lat = prof.avg_load_latency
-            accel_mem = MemorySystem(hier)
-            prof_a = accel_mem.profile_stream(trace.memory, port="accel")
-            accel_levels = dict(prof_a.level_counts)
-            if prof_a.loads:
-                accel_lat = prof_a.avg_load_latency
-        return host_lat, accel_lat, host_levels, accel_levels
+        A single dual-port pass over the recorded address stream yields
+        average load latencies *and* the per-level access censuses (the
+        simulated cache hit/miss numbers the obs layer reports); L1/L2
+        hit latencies when there is no stream.  Memoized per (workload,
+        memory config) — persistently through the artifact cache when
+        ``artifact_key`` pins the workload's content — so the three
+        offload strategies and any sweep point that keeps the memory
+        hierarchy fixed share one replay.
+        """
+
+        def compute() -> Calibration:
+            hier = self.config.memory
+            host_lat = float(hier.l1.latency)
+            accel_lat = float(hier.l2.latency)
+            host_levels: Dict[str, int] = {}
+            accel_levels: Dict[str, int] = {}
+            if trace is not None and trace.memory:
+                host_prof, accel_prof = profile_stream_dual(hier, trace.memory)
+                host_levels = dict(host_prof.level_counts)
+                accel_levels = dict(accel_prof.level_counts)
+                if host_prof.loads:
+                    host_lat = host_prof.avg_load_latency
+                if accel_prof.loads:
+                    accel_lat = accel_prof.avg_load_latency
+            return Calibration(
+                host_load_latency=host_lat,
+                accel_load_latency=accel_lat,
+                host_levels=host_levels,
+                accel_levels=accel_levels,
+            )
+
+        if self.memo is None:
+            return compute()
+        mem_cfg = repr(self.config.memory)
+        if artifact_key:
+            return self.memo.content(
+                CALIBRATION_KIND, content_key(artifact_key, mem_cfg), compute
+            )
+        return self.memo.identity("calibration", trace, mem_cfg, compute)
 
     # -- host path costs ---------------------------------------------------------------
 
@@ -123,30 +196,46 @@ class OffloadSimulator:
         profile: PathProfile,
         host_load_latency: float,
         amortise_reps: int = 4,
+        artifact_key: Optional[str] = None,
     ) -> Dict[int, PathCost]:
         """Per-execution host cost of each profiled path.
 
         Paths that repeat are simulated ``amortise_reps`` times back-to-back
         so the OOO window can overlap iterations (loop pipelining), then
-        averaged.
+        averaged.  Memoized per (profile, host config, rounded load
+        latency) — the OOO model only sees the rounded integer latency,
+        so sweep points that round alike share one table.
         """
-        model = OOOModel(
-            self.config.host,
-            fixed_load_latency=max(1, int(round(host_load_latency))),
+        fixed_latency = max(1, int(round(host_load_latency)))
+
+        def compute() -> Dict[int, PathCost]:
+            model = OOOModel(self.config.host, fixed_load_latency=fixed_latency)
+            costs: Dict[int, PathCost] = {}
+            for pid, count in profile.counts.items():
+                blocks = profile.decode(pid)
+                reps = amortise_reps if count >= amortise_reps else 1
+                stream: List = []
+                for r in range(reps):
+                    stream.extend(blocks)
+                res = model.simulate(stream)
+                per_exec = OOOResult()
+                for name in vars(per_exec):
+                    setattr(per_exec, name, getattr(res, name) / reps)
+                costs[pid] = PathCost(cycles=res.cycles / reps, census=per_exec)
+            return costs
+
+        if self.memo is None:
+            return compute()
+        host_cfg = repr(self.config.host)
+        if artifact_key:
+            key = content_key(
+                artifact_key, host_cfg, fixed_latency, amortise_reps
+            )
+            return self.memo.content(PATH_COSTS_KIND, key, compute)
+        return self.memo.identity(
+            "pathcosts", profile, (host_cfg, fixed_latency, amortise_reps),
+            compute,
         )
-        costs: Dict[int, PathCost] = {}
-        for pid, count in profile.counts.items():
-            blocks = profile.decode(pid)
-            reps = amortise_reps if count >= amortise_reps else 1
-            stream: List = []
-            for r in range(reps):
-                stream.extend(blocks)
-            res = model.simulate(stream)
-            per_exec = OOOResult()
-            for name in vars(per_exec):
-                setattr(per_exec, name, getattr(res, name) / reps)
-            costs[pid] = PathCost(cycles=res.cycles / reps, census=per_exec)
-        return costs
 
     # -- baseline --------------------------------------------------------------------------
 
@@ -164,6 +253,28 @@ class OffloadSimulator:
 
     # -- offload ----------------------------------------------------------------------------
 
+    def _scheduler_fingerprint(self, scheduler) -> tuple:
+        """The config slice a CGRA schedule depends on (memo key part)."""
+        return (
+            repr(self.config.cgra),
+            scheduler.load_latency,
+            scheduler.store_latency,
+        )
+
+    def _schedule(self, scheduler, frame: Frame):
+        """Memoized CGRA schedule of ``frame`` under this configuration."""
+
+        def compute():
+            return scheduler.schedule(
+                frame, loop_carried=self._loop_carried(frame)
+            )
+
+        if self.memo is None:
+            return compute()
+        return self.memo.identity(
+            "schedule", frame, self._scheduler_fingerprint(scheduler), compute
+        )
+
     def _effective_ii(self, frame: Frame, sched, profile: PathProfile, scheduler) -> float:
         """Initiation interval for pipelined invocations.
 
@@ -171,37 +282,64 @@ class OffloadSimulator:
         predication gates untaken arms, so an iteration flowing down the hot
         (short-chain) arm does not serialise behind the cold arm's chain.
         We weight each constituent path's recurrence by its frequency.
+        Memoized per (frame, CGRA config): the constituent-path schedules
+        this rebuilds are the most expensive part of a braid evaluation.
         """
         if frame.region.kind != "braid" or len(frame.region.source_paths) < 2:
             return float(sched.initiation_interval)
-        from ..frames.frame import build_frame as _build_frame
-        from ..regions.path_region import path_to_region as _path_to_region
-        from ..profiling.ranking import RankedPath as _RankedPath
 
-        total_freq = 0
-        weighted = 0.0
-        for pid in frame.region.source_paths:
-            freq = profile.counts.get(pid, 0)
-            if freq <= 0:
-                continue
-            try:
-                blocks = profile.decode(pid)
-                rp = _RankedPath(
-                    path_id=pid, blocks=blocks, freq=freq,
-                    ops=count_ops(blocks), weight=0, coverage=0.0,
-                )
-                pframe = _build_frame(_path_to_region(frame.region.function, rp))
-                psched = scheduler.schedule(
-                    pframe, loop_carried=self._loop_carried(pframe)
-                )
-                weighted += freq * psched.recurrence_ii
-                total_freq += freq
-            except Exception:
-                continue
-        if total_freq == 0:
-            return float(sched.initiation_interval)
-        avg_recurrence = weighted / total_freq
-        return float(max(sched.resource_ii, avg_recurrence))
+        def compute() -> float:
+            from ..frames.frame import build_frame as _build_frame
+            from ..regions.path_region import path_to_region as _path_to_region
+            from ..profiling.ranking import RankedPath as _RankedPath
+
+            total_freq = 0
+            weighted = 0.0
+            for pid in frame.region.source_paths:
+                freq = profile.counts.get(pid, 0)
+                if freq <= 0:
+                    continue
+                try:
+                    blocks = profile.decode(pid)
+                    rp = _RankedPath(
+                        path_id=pid, blocks=blocks, freq=freq,
+                        ops=count_ops(blocks), weight=0, coverage=0.0,
+                    )
+                    pframe = _build_frame(
+                        _path_to_region(frame.region.function, rp)
+                    )
+                    psched = scheduler.schedule(
+                        pframe, loop_carried=self._loop_carried(pframe)
+                    )
+                    weighted += freq * psched.recurrence_ii
+                    total_freq += freq
+                except Exception as exc:
+                    # constituent falls back to the whole-region II — count
+                    # it so schedule regressions are visible, not silent
+                    if _obs_enabled():
+                        _obs_counter(
+                            "sim.effective_ii_fallbacks", 1,
+                            help="braid constituent paths that failed to "
+                                 "re-schedule for the pipelined II",
+                            error=type(exc).__name__,
+                        )
+                    logger.debug(
+                        "effective-II fallback: constituent path %d of %s "
+                        "failed to schedule: %s",
+                        pid, frame.region.function.name, exc,
+                    )
+                    continue
+            if total_freq == 0:
+                return float(sched.initiation_interval)
+            avg_recurrence = weighted / total_freq
+            return float(max(sched.resource_ii, avg_recurrence))
+
+        if self.memo is None:
+            return compute()
+        return self.memo.identity(
+            "effective_ii", frame, self._scheduler_fingerprint(scheduler),
+            compute,
+        )
 
     @staticmethod
     def _loop_carried(frame: Frame):
@@ -221,6 +359,14 @@ class OffloadSimulator:
                 pairs.append((phi, val))
         return pairs
 
+    def _rle(self, profile: PathProfile):
+        """RLE view of the profile's trace, computed once per profile."""
+        if self.memo is None:
+            return run_length_encode(profile.trace)
+        return self.memo.identity(
+            "rle", profile, None, lambda: run_length_encode(profile.trace)
+        )
+
     def simulate_offload(
         self,
         workload: str,
@@ -229,10 +375,14 @@ class OffloadSimulator:
         predictor_kind: str = "oracle",
         trace: Optional[FunctionTrace] = None,
         coverage: Optional[float] = None,
+        artifact_key: Optional[str] = None,
     ) -> OffloadOutcome:
         """Simulate offloading ``frame`` with the given invocation predictor.
 
-        ``predictor_kind``: "oracle" or "history".
+        ``predictor_kind``: "oracle" or "history".  ``artifact_key`` (the
+        workload's content hash, when known) upgrades the simulation
+        memo's calibration/path-cost entries from in-memory identity keys
+        to persistent content keys.
         """
         # local import: repro.accel depends on repro.sim.config, so the
         # accel package cannot be imported at sim module-load time
@@ -241,14 +391,16 @@ class OffloadSimulator:
             HistoryPredictor,
             OraclePredictor,
             evaluate_predictor,
+            evaluate_predictor_runs,
         )
 
         with _obs_span("simulate_offload", workload=workload,
                        kind=frame.region.kind, predictor=predictor_kind):
             return self._simulate_offload(
                 workload, profile, frame, predictor_kind, trace, coverage,
+                artifact_key,
                 CGRAScheduler, HistoryPredictor, OraclePredictor,
-                evaluate_predictor,
+                evaluate_predictor, evaluate_predictor_runs,
             )
 
     def _simulate_offload(
@@ -259,25 +411,29 @@ class OffloadSimulator:
         predictor_kind,
         trace,
         coverage,
+        artifact_key,
         CGRAScheduler,
         HistoryPredictor,
         OraclePredictor,
         evaluate_predictor,
+        evaluate_predictor_runs,
     ) -> OffloadOutcome:
-        host_lat, accel_lat, host_levels, accel_levels = self._calibrate(trace)
-        costs = self.path_costs(profile, host_lat)
+        cal = self.calibrate(trace, artifact_key=artifact_key)
+        costs = self.path_costs(
+            profile, cal.host_load_latency, artifact_key=artifact_key
+        )
         base_cycles, base_energy = self.baseline(profile, costs)
 
         # Frames stream array data through the banked L2: bank pipelining and
         # the memory-port-limited schedule hide most of the raw L2 latency,
         # so the per-load critical-path charge is a fraction of it.
-        effective_load = max(4.0, accel_lat * 0.4)
+        effective_load = max(4.0, cal.accel_load_latency * 0.4)
         scheduler = CGRAScheduler(
             self.config.cgra,
             load_latency=effective_load,
             store_latency=max(1.0, effective_load / 3),
         )
-        sched = scheduler.schedule(frame, loop_carried=self._loop_carried(frame))
+        sched = self._schedule(scheduler, frame)
         pipeline_ii = self._effective_ii(frame, sched, profile, scheduler)
         frame_energy = self.energy_model.frame_energy(
             n_int_ops=sched.int_ops + sched.guard_ops,
@@ -318,7 +474,33 @@ class OffloadSimulator:
             predictor = OraclePredictor(targets)
         else:
             predictor = HistoryPredictor()
-        evaluation = evaluate_predictor(profile.trace, targets, predictor)
+
+        # Classify every trace event into an integer ChargeCensus, via the
+        # O(#runs) RLE kernel or the O(#events) reference kernel.  Both
+        # produce the same census (property-tested), and the shared fold
+        # below is the only place floats accumulate — so the two kernel
+        # modes yield bitwise-identical outcomes by construction.
+        pipelined_cfg = self.config.offload.pipelined_invocations
+        if self.trace_kernels == KERNELS_EVENTS:
+            evaluation = evaluate_predictor(profile.trace, targets, predictor)
+            census = census_from_events(
+                profile.trace, evaluation.decisions, targets, pipelined_cfg
+            )
+            precision = evaluation.precision
+        else:
+            rle = self._rle(profile)
+            if _obs_enabled():
+                _obs_gauge(
+                    "trace.rle_ratio", rle.rle_ratio,
+                    help="trace runs / trace events (lower = more "
+                         "closed-form fold savings)",
+                    workload=workload,
+                )
+            run_eval = evaluate_predictor_runs(rle.runs, targets, predictor)
+            census = census_from_segments(
+                run_eval.segments, targets, pipelined_cfg
+            )
+            precision = run_eval.precision
 
         # Run-based accounting: the first invocation in a run of back-to-back
         # successful invocations pays pipeline fill (full makespan) plus the
@@ -326,46 +508,39 @@ class OffloadSimulator:
         # after the frame's II (dataflow pipelining).  The configuration
         # stays resident on the fabric across the workload (only one frame
         # is offloaded), so reconfiguration is a one-time cost, charged once.
+        host_energy = self.energy_model.host_energy
         run_start_cycles = sched.cycles + transfer_cycles
         needle_cycles = float(
             self.config.cgra.reconfig_cycles * sched.n_configs
         )
         needle_energy = 0.0
-        invocations = failures = 0
-        in_run = False
-        for pid, invoke in zip(profile.trace, evaluation.decisions):
-            if invoke:
-                invocations += 1
-                hit = pid in targets
-                if hit and in_run and self.config.offload.pipelined_invocations:
-                    needle_cycles += pipeline_ii
-                    needle_energy += frame_energy * exec_fraction.get(pid, 1.0)
-                elif hit:
-                    needle_cycles += run_start_cycles
-                    needle_energy += (
-                        frame_energy * exec_fraction.get(pid, 1.0) + transfer_energy
-                    )
-                    in_run = True
-                else:
-                    failures += 1
-                    needle_cycles += (
-                        failure_exec_cycles
-                        + transfer_cycles
-                        + rollback_cycles
-                        + costs[pid].cycles
-                    )
-                    needle_energy += (
-                        frame_energy
-                        + transfer_energy
-                        + self.energy_model.host_energy(costs[pid].census).total_pj
-                    )
-                    in_run = False
-            else:
-                needle_cycles += costs[pid].cycles
-                needle_energy += self.energy_model.host_energy(
-                    costs[pid].census
-                ).total_pj
-                in_run = False
+        for pid in sorted(census.run_starts):
+            n = census.run_starts[pid]
+            needle_cycles += n * run_start_cycles
+            needle_energy += n * (
+                frame_energy * exec_fraction.get(pid, 1.0) + transfer_energy
+            )
+        for pid in sorted(census.pipelined):
+            n = census.pipelined[pid]
+            needle_cycles += n * pipeline_ii
+            needle_energy += n * (frame_energy * exec_fraction.get(pid, 1.0))
+        for pid in sorted(census.failures):
+            n = census.failures[pid]
+            needle_cycles += n * (
+                failure_exec_cycles
+                + transfer_cycles
+                + rollback_cycles
+                + costs[pid].cycles
+            )
+            needle_energy += n * (
+                frame_energy
+                + transfer_energy
+                + host_energy(costs[pid].census).total_pj
+            )
+        for pid in sorted(census.host):
+            n = census.host[pid]
+            needle_cycles += n * costs[pid].cycles
+            needle_energy += n * host_energy(costs[pid].census).total_pj
 
         return OffloadOutcome(
             workload=workload,
@@ -379,14 +554,14 @@ class OffloadSimulator:
             baseline_energy_pj=base_energy,
             needle_energy_pj=needle_energy,
             coverage=coverage if coverage is not None else frame.region.coverage,
-            invocations=invocations,
-            failures=failures,
-            predictor_precision=evaluation.precision,
+            invocations=census.invocations,
+            failures=census.failed,
+            predictor_precision=precision,
             frame_ops=frame.op_count,
             schedule_cycles=sched.cycles,
-            host_mem_levels=host_levels,
-            accel_mem_levels=accel_levels,
+            host_mem_levels=dict(cal.host_levels),
+            accel_mem_levels=dict(cal.accel_levels),
         )
 
 
-__all__ = ["OffloadOutcome", "OffloadSimulator", "PathCost"]
+__all__ = ["Calibration", "OffloadOutcome", "OffloadSimulator", "PathCost"]

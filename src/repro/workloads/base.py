@@ -54,6 +54,9 @@ class ProfiledWorkload:
     edges: EdgeProfile
     trace: FunctionTrace
     result: object  # the run's return value (useful as a sanity check)
+    #: config-independent content hash of (IR text, run args); the
+    #: simulation memo keys its calibration/path-cost tables with it
+    artifact_key: "str | None" = None
 
 
 _PROFILE_CACHE: Dict[str, ProfiledWorkload] = {}
@@ -75,17 +78,19 @@ def profile_workload(
     if use_cache and workload.name in _PROFILE_CACHE:
         return _PROFILE_CACHE[workload.name]
 
-    built = None
-    key = None
-    if artifact_cache is not None:
-        from ..artifacts import PROFILE_KIND, workload_key
+    # the content key is computed unconditionally: the build it needs is
+    # reused for the profiling run, and the key feeds the simulation memo's
+    # content-keyed tables even when no on-disk cache is attached
+    from ..artifacts import PROFILE_KIND, workload_key
 
-        key, built = workload_key(workload, config=None)
+    key, built = workload_key(workload, config=None)
+    if artifact_cache is not None:
         stored = artifact_cache.get(PROFILE_KIND, key)
         if isinstance(stored, ProfiledWorkload):
             # reattach the live registry Workload (its build callable and
             # `expected` row are not part of the cached artifact's identity)
             stored.workload = workload
+            stored.artifact_key = key
             if use_cache:
                 _PROFILE_CACHE[workload.name] = stored
             if _obs_enabled():
@@ -95,7 +100,7 @@ def profile_workload(
             return stored
 
     with _obs_span("profile", workload=workload.name):
-        module, fn, args = built if built is not None else workload.build()
+        module, fn, args = built
         paths = PathProfiler([fn])
         edges = EdgeProfiler([fn])
         recorder = TraceRecorder([fn])
@@ -109,6 +114,7 @@ def profile_workload(
         edges=edges.profile_for(fn),
         trace=recorder.traces[fn],
         result=result,
+        artifact_key=key,
     )
     if _obs_enabled():
         from ..interp.stats import opcode_census
@@ -124,9 +130,7 @@ def profile_workload(
             _obs_counter("interp.runtime.opcode_executions", n,
                          help="dynamic opcode mix of live profiling runs",
                          workload=workload.name, opcode=opcode)
-    if artifact_cache is not None and key is not None:
-        from ..artifacts import PROFILE_KIND
-
+    if artifact_cache is not None:
         artifact_cache.put(PROFILE_KIND, key, profiled)
     if use_cache:
         _PROFILE_CACHE[workload.name] = profiled

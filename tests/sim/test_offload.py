@@ -147,8 +147,9 @@ def test_energy_model_host_vs_cgra_per_op():
     assert cgra < host
 
 
-def test_calibrate_memory_defaults():
+def test_calibrate_defaults():
     sim = OffloadSimulator()
-    host_lat, accel_lat = sim.calibrate_memory(None)
-    assert host_lat == DEFAULT_CONFIG.memory.l1.latency
-    assert accel_lat == DEFAULT_CONFIG.memory.l2.latency
+    cal = sim.calibrate(None)
+    assert cal.host_load_latency == DEFAULT_CONFIG.memory.l1.latency
+    assert cal.accel_load_latency == DEFAULT_CONFIG.memory.l2.latency
+    assert cal.host_levels == {} and cal.accel_levels == {}

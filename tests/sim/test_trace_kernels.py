@@ -1,0 +1,196 @@
+"""Property tests: RLE trace kernels vs the event-by-event reference.
+
+The perf claim of the run-length kernels is only worth having if the
+fast path is *bit-identical* to the reference — same predictor census,
+same charge census, same OffloadOutcome floats.  These tests enforce
+that equivalence from three angles: pure RLE round-trips, predictor
+evaluation over random traces (hypothesis), and full simulator outcomes
+on real suite workloads under both kernel modes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import workloads
+from repro.accel.invocation import (
+    HistoryPredictor,
+    OraclePredictor,
+    evaluate_predictor,
+    evaluate_predictor_runs,
+)
+from repro.frames import build_frame
+from repro.options import PipelineOptions
+from repro.pipeline import NeedlePipeline
+from repro.profiling import rank_paths
+from repro.regions import path_to_region
+from repro.sim import (
+    KERNELS_EVENTS,
+    KERNELS_RLE,
+    OffloadSimulator,
+    census_from_events,
+    census_from_segments,
+    run_length_encode,
+)
+
+# traces built from runs: long stretches of one path id exercise the
+# closed-form tail, short stutters exercise the explicit prefix
+run_traces = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(1, 40)), max_size=25
+).map(lambda runs: [pid for pid, n in runs for _ in range(n)])
+target_sets = st.sets(st.integers(0, 5))
+
+
+# -- RLE view ---------------------------------------------------------------
+
+
+@given(run_traces)
+def test_rle_round_trip(trace):
+    rle = run_length_encode(trace)
+    assert rle.expand() == trace
+    assert rle.n_events == len(trace)
+    assert rle.n_runs <= rle.n_events
+    # runs are maximal: no two adjacent runs share a path id
+    for (a, _), (b, _) in zip(rle.runs, rle.runs[1:]):
+        assert a != b
+    if trace:
+        assert 0.0 < rle.rle_ratio <= 1.0
+    else:
+        assert rle.rle_ratio == 1.0
+
+
+@given(run_traces)
+def test_rle_per_pid_stats(trace):
+    stats = run_length_encode(trace).per_pid_run_stats()
+    assert sum(events for _, events, _ in stats.values()) == len(trace)
+    for pid, (n_runs, n_events, longest) in stats.items():
+        assert trace.count(pid) == n_events
+        assert 1 <= longest <= n_events
+        assert n_runs <= n_events
+
+
+# -- predictor evaluation: runs vs events ----------------------------------
+
+
+def _predictors(targets, history_length):
+    yield OraclePredictor(targets)
+    yield HistoryPredictor(history_length=history_length)
+    # a trigger-happy variant that invokes from the initial counter state
+    yield HistoryPredictor(
+        history_length=history_length, init_counter=3, invoke_threshold=2
+    )
+
+
+@settings(deadline=None)
+@given(run_traces, target_sets, st.integers(1, 4))
+def test_run_eval_matches_event_eval(trace, targets, history_length):
+    for make in range(3):
+        events_pred = list(_predictors(targets, history_length))[make]
+        runs_pred = list(_predictors(targets, history_length))[make]
+        ev = evaluate_predictor(trace, targets, events_pred, history_length)
+        run_ev = evaluate_predictor_runs(
+            run_length_encode(trace).runs, targets, runs_pred, history_length
+        )
+        assert run_ev.true_positives == ev.true_positives
+        assert run_ev.false_positives == ev.false_positives
+        assert run_ev.true_negatives == ev.true_negatives
+        assert run_ev.false_negatives == ev.false_negatives
+        assert run_ev.precision == ev.precision
+        assert run_ev.recall == ev.recall
+        # the segments expand to the exact per-event decision stream
+        expanded = [
+            (pid, invoke)
+            for pid, invoke, length in run_ev.segments
+            for _ in range(length)
+        ]
+        assert expanded == list(zip(trace, ev.decisions))
+        # and segments are maximal (merged on emit)
+        for (p1, i1, _), (p2, i2, _) in zip(run_ev.segments, run_ev.segments[1:]):
+            assert (p1, i1) != (p2, i2)
+
+
+@settings(deadline=None)
+@given(run_traces, target_sets, st.booleans(), st.integers(1, 4))
+def test_census_kernels_agree(trace, targets, pipelined, history_length):
+    ev = evaluate_predictor(
+        trace, targets, HistoryPredictor(history_length=history_length),
+        history_length,
+    )
+    run_ev = evaluate_predictor_runs(
+        run_length_encode(trace).runs, targets,
+        HistoryPredictor(history_length=history_length), history_length,
+    )
+    slow = census_from_events(trace, ev.decisions, targets, pipelined)
+    fast = census_from_segments(run_ev.segments, targets, pipelined)
+    assert slow == fast
+    # every event lands in exactly one charge class
+    total = sum(
+        sum(table.values())
+        for table in (slow.run_starts, slow.pipelined, slow.failures, slow.host)
+    )
+    assert total == len(trace)
+    assert slow.invocations == ev.invocations
+
+
+@given(run_traces, target_sets)
+def test_census_oracle_never_fails(trace, targets):
+    ev = evaluate_predictor(trace, targets, OraclePredictor(targets))
+    census = census_from_events(trace, ev.decisions, targets, True)
+    assert census.failed == 0
+    assert not census.failures
+
+
+# -- full simulator: kernel modes are bitwise-identical ---------------------
+
+
+def test_invalid_kernel_mode_rejected():
+    with pytest.raises(ValueError):
+        OffloadSimulator(trace_kernels="bogus")
+
+
+def _outcome_bits(outcome):
+    return vars(outcome).copy()
+
+
+def test_kernel_modes_identical_on_fixture(profiled_anticorrelated):
+    m, fn, pp, ep = profiled_anticorrelated
+    frame = build_frame(path_to_region(fn, rank_paths(pp)[0]))
+    rle_sim = OffloadSimulator(trace_kernels=KERNELS_RLE)
+    ev_sim = OffloadSimulator(trace_kernels=KERNELS_EVENTS)
+    for predictor in ("oracle", "history"):
+        a = rle_sim.simulate_offload("anticorr", pp, frame, predictor)
+        b = ev_sim.simulate_offload("anticorr", pp, frame, predictor)
+        assert _outcome_bits(a) == _outcome_bits(b)
+
+
+#: structurally diverse suite slice (same rationale as
+#: tests/test_parallel_and_cache.py): int + fp, loop-heavy and branchy
+SUITE_SLICE = ["164.gzip", "429.mcf", "470.lbm", "dwt53"]
+
+
+def _flatten(ev):
+    def fields(outcome):
+        return None if outcome is None else vars(outcome).copy()
+
+    return {
+        "summary": vars(ev.summary).copy(),
+        "path_oracle": fields(ev.path_oracle),
+        "path_history": fields(ev.path_history),
+        "braid": fields(ev.braid),
+        "hls": fields(ev.hls),
+        "braid_schedule": fields(ev.braid_schedule),
+    }
+
+
+def _evaluate(names, **option_kwargs):
+    pipe = NeedlePipeline(
+        options=PipelineOptions(no_cache=True, **option_kwargs)
+    )
+    return [pipe.evaluate(workloads.get(name)) for name in names]
+
+
+def test_kernel_modes_identical_across_suite_slice():
+    rle = _evaluate(SUITE_SLICE, trace_kernels="rle")
+    events = _evaluate(SUITE_SLICE, trace_kernels="events")
+    for a, b in zip(rle, events):
+        assert _flatten(a) == _flatten(b)
