@@ -1,0 +1,105 @@
+"""Overhead budget for attribution-ledger publication.
+
+The ledger rides on instrumented runs: when obs is enabled, every
+workload evaluation publishes its per-outcome attribution dicts into the
+registry's :class:`~repro.obs.ledger.AttributionLedger`.  That must stay
+nearly free — the attribution dicts are computed by the simulator either
+way (they define the reported totals), so publication is only dict
+iteration and ledger accumulation.
+
+Times cold serial evaluation of the full suite twice in one process,
+both with obs *enabled*:
+
+* **ledger off** — ``set_ledger_publication(False)``: instrumented run,
+  metrics and spans collected, ledger publication skipped;
+* **ledger on** — the instrumented default.
+
+Run as a script (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_ledger_overhead.py
+
+The on/off ratio is measured same-process, same-machine, so it is stable
+enough to gate on: the run fails if ledger publication costs more than
+``--budget`` (default 5%).
+
+No ``test_`` functions here on purpose: wall-clock gating does not
+belong in the pytest suite.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def time_suite(ledger_on: bool, repeats: int) -> float:
+    """Best-of-``repeats`` cold serial instrumented suite evaluation."""
+    from repro import NeedlePipeline, obs, suite
+    from repro.obs.instruments import set_ledger_publication
+    from repro.workloads.base import clear_profile_cache
+
+    workloads = suite()
+    best = float("inf")
+    previous = set_ledger_publication(ledger_on)
+    try:
+        for _ in range(repeats):
+            clear_profile_cache()
+            obs.enable(reset=True)
+            pipeline = NeedlePipeline()  # no artifact cache: cold runs
+            t0 = time.perf_counter()
+            pipeline.evaluate_all(workloads)
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        set_ledger_publication(previous)
+        obs.disable()
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed runs per mode; best is kept (default 2)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=0.05,
+        help="allowed ledger-on overhead vs ledger-off (default 0.05 = 5%%)",
+    )
+    args = parser.parse_args(argv)
+
+    off = time_suite(ledger_on=False, repeats=args.repeats)
+    on = time_suite(ledger_on=True, repeats=args.repeats)
+    overhead = on / off - 1.0
+
+    lines = [
+        "attribution-ledger overhead over the cold instrumented suite "
+        "(best of %d runs)" % args.repeats,
+        "",
+        "ledger off : %7.2f s" % off,
+        "ledger on  : %7.2f s  (%+.1f%% vs off; budget %.0f%%)"
+        % (on, overhead * 100, args.budget * 100),
+    ]
+    failed = overhead > args.budget
+    lines.append("")
+    lines.append(
+        "FAIL: ledger publication overhead %.1f%% exceeds the %.0f%% budget"
+        % (overhead * 100, args.budget * 100)
+        if failed else "within budget"
+    )
+    report = "\n".join(lines)
+    print(report)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "ledger_overhead.txt"), "w") as fh:
+        fh.write(report + "\n")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

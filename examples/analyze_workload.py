@@ -8,7 +8,7 @@ Run:  python examples/analyze_workload.py 470.lbm
 import argparse
 import sys
 
-from repro import NeedlePipeline, workloads
+from repro import PipelineOptions, workloads
 from repro.analysis import branch_memory_stats, predication_stats
 from repro.profiling import PathTraceAnalysis, path_overlap_count
 from repro.regions import summarise_expansion
@@ -20,6 +20,8 @@ def main(argv=None):
                         help="paper name, e.g. 470.lbm or blackscholes")
     parser.add_argument("--list", action="store_true", help="list workloads")
     parser.add_argument("--top", type=int, default=5, help="paths to show")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent artifact cache")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -29,7 +31,8 @@ def main(argv=None):
         return 0
 
     w = workloads.get(args.workload)
-    pipeline = NeedlePipeline()
+    # one options surface for the CLI and the API: flags map straight on
+    pipeline = PipelineOptions(no_cache=args.no_cache).build_pipeline()
     analysis = pipeline.analyse(w)
     evaluation = pipeline.evaluate(w)
     fn = analysis.profiled.function

@@ -12,7 +12,7 @@ Run:  python examples/design_space.py [workload]
 
 import sys
 
-from repro import NeedlePipeline, workloads
+from repro import PipelineOptions, workloads
 from repro.accel import AladdinEstimator, CGRAScheduler
 from repro.reporting import format_table
 
@@ -20,7 +20,7 @@ from repro.reporting import format_table
 def main(argv=None):
     name = (argv or sys.argv[1:] or ["456.hmmer"])[0]
     w = workloads.get(name)
-    pipeline = NeedlePipeline()
+    pipeline = PipelineOptions().build_pipeline()
     analysis = pipeline.analyse(w)
     frame = analysis.braid_frame
     print("%s: braid frame with %d ops (%d guards, %d memory ops)"

@@ -47,8 +47,10 @@ from .resilience.faults import (
 #: (2: AnalysisSummary gained dynamic_instructions/memory_events and
 #: OffloadOutcome gained per-level memory access censuses for the obs layer;
 #: 3: ProfiledWorkload carries its artifact key, calibration/path-cost
-#: tables are persisted, and the offload fold accumulates per charge class)
-CACHE_FORMAT_VERSION = 3
+#: tables are persisted, and the offload fold accumulates per charge class;
+#: 4: OffloadOutcome carries attribution/baseline_attribution charge-class
+#: decompositions, and needle totals are redefined as their canonical fold)
+CACHE_FORMAT_VERSION = 4
 
 #: environment variable overriding the default cache root
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

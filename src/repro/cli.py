@@ -8,6 +8,9 @@ evaluate [WORKLOAD]  Fig. 9 / Fig. 10 style numbers (one workload or all)
 dump WORKLOAD        print the workload's hot function as IR text
 metrics [WORKLOAD]   evaluate with instrumentation on; print the registry
 trace [WORKLOAD]     evaluate with instrumentation on; print the span tree
+                     (or --format chrome for a Perfetto-loadable trace)
+report table [W]     paper-style cycle/energy attribution tables (ledger)
+report diff A B      compare two metric snapshots; exit 1 on regression
 
 ``analyze`` and ``evaluate`` persist profiles and evaluation results in a
 content-addressed artifact cache (default ``~/.cache/repro-needle``, or
@@ -35,6 +38,7 @@ from typing import List, Optional
 
 from . import obs, workloads
 from .obs import export as obs_export
+from .obs import timeline as obs_timeline
 from .options import PipelineOptions
 from .pipeline import NeedlePipeline, WorkloadEvaluation
 from .resilience import WorkloadFailure
@@ -51,14 +55,39 @@ def _make_pipeline(args) -> NeedlePipeline:
     return _options_from_args(args).build_pipeline()
 
 
-def _finish_metrics(opts: PipelineOptions) -> None:
-    """Emit whatever metrics output the run asked for."""
+def _finish_metrics(
+    opts: PipelineOptions,
+    pipeline: Optional[NeedlePipeline] = None,
+    names: Optional[List[str]] = None,
+) -> None:
+    """Emit whatever metrics/timeline output the run asked for."""
     if opts.metrics_out is not None:
         with open(opts.metrics_out, "w") as fh:
             fh.write(obs_export.to_json(None))
+    if opts.timeline_out is not None:
+        obs_timeline.write_chrome_trace(
+            opts.timeline_out,
+            span_roots=obs.registry().span_roots,
+            sim_tracks=_sim_tracks(pipeline, names),
+        )
     if opts.metrics:
         print()
         print(obs_export.render_metrics(None))
+
+
+def _sim_tracks(
+    pipeline: Optional[NeedlePipeline], names: Optional[List[str]]
+) -> dict:
+    """"workload/strategy" -> simulated timeline events for the chrome
+    trace (empty when the command has no pipeline to replay)."""
+    tracks: dict = {}
+    if pipeline is None or not names:
+        return tracks
+    for name in names:
+        per_strategy = pipeline.timeline(workloads.get(name))
+        for strategy, events in per_strategy.items():
+            tracks["%s/%s" % (name, strategy)] = events
+    return tracks
 
 
 def _cmd_list(_args) -> int:
@@ -113,7 +142,7 @@ def _cmd_analyze(args) -> int:
         print("braid frame: %d ops, %d guards, %d psi, %d live-in, %d live-out"
               % (f.op_count, f.guard_count, len(f.psis),
                  len(f.live_ins), len(f.live_outs)))
-    _finish_metrics(opts)
+    _finish_metrics(opts, pipeline, [w.name])
     return 0
 
 
@@ -162,14 +191,14 @@ def _run_evaluations(args, opts: PipelineOptions):
     evaluations = pipeline.evaluate_all(
         [workloads.get(name) for name in names], jobs=opts.jobs
     )
-    return names, evaluations
+    return names, evaluations, pipeline
 
 
 def _cmd_evaluate(args) -> int:
     from .reporting import format_table
 
     opts = _options_from_args(args)
-    names, evaluations = _run_evaluations(args, opts)
+    names, evaluations, pipeline = _run_evaluations(args, opts)
     rows = [evaluation_row(name, ev) for name, ev in zip(names, evaluations)]
     print(format_table(
         ["workload", "path oracle %", "path hist %", "braid %",
@@ -177,14 +206,14 @@ def _cmd_evaluate(args) -> int:
         rows,
         title="Needle offload evaluation",
     ))
-    _finish_metrics(opts)
+    _finish_metrics(opts, pipeline, names)
     return 0
 
 
 def _cmd_metrics(args) -> int:
     opts = _options_from_args(args)
     obs.enable(reset=True)
-    _run_evaluations(args, opts)
+    names, _evaluations, pipeline = _run_evaluations(args, opts)
     if args.format == "json":
         print(obs_export.to_json(None))
     elif args.format == "prom":
@@ -194,18 +223,121 @@ def _cmd_metrics(args) -> int:
     if opts.metrics_out is not None:
         with open(opts.metrics_out, "w") as fh:
             fh.write(obs_export.to_json(None))
+    if opts.timeline_out is not None:
+        obs_timeline.write_chrome_trace(
+            opts.timeline_out,
+            span_roots=obs.registry().span_roots,
+            sim_tracks=_sim_tracks(pipeline, names),
+        )
     return 0
 
 
 def _cmd_trace(args) -> int:
+    """Span/timeline views of an instrumented run.
+
+    ``--format tree`` (default) prints the indented wall-clock span
+    tree; ``--format json`` prints the span forest as JSON; ``--format
+    chrome`` prints a Chrome trace-event document (wall-clock spans plus
+    simulated-cycle tracks) for Perfetto.  When no span data was
+    recorded the command prints a clean message to stderr and exits 1 —
+    never a traceback.
+    """
     opts = _options_from_args(args)
     obs.enable(reset=True)
-    _run_evaluations(args, opts)
-    print(obs_export.render_trace(None))
+    names, _evaluations, pipeline = _run_evaluations(args, opts)
+    roots = obs.registry().span_roots
+    if args.format == "chrome":
+        tracks = _sim_tracks(pipeline, names)
+        if not roots and not tracks:
+            print("no span or timeline data recorded — nothing to trace",
+                  file=sys.stderr)
+            return 1
+        print(obs_timeline.render_chrome(roots, tracks))
+    elif args.format == "json":
+        if not roots:
+            print("no span data recorded — nothing to trace",
+                  file=sys.stderr)
+            return 1
+        import json as _json
+
+        print(_json.dumps([n.to_dict() for n in roots],
+                          indent=2, sort_keys=True))
+    else:
+        if not roots:
+            print("no span data recorded — nothing to trace",
+                  file=sys.stderr)
+            return 1
+        print(obs_export.render_trace(None))
     if opts.metrics_out is not None:
         with open(opts.metrics_out, "w") as fh:
             fh.write(obs_export.to_json(None))
+    if opts.timeline_out is not None:
+        obs_timeline.write_chrome_trace(
+            opts.timeline_out,
+            span_roots=roots,
+            sim_tracks=_sim_tracks(pipeline, names),
+        )
     return 0
+
+
+def _cmd_report_table(args) -> int:
+    """Render the Fig. 9/10-style attribution tables from a run's ledger.
+
+    Either re-evaluates (default; honours the pipeline flags and the
+    artifact cache) or renders from a saved ``--metrics-out`` /
+    ``semantic_json`` snapshot via ``--from``.
+    """
+    from .obs.ledger import AttributionLedger
+    from .reporting import render_attribution
+
+    if args.snapshot is not None:
+        import json as _json
+
+        with open(args.snapshot) as fh:
+            data = _json.load(fh)
+        ledger = AttributionLedger()
+        ledger.merge_snapshot(data.get("ledger"))
+        print(render_attribution(ledger, args.workload))
+        return 0
+    opts = _options_from_args(args)
+    obs.enable(reset=True)
+    _run_evaluations(args, opts)
+    print(render_attribution(obs.ledger(), args.workload))
+    _finish_metrics(opts)
+    return 0
+
+
+def _parse_threshold_overrides(pairs) -> list:
+    """``PATTERN=FRACTION`` CLI forms -> (pattern, fraction) tuples."""
+    overrides = []
+    for pair in pairs or ():
+        pattern, sep, fraction = pair.partition("=")
+        if not sep:
+            raise SystemExit(
+                "--threshold expects PATTERN=FRACTION, got %r" % pair)
+        try:
+            overrides.append((pattern, float(fraction)))
+        except ValueError:
+            raise SystemExit(
+                "--threshold fraction must be numeric, got %r" % pair)
+    return overrides
+
+
+def _cmd_report_diff(args) -> int:
+    """Diff two snapshots; exit 1 when any metric regressed."""
+    from .reporting import Thresholds, diff_snapshots, load_snapshot, \
+        render_diff
+
+    thresholds = Thresholds(
+        default=args.default_threshold,
+        overrides=_parse_threshold_overrides(args.threshold),
+        ignore=list(args.ignore or ()),
+    )
+    result = diff_snapshots(
+        load_snapshot(args.old), load_snapshot(args.new), thresholds
+    )
+    print(render_diff(result, verbose=args.verbose))
+    return result.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -249,11 +381,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace",
-        help="evaluate with instrumentation on and print the span tree",
+        help="evaluate with instrumentation on and print the span tree "
+        "or a Chrome trace",
     )
     p.add_argument("workload", nargs="?", default=None)
+    p.add_argument(
+        "--format",
+        choices=("tree", "chrome", "json"),
+        default="tree",
+        help="tree: indented wall-clock spans (default); chrome: "
+        "trace-event JSON with simulated-cycle tracks (Perfetto); "
+        "json: raw span forest",
+    )
     PipelineOptions.add_cli_arguments(p)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "report",
+        help="attribution tables and snapshot regression diffing",
+    )
+    report_sub = p.add_subparsers(dest="report_command", required=True)
+
+    p = report_sub.add_parser(
+        "table",
+        help="paper-style cycle/energy attribution tables from the ledger",
+    )
+    p.add_argument("workload", nargs="?", default=None)
+    p.add_argument(
+        "--from",
+        dest="snapshot",
+        default=None,
+        metavar="PATH",
+        help="render from a saved metrics JSON snapshot instead of "
+        "re-evaluating",
+    )
+    PipelineOptions.add_cli_arguments(p)
+    p.set_defaults(func=_cmd_report_table)
+
+    p = report_sub.add_parser(
+        "diff",
+        help="compare two metric snapshots; exit 1 on regression",
+    )
+    p.add_argument("old", help="baseline snapshot JSON (metrics or BENCH_*)")
+    p.add_argument("new", help="candidate snapshot JSON")
+    p.add_argument(
+        "--default-threshold",
+        type=float,
+        default=0.05,
+        metavar="FRAC",
+        help="relative change tolerated per metric (default: 0.05)",
+    )
+    p.add_argument(
+        "--threshold",
+        action="append",
+        metavar="PATTERN=FRAC",
+        help="per-metric tolerance override (fnmatch pattern, repeatable)",
+    )
+    p.add_argument(
+        "--ignore",
+        action="append",
+        metavar="PATTERN",
+        help="metrics matching this fnmatch pattern never gate (repeatable)",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show every metric, not just changed ones",
+    )
+    p.set_defaults(func=_cmd_report_diff)
     return parser
 
 

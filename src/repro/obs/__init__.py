@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from typing import Iterable, Optional
 
 from . import export
+from .ledger import CHARGE_CLASSES, AttributionLedger
 from .metrics import (
     Counter,
     Gauge,
@@ -78,6 +79,11 @@ def disable() -> None:
 def registry() -> MetricsRegistry:
     """The process-global registry."""
     return _REGISTRY
+
+
+def ledger() -> AttributionLedger:
+    """The global registry's attribution ledger."""
+    return _REGISTRY.ledger
 
 
 def set_registry(reg: MetricsRegistry) -> MetricsRegistry:
@@ -159,6 +165,8 @@ def span(name: str, **labels):
 
 
 __all__ = [
+    "AttributionLedger",
+    "CHARGE_CLASSES",
     "Counter",
     "Gauge",
     "Histogram",
@@ -175,6 +183,7 @@ __all__ = [
     "export",
     "gauge",
     "label_key",
+    "ledger",
     "merge",
     "observe",
     "registry",

@@ -46,7 +46,8 @@ def semantic_json(source=None, indent: Optional[int] = 2) -> str:
     """
     snap = _coerce(source)
     semantic = {
-        "metrics": [m for m in snap.get("metrics", ()) if m.get("semantic")]
+        "metrics": [m for m in snap.get("metrics", ()) if m.get("semantic")],
+        "ledger": snap.get("ledger", {"entries": []}),
     }
     return json.dumps(semantic, indent=indent, sort_keys=True)
 
@@ -61,10 +62,20 @@ def _prom_name(name: str) -> str:
     return _NAME_RE.sub("_", name)
 
 
+def _prom_value_escape(value) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote and line feed."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
 def _prom_labels(labels: dict, extra: Optional[List[str]] = None) -> str:
     parts = [
-        '%s="%s"'
-        % (_LABEL_RE.sub("_", k), str(v).replace("\\", r"\\").replace('"', r"\""))
+        '%s="%s"' % (_LABEL_RE.sub("_", k), _prom_value_escape(v))
         for k, v in sorted(labels.items())
     ]
     parts.extend(extra or ())

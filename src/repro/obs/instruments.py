@@ -15,7 +15,8 @@ would create an import cycle (pipeline → obs → pipeline).
 
 from __future__ import annotations
 
-from . import counter, enabled, gauge
+from . import counter, enabled, gauge, registry
+from .ledger import HOST_STRATEGY
 
 #: (strategy label, attribute on WorkloadEvaluation) pairs
 _STRATEGIES = (
@@ -23,6 +24,45 @@ _STRATEGIES = (
     ("path-history", "path_history"),
     ("braid", "braid"),
 )
+
+#: ledger publication switch — only exercised by the overhead benchmark
+#: (benchmarks/bench_ledger_overhead.py); production code leaves it on
+_LEDGER_ENABLED = True
+
+
+def set_ledger_publication(value: bool) -> bool:
+    """Toggle attribution-ledger publication; returns the previous state."""
+    global _LEDGER_ENABLED
+    old = _LEDGER_ENABLED
+    _LEDGER_ENABLED = bool(value)
+    return old
+
+
+def ledger_publication_enabled() -> bool:
+    return _LEDGER_ENABLED
+
+
+def _publish_ledger(workload: str, strategy_region: str, outcome,
+                    publish_baseline: bool) -> None:
+    """Charge one outcome's attribution into the registry ledger.
+
+    The per-class dicts ride on the :class:`OffloadOutcome` record, so a
+    cache-served evaluation publishes the exact floats a cold run
+    produced — the same record-derived determinism contract as the
+    semantic counters above.  The baseline decomposition is identical
+    for every strategy (same path-cost table), so it is charged once per
+    workload under the reserved ``host`` strategy.
+    """
+    attribution = getattr(outcome, "attribution", None)
+    if not attribution:
+        return
+    led = registry().ledger
+    led.add_attribution(workload, outcome.strategy, strategy_region,
+                        attribution)
+    if publish_baseline:
+        base = getattr(outcome, "baseline_attribution", None)
+        if base:
+            led.add_attribution(workload, HOST_STRATEGY, HOST_STRATEGY, base)
 
 
 def _publish_outcome(workload: str, strategy: str, outcome) -> None:
@@ -107,10 +147,16 @@ def publish_workload_evaluation(evaluation) -> None:
     gauge("regions.braid_paths", summary.braid_n_paths, semantic=True,
           help="paths merged into the top braid", workload=w)
 
+    baseline_pending = _LEDGER_ENABLED
     for strategy, attr in _STRATEGIES:
         outcome = getattr(evaluation, attr)
         if outcome is not None:
             _publish_outcome(w, strategy, outcome)
+            if _LEDGER_ENABLED:
+                region = "braid" if strategy == "braid" else "bl-path"
+                _publish_ledger(w, region, outcome, baseline_pending)
+                if getattr(outcome, "attribution", None):
+                    baseline_pending = False
 
     if summary.path_frame is not None:
         _publish_frame(w, "bl-path", summary.path_frame)
@@ -136,4 +182,8 @@ def publish_workload_evaluation(evaluation) -> None:
               help="Cyclone V ALM fraction consumed (§VI)", workload=w)
 
 
-__all__ = ["publish_workload_evaluation"]
+__all__ = [
+    "ledger_publication_enabled",
+    "publish_workload_evaluation",
+    "set_ledger_publication",
+]

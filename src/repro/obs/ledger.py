@@ -1,0 +1,285 @@
+"""Deterministic cycle/energy attribution ledger.
+
+Needle's evaluation (§VI) is an *attribution* story: the Fig. 9/10
+speedup and energy claims decompose into where simulated cycles and
+picojoules go — frame compute vs. guard overhead vs. ψ-merges vs. live
+value transfer vs. abort/rollback vs. host fallback vs. the memory
+hierarchy.  The :class:`AttributionLedger` records exactly that
+decomposition along four fixed axes::
+
+    (workload, strategy, region kind, charge class) -> (cycles, energy pJ)
+
+Charge classes are a closed contract (:data:`CHARGE_CLASSES`): the
+offload simulator produces a per-outcome attribution dict whose classes
+partition the outcome's total cycles/energy, the OOO core's per-path
+event census and the energy model's component breakdown supply the
+splits, and the simulator's reported totals are *defined as* the
+canonical fold of the class totals (:func:`fold_attribution`) — so the
+ledger conserves by construction: summing a workload/strategy's ledger
+cycles in sorted-class order reproduces ``needle_cycles`` bit for bit.
+
+Determinism follows the obs semantic-metrics contract: attribution is
+carried on the flat :class:`~repro.sim.offload.OffloadOutcome` records
+and published once per record *production* (computed or cache-served),
+so serial, ``jobs=N`` and cache-served runs build byte-identical
+ledgers.  Worker processes fill private ledgers that snapshot/merge
+across the pool exactly like metric registries (entries add).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: one-time CGRA reconfiguration (cycles only)
+CHARGE_RECONFIG = "reconfig"
+#: successful frame execution: makespans + pipelined IIs, minus the
+#: guard/ψ shares; energy is FU+network+latch minus the guard/ψ FU share
+CHARGE_FRAME_COMPUTE = "frame.compute"
+#: guard share of frame execution (guard-op fraction of the schedule)
+CHARGE_FRAME_GUARD = "frame.guard"
+#: ψ-merge share of frame execution (braid arms merging, §V)
+CHARGE_FRAME_PSI = "frame.psi"
+#: accelerator-side memory energy (frames stream through the banked L2)
+CHARGE_FRAME_MEM = "frame.mem"
+#: live-value transfer + invocation overhead
+CHARGE_TRANSFER = "transfer"
+#: wasted frame execution on a guard failure
+CHARGE_ABORT_FRAME = "abort.frame"
+#: undo-log rollback after a guard failure (cycles only)
+CHARGE_ABORT_ROLLBACK = "abort.rollback"
+#: host re-execution of the actual path after a guard failure
+CHARGE_ABORT_REEXEC = "abort.reexec"
+#: events the predictor declined, executed on the host
+CHARGE_HOST_FALLBACK = "host.fallback"
+#: host-only baseline execution (strategy "host")
+CHARGE_HOST_COMPUTE = "host.compute"
+#: host-side memory energy per hierarchy level (loads/stores, energy only)
+CHARGE_HOST_MEM_L1 = "host.mem.l1"
+CHARGE_HOST_MEM_L2 = "host.mem.l2"
+CHARGE_HOST_MEM_DRAM = "host.mem.dram"
+
+#: the closed set of charge classes — the contract every attribution
+#: producer and every report/regression consumer is measured against
+CHARGE_CLASSES: Tuple[str, ...] = (
+    CHARGE_RECONFIG,
+    CHARGE_FRAME_COMPUTE,
+    CHARGE_FRAME_GUARD,
+    CHARGE_FRAME_PSI,
+    CHARGE_FRAME_MEM,
+    CHARGE_TRANSFER,
+    CHARGE_ABORT_FRAME,
+    CHARGE_ABORT_ROLLBACK,
+    CHARGE_ABORT_REEXEC,
+    CHARGE_HOST_FALLBACK,
+    CHARGE_HOST_COMPUTE,
+    CHARGE_HOST_MEM_L1,
+    CHARGE_HOST_MEM_L2,
+    CHARGE_HOST_MEM_DRAM,
+)
+
+#: ledger strategy/region labels for the host-only baseline entries
+HOST_STRATEGY = "host"
+
+#: one ledger key: (workload, strategy, region kind, charge class)
+LedgerKey = Tuple[str, str, str, str]
+
+
+def fold_attribution(
+    attribution: Mapping[str, Tuple[float, float]]
+) -> Tuple[float, float]:
+    """Canonical (cycles, energy) fold of an attribution dict.
+
+    Classes are summed in sorted-name order — the *same* order
+    :meth:`AttributionLedger.cycle_total` uses — so a simulator that
+    reports ``fold_attribution(attr)`` as its totals is exactly
+    conserved against the ledger, last float bit included.
+    """
+    cycles = 0.0
+    energy = 0.0
+    for charge in sorted(attribution):
+        c, e = attribution[charge]
+        cycles += c
+        energy += e
+    return cycles, energy
+
+
+class AttributionLedger:
+    """Cycles and energy attributed along the fixed axes.
+
+    Entries accumulate (counter semantics): charging the same key twice
+    adds, and :meth:`merge_snapshot` folds a worker's ledger in the same
+    way — so pooled sweeps total exactly like serial ones.
+    """
+
+    def __init__(self):
+        self.entries: Dict[LedgerKey, List[float]] = {}
+
+    # -- publication -------------------------------------------------------
+
+    def charge(
+        self,
+        workload: str,
+        strategy: str,
+        region: str,
+        charge: str,
+        cycles: float = 0.0,
+        energy_pj: float = 0.0,
+    ) -> None:
+        """Attribute cycles/energy to one (workload, strategy, region,
+        charge-class) cell."""
+        key = (str(workload), str(strategy), str(region), str(charge))
+        slot = self.entries.get(key)
+        if slot is None:
+            self.entries[key] = [float(cycles), float(energy_pj)]
+        else:
+            slot[0] += cycles
+            slot[1] += energy_pj
+
+    def add_attribution(
+        self,
+        workload: str,
+        strategy: str,
+        region: str,
+        attribution: Mapping[str, Tuple[float, float]],
+    ) -> None:
+        """Charge a whole per-outcome attribution dict (sorted classes, so
+        repeated publication is order-independent)."""
+        for charge in sorted(attribution):
+            cycles, energy = attribution[charge]
+            self.charge(workload, strategy, region, charge, cycles, energy)
+
+    # -- introspection -----------------------------------------------------
+
+    def series(self) -> List[Tuple[LedgerKey, Tuple[float, float]]]:
+        """(key, (cycles, energy)) pairs in deterministic sorted order."""
+        return [
+            (key, (self.entries[key][0], self.entries[key][1]))
+            for key in sorted(self.entries)
+        ]
+
+    def _select(
+        self, workload: Optional[str], strategy: Optional[str]
+    ) -> Iterable[LedgerKey]:
+        for key in sorted(self.entries):
+            if workload is not None and key[0] != workload:
+                continue
+            if strategy is not None and key[1] != strategy:
+                continue
+            yield key
+
+    def cycle_total(
+        self,
+        workload: Optional[str] = None,
+        strategy: Optional[str] = None,
+    ) -> float:
+        """Cycles summed over matching entries, in sorted-key order.
+
+        For one (workload, strategy) this folds the charge classes in
+        sorted order — the conservation contract against the simulator's
+        reported totals (see :func:`fold_attribution`).
+        """
+        total = 0.0
+        for key in self._select(workload, strategy):
+            total += self.entries[key][0]
+        return total
+
+    def energy_total(
+        self,
+        workload: Optional[str] = None,
+        strategy: Optional[str] = None,
+    ) -> float:
+        """Energy (pJ) summed over matching entries, in sorted-key order."""
+        total = 0.0
+        for key in self._select(workload, strategy):
+            total += self.entries[key][1]
+        return total
+
+    def workloads(self) -> List[str]:
+        return sorted({key[0] for key in self.entries})
+
+    def strategies(self, workload: Optional[str] = None) -> List[str]:
+        return sorted({
+            key[1] for key in self.entries
+            if workload is None or key[0] == workload
+        })
+
+    def class_totals(
+        self, workload: str, strategy: str
+    ) -> Dict[str, Tuple[float, float]]:
+        """charge class -> (cycles, energy) for one workload/strategy."""
+        out: Dict[str, Tuple[float, float]] = {}
+        for key in self._select(workload, strategy):
+            out[key[3]] = (self.entries[key][0], self.entries[key][1])
+        return out
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __repr__(self) -> str:
+        return "<AttributionLedger: %d entries>" % len(self.entries)
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict, picklable/JSON-able image (sorted entries)."""
+        return {
+            "entries": [
+                {
+                    "workload": key[0],
+                    "strategy": key[1],
+                    "region": key[2],
+                    "charge": key[3],
+                    "cycles": value[0],
+                    "energy_pj": value[1],
+                }
+                for key, value in sorted(self.entries.items())
+            ]
+        }
+
+    def merge_snapshot(self, snapshot: Optional[dict]) -> None:
+        """Fold a snapshot in (entries add, like counters)."""
+        if not snapshot:
+            return
+        for entry in snapshot.get("entries", ()):
+            self.charge(
+                entry.get("workload", "?"),
+                entry.get("strategy", "?"),
+                entry.get("region", "?"),
+                entry.get("charge", "?"),
+                float(entry.get("cycles", 0.0)),
+                float(entry.get("energy_pj", 0.0)),
+            )
+
+    def merge(self, other: "AttributionLedger") -> None:
+        """Fold another ledger in (entries add)."""
+        for key, value in sorted(other.entries.items()):
+            self.charge(key[0], key[1], key[2], key[3], value[0], value[1])
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+
+__all__ = [
+    "AttributionLedger",
+    "CHARGE_ABORT_FRAME",
+    "CHARGE_ABORT_REEXEC",
+    "CHARGE_ABORT_ROLLBACK",
+    "CHARGE_CLASSES",
+    "CHARGE_FRAME_COMPUTE",
+    "CHARGE_FRAME_GUARD",
+    "CHARGE_FRAME_MEM",
+    "CHARGE_FRAME_PSI",
+    "CHARGE_HOST_COMPUTE",
+    "CHARGE_HOST_FALLBACK",
+    "CHARGE_HOST_MEM_DRAM",
+    "CHARGE_HOST_MEM_L1",
+    "CHARGE_HOST_MEM_L2",
+    "CHARGE_RECONFIG",
+    "CHARGE_TRANSFER",
+    "HOST_STRATEGY",
+    "LedgerKey",
+    "fold_attribution",
+]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .ledger import AttributionLedger
 from .spans import SpanNode
 
 #: canonical form of a label set: sorted (key, value-as-str) pairs
@@ -187,6 +188,8 @@ class MetricsRegistry:
         self.span_roots: List[SpanNode] = []
         #: currently-open span stack (innermost last)
         self.span_stack: List[SpanNode] = []
+        #: simulated-time attribution (semantic: merges like counters)
+        self.ledger = AttributionLedger()
 
     # -- metric access -----------------------------------------------------
 
@@ -230,6 +233,7 @@ class MetricsRegistry:
         self._metrics.clear()
         self.span_roots = []
         self.span_stack = []
+        self.ledger.clear()
 
     # -- spans -------------------------------------------------------------
 
@@ -282,6 +286,7 @@ class MetricsRegistry:
         return {
             "metrics": metrics,
             "spans": [node.to_dict() for node in self.span_roots],
+            "ledger": self.ledger.snapshot(),
         }
 
     def merge_snapshot(self, snapshot: dict) -> None:
@@ -310,6 +315,7 @@ class MetricsRegistry:
         ]
         if spans:
             self.adopt_spans(spans)
+        self.ledger.merge_snapshot(snapshot.get("ledger"))
 
     # -- determinism contract ----------------------------------------------
 

@@ -28,9 +28,12 @@ class SpanNode:
     children: List["SpanNode"] = field(default_factory=list)
 
     def to_dict(self) -> dict:
+        # ``start`` must survive the trip: worker-shipped trees lose
+        # sibling ordering (and timeline placement) without it
         return {
             "name": self.name,
             "labels": dict(self.labels),
+            "start": self.start,
             "duration": self.duration,
             "children": [c.to_dict() for c in self.children],
         }
@@ -40,6 +43,7 @@ class SpanNode:
         return cls(
             name=data.get("name", "?"),
             labels=dict(data.get("labels", {})),
+            start=float(data.get("start", 0.0)),
             duration=float(data.get("duration", 0.0)),
             children=[cls.from_dict(c) for c in data.get("children", ())],
         )

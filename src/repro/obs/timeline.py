@@ -1,0 +1,187 @@
+"""Chrome trace-event export: wall-clock spans + simulated-cycle tracks.
+
+Two very different clocks end up in one trace file:
+
+* the **wall-clock span tree** the obs layer already records
+  (:mod:`repro.obs.spans`) — pipeline stages as they actually ran, pool
+  workers included;
+* **simulated-cycle timelines** produced by the offload simulator
+  (:meth:`~repro.sim.offload.OffloadSimulator.invocation_timeline`) —
+  frame invocation runs, aborts and host fallbacks as duration events on
+  one track per (workload, strategy).
+
+Both are emitted in the Chrome trace-event JSON format (an object with a
+``traceEvents`` array of "X" complete events), which Perfetto and
+``chrome://tracing`` load directly.  The two clocks live on separate
+trace *processes* so the UI never conflates microseconds with cycles:
+``pid`` :data:`WALL_PID` carries spans with real microsecond timestamps,
+``pid`` :data:`SIM_PID` carries simulated tracks with *cycles* in the
+microsecond field (1 cycle renders as 1 µs).
+
+Everything here is deterministic: tracks are assigned ``tid``\\ s in
+sorted-name order and events are emitted in ascending-timestamp order
+per track, so two runs that simulate the same work serialize the same
+bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .spans import SpanNode
+
+#: trace process carrying real wall-clock spans (timestamps in µs)
+WALL_PID = 1
+#: trace process carrying simulated timelines (timestamps in cycles)
+SIM_PID = 2
+
+
+@dataclass
+class TimelineEvent:
+    """One duration event on a simulated-cycle track."""
+
+    name: str  # "reconfig" | "frame" | "abort" | "host"
+    start_cycle: float
+    duration_cycles: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end_cycle(self) -> float:
+        return self.start_cycle + self.duration_cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_cycle": self.start_cycle,
+            "duration_cycles": self.duration_cycles,
+            "args": dict(self.args),
+        }
+
+
+def _meta(pid: int, tid: int, name: str, kind: str) -> dict:
+    """A trace-event metadata record naming a process or thread."""
+    return {
+        "name": kind,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _span_events(
+    roots: Sequence[SpanNode], pid: int = WALL_PID
+) -> List[dict]:
+    """Flatten a span forest into "X" events (one tid per root tree).
+
+    Timestamps are rebased to the earliest recorded span start so the
+    trace opens at t=0; spans recorded before the ``start`` field existed
+    (all zero) still render, just collapsed at the origin.
+    """
+    events: List[dict] = []
+    if not roots:
+        return events
+    t0 = min(root.start for root in roots)
+    for tid, root in enumerate(roots, start=1):
+        events.append(_meta(pid, tid, "span:%s" % root.name, "thread_name"))
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            events.append({
+                "name": node.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": (node.start - t0) * 1e6,
+                "dur": node.duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(node.labels),
+            })
+            # reversed → children pop in recorded order
+            stack.extend(reversed(node.children))
+    # stable output order: per tid, ascending start (children follow
+    # parents at equal ts because sort is stable)
+    events.sort(key=lambda e: (e["tid"], 0 if e["ph"] == "M" else 1,
+                               e.get("ts", 0.0)))
+    return events
+
+
+def _sim_events(
+    tracks: Mapping[str, Sequence[TimelineEvent]], pid: int = SIM_PID
+) -> List[dict]:
+    """One trace thread per simulated track, in sorted-name order."""
+    events: List[dict] = []
+    for tid, track in enumerate(sorted(tracks), start=1):
+        events.append(_meta(pid, tid, track, "thread_name"))
+        for ev in sorted(tracks[track], key=lambda e: e.start_cycle):
+            events.append({
+                "name": ev.name,
+                "cat": "sim",
+                "ph": "X",
+                "ts": float(ev.start_cycle),
+                "dur": float(ev.duration_cycles),
+                "pid": pid,
+                "tid": tid,
+                "args": dict(ev.args),
+            })
+    return events
+
+
+def chrome_trace(
+    span_roots: Optional[Sequence[SpanNode]] = None,
+    sim_tracks: Optional[Mapping[str, Sequence[TimelineEvent]]] = None,
+) -> dict:
+    """Build the Chrome trace-event JSON object.
+
+    ``span_roots``  wall-clock span forest (e.g. ``registry.span_roots``);
+    ``sim_tracks``  {"workload/strategy": [TimelineEvent, ...]} simulated
+                    timelines.  Either side may be omitted.
+    """
+    events: List[dict] = []
+    if span_roots:
+        events.append(_meta(WALL_PID, 0, "wall-clock spans", "process_name"))
+        events.extend(_span_events(span_roots))
+    if sim_tracks:
+        events.append(_meta(SIM_PID, 0, "simulated cycles", "process_name"))
+        events.extend(_sim_events(sim_tracks))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro-needle",
+            "sim_time_unit": "cycles (rendered as microseconds)",
+        },
+    }
+
+
+def render_chrome(
+    span_roots: Optional[Sequence[SpanNode]] = None,
+    sim_tracks: Optional[Mapping[str, Sequence[TimelineEvent]]] = None,
+) -> str:
+    """Chrome trace JSON text (deterministic key order)."""
+    return json.dumps(
+        chrome_trace(span_roots, sim_tracks), indent=2, sort_keys=True
+    )
+
+
+def write_chrome_trace(
+    path: str,
+    span_roots: Optional[Sequence[SpanNode]] = None,
+    sim_tracks: Optional[Mapping[str, Sequence[TimelineEvent]]] = None,
+) -> None:
+    """Write the trace to ``path`` (open it at https://ui.perfetto.dev)."""
+    with open(path, "w") as fh:
+        fh.write(render_chrome(span_roots, sim_tracks))
+        fh.write("\n")
+
+
+__all__ = [
+    "SIM_PID",
+    "TimelineEvent",
+    "WALL_PID",
+    "chrome_trace",
+    "render_chrome",
+    "write_chrome_trace",
+]

@@ -49,6 +49,9 @@ class PipelineOptions:
     ``no_cache``     bypass the persistent artifact cache entirely.
     ``metrics``      collect obs metrics/spans during the run.
     ``metrics_out``  write the metrics registry as JSON to this path.
+    ``timeline_out`` write a Chrome trace-event JSON file (wall-clock
+                     spans + simulated-cycle tracks; open in Perfetto)
+                     to this path.
     ``timeout``      per-workload wall-clock budget in seconds for pool
                      sweeps (``None`` = unlimited).
     ``retries``      failed workload attempts retried before quarantine.
@@ -70,6 +73,7 @@ class PipelineOptions:
     no_cache: bool = False
     metrics: bool = False
     metrics_out: Optional[str] = None
+    timeline_out: Optional[str] = None
     timeout: Optional[float] = None
     retries: int = 2
     fail_fast: bool = False
@@ -82,7 +86,11 @@ class PipelineOptions:
     @property
     def wants_metrics(self) -> bool:
         """Does this run need instrumentation turned on?"""
-        return self.metrics or self.metrics_out is not None
+        return (
+            self.metrics
+            or self.metrics_out is not None
+            or self.timeline_out is not None
+        )
 
     def normalized_jobs(self) -> Optional[int]:
         """``jobs`` validated for pool use (warns + serial on bad input)."""
@@ -167,6 +175,13 @@ class PipelineOptions:
             default=None,
             metavar="PATH",
             help="write the metrics registry as JSON to PATH",
+        )
+        parser.add_argument(
+            "--timeline-out",
+            default=None,
+            metavar="PATH",
+            help="write a Chrome trace-event JSON timeline to PATH "
+            "(load it at https://ui.perfetto.dev)",
         )
         parser.add_argument(
             "--timeout",

@@ -389,6 +389,38 @@ class NeedlePipeline:
             braid_schedule=braid_sched,
         )
 
+    # -- simulated timelines ----------------------------------------------------------
+
+    def timeline(self, workload: Workload) -> Dict[str, List]:
+        """Simulated-cycle timelines, one track per offload strategy.
+
+        Returns ``{strategy: [TimelineEvent, ...]}`` for the same three
+        strategies :meth:`evaluate` prices, replayed through the offload
+        simulator's segment charges — ready for
+        :func:`repro.obs.timeline.chrome_trace` under track names like
+        ``"<workload>/braid"``.
+        """
+        analysis = self.analyse(workload)
+        profiled = analysis.profiled
+        akey = profiled.artifact_key
+        tracks: Dict[str, List] = {}
+        with obs.span("timeline", workload=workload.name):
+            if analysis.path_frame is not None:
+                for kind in ("oracle", "history"):
+                    tracks["bl-path-%s" % kind] = (
+                        self.simulator.invocation_timeline(
+                            workload.name, profiled.paths,
+                            analysis.path_frame, kind,
+                            profiled.trace, artifact_key=akey,
+                        )
+                    )
+            if analysis.braid_frame is not None:
+                tracks["braid"] = self.simulator.invocation_timeline(
+                    workload.name, profiled.paths, analysis.braid_frame,
+                    "oracle", profiled.trace, artifact_key=akey,
+                )
+        return tracks
+
     # -- suite sweeps -----------------------------------------------------------------
 
     def analyse_all(

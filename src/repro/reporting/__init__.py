@@ -2,12 +2,32 @@
 
 from .tables import format_cell, format_csv, format_table
 from .figures import bar_chart, histogram, stacked_bar_chart
+from .regress import (
+    DiffResult,
+    MetricDelta,
+    Thresholds,
+    diff_snapshots,
+    flatten_snapshot,
+    load_snapshot,
+    metric_direction,
+    render_attribution,
+    render_diff,
+)
 
 __all__ = [
+    "DiffResult",
+    "MetricDelta",
+    "Thresholds",
     "bar_chart",
+    "diff_snapshots",
+    "flatten_snapshot",
     "format_cell",
     "format_csv",
     "format_table",
     "histogram",
+    "load_snapshot",
+    "metric_direction",
+    "render_attribution",
+    "render_diff",
     "stacked_bar_chart",
 ]

@@ -60,6 +60,11 @@ class OOOResult:
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
 
+    @property
+    def mem_ops(self) -> float:
+        """Loads + stores — the L1-port traffic the energy model prices."""
+        return self.loads + self.stores
+
     def merge(self, other: "OOOResult") -> "OOOResult":
         """Aggregate two disjoint trace segments (cycles add)."""
         out = OOOResult()

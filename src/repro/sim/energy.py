@@ -10,6 +10,7 @@ charge per op.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from ..analysis.dfg import DataflowGraph
 from .config import CGRAConfig, EnergyConfig
@@ -71,7 +72,7 @@ class EnergyModel:
         e = self.energy
         n = result.instructions
         mem_pj = (
-            (result.loads + result.stores) * e.l1_access_pj
+            result.mem_ops * e.l1_access_pj
             + result.l2_hits * e.l2_access_pj
             + result.dram_accesses * e.dram_access_pj
         )
@@ -83,6 +84,20 @@ class EnergyModel:
             + result.branches * e.host_int_op_pj,
             memory_pj=mem_pj,
         )
+
+    def host_memory_energy_levels(self, result: OOOResult) -> "Dict[str, float]":
+        """Host memory energy split per hierarchy level (pJ).
+
+        The per-level terms sum to :meth:`host_energy`'s ``memory_pj`` by
+        construction — the attribution ledger uses this split to charge
+        ``host.mem.l1``/``l2``/``dram`` classes exactly.
+        """
+        e = self.energy
+        return {
+            "l1": result.mem_ops * e.l1_access_pj,
+            "l2": result.l2_hits * e.l2_access_pj,
+            "dram": result.dram_accesses * e.dram_access_pj,
+        }
 
     # -- accelerator -----------------------------------------------------------------
 

@@ -43,6 +43,24 @@ from ..obs import (
     gauge as _obs_gauge,
     span as _obs_span,
 )
+from ..obs.ledger import (
+    CHARGE_ABORT_FRAME,
+    CHARGE_ABORT_REEXEC,
+    CHARGE_ABORT_ROLLBACK,
+    CHARGE_FRAME_COMPUTE,
+    CHARGE_FRAME_GUARD,
+    CHARGE_FRAME_MEM,
+    CHARGE_FRAME_PSI,
+    CHARGE_HOST_COMPUTE,
+    CHARGE_HOST_FALLBACK,
+    CHARGE_HOST_MEM_DRAM,
+    CHARGE_HOST_MEM_L1,
+    CHARGE_HOST_MEM_L2,
+    CHARGE_RECONFIG,
+    CHARGE_TRANSFER,
+    fold_attribution,
+)
+from ..obs.timeline import TimelineEvent
 from ..profiling.ranking import count_ops
 from ..interp.events import FunctionTrace
 from ..profiling.path_profile import PathProfile
@@ -57,6 +75,7 @@ from .trace_kernels import (
     KERNELS_RLE,
     census_from_events,
     census_from_segments,
+    iter_segment_charges,
     run_length_encode,
 )
 
@@ -93,6 +112,15 @@ class OffloadOutcome:
     #: for cold, parallel and cache-served evaluations
     host_mem_levels: Dict[str, int] = field(default_factory=dict)
     accel_mem_levels: Dict[str, int] = field(default_factory=dict)
+    #: charge class -> (cycles, energy_pj) decomposition of the needle
+    #: totals; ``fold_attribution(attribution)`` reproduces
+    #: (needle_cycles, needle_energy_pj) bit for bit — the attribution
+    #: ledger's conservation contract
+    attribution: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: same decomposition for the host-only baseline totals
+    baseline_attribution: Dict[str, Tuple[float, float]] = field(
+        default_factory=dict
+    )
 
     @property
     def performance_improvement(self) -> float:
@@ -107,6 +135,46 @@ class OffloadOutcome:
         if self.baseline_energy_pj == 0:
             return 0.0
         return 1.0 - self.needle_energy_pj / self.baseline_energy_pj
+
+
+def _charge(attr: Dict[str, List[float]], cls: str,
+            cycles: float = 0.0, energy: float = 0.0) -> None:
+    """Accumulate one (cycles, energy) charge into an attribution dict."""
+    slot = attr.get(cls)
+    if slot is None:
+        attr[cls] = [float(cycles), float(energy)]
+    else:
+        slot[0] += cycles
+        slot[1] += energy
+
+
+def _freeze(attr: Dict[str, List[float]]) -> Dict[str, Tuple[float, float]]:
+    return {cls: (v[0], v[1]) for cls, v in attr.items()}
+
+
+@dataclass
+class _FrameCostModel:
+    """Per-(workload, frame) cost constants shared by the attribution
+    fold and the simulated-cycle timeline — one derivation, two
+    consumers, so the timeline never drifts from the accounting."""
+
+    sched: object  # CGRA ScheduleResult
+    pipeline_ii: float
+    run_start_cycles: float  # makespan + live-value transfer (run fill)
+    transfer_cycles: float
+    transfer_energy_pj: float
+    rollback_cycles: float
+    failure_exec_cycles: float
+    reconfig_cycles: float
+    frame_total_pj: float  # whole-frame invocation energy
+    compute_pj: float  # frame energy minus guard/ψ FU shares, minus memory
+    guard_fu_pj: float
+    psi_fu_pj: float
+    frame_mem_pj: float
+    guard_frac: float  # guard-op share of the scheduled ops
+    psi_frac: float  # ψ-op share of the scheduled ops
+    exec_fraction: Dict[int, float]
+    targets: Set[int]
 
 
 class OffloadSimulator:
@@ -243,13 +311,33 @@ class OffloadSimulator:
         self, profile: PathProfile, costs: Dict[int, PathCost]
     ) -> Tuple[float, float]:
         """(cycles, energy_pj) of host-only execution of the whole trace."""
-        cycles = 0.0
-        energy = 0.0
+        cycles, energy, _attr = self.baseline_attributed(profile, costs)
+        return cycles, energy
+
+    def baseline_attributed(
+        self, profile: PathProfile, costs: Dict[int, PathCost]
+    ) -> Tuple[float, float, Dict[str, Tuple[float, float]]]:
+        """Baseline totals plus their charge-class decomposition.
+
+        All cycles are ``host.compute``; energy splits into the OOO
+        front-end/window/FU share (``host.compute``) and the per-level
+        memory hierarchy shares (``host.mem.*``).  The returned totals
+        are the canonical fold of the attribution, so the ledger's
+        ``host`` strategy conserves exactly against ``baseline_cycles``.
+        """
+        attr: Dict[str, List[float]] = {}
         for pid, count in profile.counts.items():
             c = costs[pid]
-            cycles += count * c.cycles
-            energy += count * self.energy_model.host_energy(c.census).total_pj
-        return cycles, energy
+            eb = self.energy_model.host_energy(c.census)
+            levels = self.energy_model.host_memory_energy_levels(c.census)
+            _charge(attr, CHARGE_HOST_COMPUTE,
+                    cycles=count * c.cycles,
+                    energy=count * (eb.frontend_pj + eb.window_pj + eb.fu_pj))
+            _charge(attr, CHARGE_HOST_MEM_L1, energy=count * levels["l1"])
+            _charge(attr, CHARGE_HOST_MEM_L2, energy=count * levels["l2"])
+            _charge(attr, CHARGE_HOST_MEM_DRAM, energy=count * levels["dram"])
+        cycles, energy = fold_attribution(attr)
+        return cycles, energy, _freeze(attr)
 
     # -- offload ----------------------------------------------------------------------------
 
@@ -367,6 +455,178 @@ class OffloadSimulator:
             "rle", profile, None, lambda: run_length_encode(profile.trace)
         )
 
+    def _cost_model(
+        self,
+        profile: PathProfile,
+        frame: Frame,
+        cal: Calibration,
+        CGRAScheduler,
+    ) -> _FrameCostModel:
+        """Derive the per-frame cost constants every accounting consumer
+        (attribution fold, timeline replay) shares."""
+        # Frames stream array data through the banked L2: bank pipelining
+        # and the memory-port-limited schedule hide most of the raw L2
+        # latency, so the per-load critical-path charge is a fraction of it.
+        effective_load = max(4.0, cal.accel_load_latency * 0.4)
+        scheduler = CGRAScheduler(
+            self.config.cgra,
+            load_latency=effective_load,
+            store_latency=max(1.0, effective_load / 3),
+        )
+        sched = self._schedule(scheduler, frame)
+        pipeline_ii = self._effective_ii(frame, sched, profile, scheduler)
+        frame_eb = self.energy_model.frame_energy(
+            n_int_ops=sched.int_ops + sched.guard_ops,
+            n_fp_ops=sched.fp_ops,
+            n_mem_ops=sched.mem_ops,
+            n_edges=sched.edges,
+            l2_accesses=sched.mem_ops,
+        )
+        # Guard and ψ shares of one frame invocation.  Guards are integer
+        # compare ops the scheduler tracks separately; ψ-merges map to
+        # integer selects, bounded by the schedule's int-op budget.  The
+        # remainder (plus network/latch) is productive frame compute.
+        cgra = self.config.cgra
+        psi_ops = min(len(frame.psis), sched.int_ops)
+        guard_fu_pj = sched.guard_ops * cgra.int_fu_pj
+        psi_fu_pj = psi_ops * cgra.int_fu_pj
+        compute_pj = (
+            frame_eb.fu_pj - guard_fu_pj - psi_fu_pj
+            + frame_eb.network_pj + frame_eb.latch_pj
+        )
+        total_sched_ops = max(
+            1, sched.int_ops + sched.fp_ops + sched.mem_ops + sched.guard_ops
+        )
+        # Dataflow predication gates tokens on untaken braid arms, so an
+        # invocation burns energy proportional to the ops its actual path
+        # touches, not the whole fabric mapping.
+        frame_ops_total = max(1, frame.region.op_count)
+        exec_fraction: Dict[int, float] = {}
+        for pid in frame.region.source_paths:
+            path_ops = count_ops(profile.decode(pid))
+            exec_fraction[pid] = min(1.0, path_ops / frame_ops_total)
+        n_transfer = len(frame.live_ins) + len(frame.live_outs)
+        transfer_cycles = (
+            n_transfer * self.config.offload.transfer_cycles_per_value
+            + self.config.offload.invocation_overhead_cycles
+        )
+        transfer_energy = self.energy_model.transfer_energy(n_transfer).total_pj
+        rollback_cycles = (
+            frame.store_count * self.config.offload.rollback_cycles_per_store
+        )
+        # Conservative (paper) mode detects guard failure only at frame end,
+        # wasting the whole schedule; eager mode aborts around the mean guard
+        # position (§V's guard-placement trade-off).
+        if self.config.offload.detect_failure_at_end or not frame.guards:
+            failure_exec_cycles = sched.cycles
+        else:
+            mean_pos = sum(g.position for g in frame.guards) / len(frame.guards)
+            fraction = (mean_pos + 1) / max(1, frame.op_count)
+            failure_exec_cycles = max(1.0, sched.cycles * fraction)
+        return _FrameCostModel(
+            sched=sched,
+            pipeline_ii=pipeline_ii,
+            run_start_cycles=sched.cycles + transfer_cycles,
+            transfer_cycles=transfer_cycles,
+            transfer_energy_pj=transfer_energy,
+            rollback_cycles=rollback_cycles,
+            failure_exec_cycles=failure_exec_cycles,
+            reconfig_cycles=float(cgra.reconfig_cycles * sched.n_configs),
+            frame_total_pj=frame_eb.total_pj,
+            compute_pj=compute_pj,
+            guard_fu_pj=guard_fu_pj,
+            psi_fu_pj=psi_fu_pj,
+            frame_mem_pj=frame_eb.memory_pj,
+            guard_frac=sched.guard_ops / total_sched_ops,
+            psi_frac=psi_ops / total_sched_ops,
+            exec_fraction=exec_fraction,
+            targets=set(frame.region.source_paths),
+        )
+
+    def _host_side_charges(
+        self,
+        attr: Dict[str, List[float]],
+        compute_class: str,
+        n: int,
+        cost: PathCost,
+    ) -> None:
+        """Charge ``n`` host executions of a path: OOO front-end/window/FU
+        cycles+energy to ``compute_class``, memory energy per level."""
+        eb = self.energy_model.host_energy(cost.census)
+        levels = self.energy_model.host_memory_energy_levels(cost.census)
+        _charge(attr, compute_class,
+                cycles=n * cost.cycles,
+                energy=n * (eb.frontend_pj + eb.window_pj + eb.fu_pj))
+        _charge(attr, CHARGE_HOST_MEM_L1, energy=n * levels["l1"])
+        _charge(attr, CHARGE_HOST_MEM_L2, energy=n * levels["l2"])
+        _charge(attr, CHARGE_HOST_MEM_DRAM, energy=n * levels["dram"])
+
+    def _attribute(self, census, cm: _FrameCostModel,
+                   costs: Dict[int, PathCost]) -> Dict[str, Tuple[float, float]]:
+        """Fold a :class:`ChargeCensus` into the charge-class attribution.
+
+        This is the *only* place simulated floats accumulate: the
+        reported ``needle_cycles``/``needle_energy_pj`` are defined as
+        ``fold_attribution`` of the returned dict, so the ledger's
+        per-class sums conserve against the totals bit for bit.
+
+        Run-based accounting: the first invocation in a run of
+        back-to-back successful invocations pays pipeline fill (full
+        makespan) plus the live-value transfer; each further iteration
+        initiates after the frame's II (dataflow pipelining).  The
+        configuration stays resident on the fabric across the workload
+        (only one frame is offloaded), so reconfiguration is a one-time
+        cost, charged once.
+        """
+        attr: Dict[str, List[float]] = {}
+        _charge(attr, CHARGE_RECONFIG, cycles=cm.reconfig_cycles)
+
+        def frame_exec(pid: int, frame_cycles: float, n: int) -> None:
+            # split one successful frame-execution term into its
+            # guard/ψ/compute shares (cycles by op fraction, energy by
+            # FU component), scaled by the path's predication fraction
+            scale = cm.exec_fraction.get(pid, 1.0)
+            guard_c = frame_cycles * cm.guard_frac
+            psi_c = frame_cycles * cm.psi_frac
+            _charge(attr, CHARGE_FRAME_COMPUTE,
+                    cycles=frame_cycles - guard_c - psi_c,
+                    energy=n * scale * cm.compute_pj)
+            _charge(attr, CHARGE_FRAME_GUARD,
+                    cycles=guard_c, energy=n * scale * cm.guard_fu_pj)
+            _charge(attr, CHARGE_FRAME_PSI,
+                    cycles=psi_c, energy=n * scale * cm.psi_fu_pj)
+            _charge(attr, CHARGE_FRAME_MEM,
+                    energy=n * scale * cm.frame_mem_pj)
+
+        for pid in sorted(census.run_starts):
+            n = census.run_starts[pid]
+            frame_exec(pid, n * cm.sched.cycles, n)
+            _charge(attr, CHARGE_TRANSFER,
+                    cycles=n * cm.transfer_cycles,
+                    energy=n * cm.transfer_energy_pj)
+        for pid in sorted(census.pipelined):
+            n = census.pipelined[pid]
+            frame_exec(pid, n * cm.pipeline_ii, n)
+        for pid in sorted(census.failures):
+            n = census.failures[pid]
+            # the whole frame burns (unscaled: predication can't gate a
+            # mispredicted path), then the undo log unwinds, then the
+            # host re-executes the actual path
+            _charge(attr, CHARGE_ABORT_FRAME,
+                    cycles=n * cm.failure_exec_cycles,
+                    energy=n * cm.frame_total_pj)
+            _charge(attr, CHARGE_TRANSFER,
+                    cycles=n * cm.transfer_cycles,
+                    energy=n * cm.transfer_energy_pj)
+            _charge(attr, CHARGE_ABORT_ROLLBACK, cycles=n * cm.rollback_cycles)
+            self._host_side_charges(attr, CHARGE_ABORT_REEXEC, n, costs[pid])
+        for pid in sorted(census.host):
+            n = census.host[pid]
+            self._host_side_charges(
+                attr, CHARGE_HOST_FALLBACK, n, costs[pid]
+            )
+        return _freeze(attr)
+
     def simulate_offload(
         self,
         workload: str,
@@ -422,54 +682,12 @@ class OffloadSimulator:
         costs = self.path_costs(
             profile, cal.host_load_latency, artifact_key=artifact_key
         )
-        base_cycles, base_energy = self.baseline(profile, costs)
+        base_cycles, base_energy, base_attr = self.baseline_attributed(
+            profile, costs
+        )
+        cm = self._cost_model(profile, frame, cal, CGRAScheduler)
 
-        # Frames stream array data through the banked L2: bank pipelining and
-        # the memory-port-limited schedule hide most of the raw L2 latency,
-        # so the per-load critical-path charge is a fraction of it.
-        effective_load = max(4.0, cal.accel_load_latency * 0.4)
-        scheduler = CGRAScheduler(
-            self.config.cgra,
-            load_latency=effective_load,
-            store_latency=max(1.0, effective_load / 3),
-        )
-        sched = self._schedule(scheduler, frame)
-        pipeline_ii = self._effective_ii(frame, sched, profile, scheduler)
-        frame_energy = self.energy_model.frame_energy(
-            n_int_ops=sched.int_ops + sched.guard_ops,
-            n_fp_ops=sched.fp_ops,
-            n_mem_ops=sched.mem_ops,
-            n_edges=sched.edges,
-            l2_accesses=sched.mem_ops,
-        ).total_pj
-        # Dataflow predication gates tokens on untaken braid arms, so an
-        # invocation burns energy proportional to the ops its actual path
-        # touches, not the whole fabric mapping.
-        frame_ops_total = max(1, frame.region.op_count)
-        exec_fraction: Dict[int, float] = {}
-        for pid in frame.region.source_paths:
-            path_ops = count_ops(profile.decode(pid))
-            exec_fraction[pid] = min(1.0, path_ops / frame_ops_total)
-        n_transfer = len(frame.live_ins) + len(frame.live_outs)
-        transfer_cycles = (
-            n_transfer * self.config.offload.transfer_cycles_per_value
-            + self.config.offload.invocation_overhead_cycles
-        )
-        transfer_energy = self.energy_model.transfer_energy(n_transfer).total_pj
-        rollback_cycles = (
-            frame.store_count * self.config.offload.rollback_cycles_per_store
-        )
-        # Conservative (paper) mode detects guard failure only at frame end,
-        # wasting the whole schedule; eager mode aborts around the mean guard
-        # position (§V's guard-placement trade-off).
-        if self.config.offload.detect_failure_at_end or not frame.guards:
-            failure_exec_cycles = sched.cycles
-        else:
-            mean_pos = sum(g.position for g in frame.guards) / len(frame.guards)
-            fraction = (mean_pos + 1) / max(1, frame.op_count)
-            failure_exec_cycles = max(1.0, sched.cycles * fraction)
-
-        targets: Set[int] = set(frame.region.source_paths)
+        targets = cm.targets
         if predictor_kind == "oracle":
             predictor = OraclePredictor(targets)
         else:
@@ -502,45 +720,10 @@ class OffloadSimulator:
             )
             precision = run_eval.precision
 
-        # Run-based accounting: the first invocation in a run of back-to-back
-        # successful invocations pays pipeline fill (full makespan) plus the
-        # live-value transfer; each further iteration of the run initiates
-        # after the frame's II (dataflow pipelining).  The configuration
-        # stays resident on the fabric across the workload (only one frame
-        # is offloaded), so reconfiguration is a one-time cost, charged once.
-        host_energy = self.energy_model.host_energy
-        run_start_cycles = sched.cycles + transfer_cycles
-        needle_cycles = float(
-            self.config.cgra.reconfig_cycles * sched.n_configs
-        )
-        needle_energy = 0.0
-        for pid in sorted(census.run_starts):
-            n = census.run_starts[pid]
-            needle_cycles += n * run_start_cycles
-            needle_energy += n * (
-                frame_energy * exec_fraction.get(pid, 1.0) + transfer_energy
-            )
-        for pid in sorted(census.pipelined):
-            n = census.pipelined[pid]
-            needle_cycles += n * pipeline_ii
-            needle_energy += n * (frame_energy * exec_fraction.get(pid, 1.0))
-        for pid in sorted(census.failures):
-            n = census.failures[pid]
-            needle_cycles += n * (
-                failure_exec_cycles
-                + transfer_cycles
-                + rollback_cycles
-                + costs[pid].cycles
-            )
-            needle_energy += n * (
-                frame_energy
-                + transfer_energy
-                + host_energy(costs[pid].census).total_pj
-            )
-        for pid in sorted(census.host):
-            n = census.host[pid]
-            needle_cycles += n * costs[pid].cycles
-            needle_energy += n * host_energy(costs[pid].census).total_pj
+        # The reported totals are *defined as* the canonical fold of the
+        # attribution — conservation against the ledger by construction.
+        attribution = self._attribute(census, cm, costs)
+        needle_cycles, needle_energy = fold_attribution(attribution)
 
         return OffloadOutcome(
             workload=workload,
@@ -558,10 +741,96 @@ class OffloadSimulator:
             failures=census.failed,
             predictor_precision=precision,
             frame_ops=frame.op_count,
-            schedule_cycles=sched.cycles,
+            schedule_cycles=cm.sched.cycles,
             host_mem_levels=dict(cal.host_levels),
             accel_mem_levels=dict(cal.accel_levels),
+            attribution=attribution,
+            baseline_attribution=base_attr,
         )
+
+    # -- simulated timeline -----------------------------------------------------
+
+    def invocation_timeline(
+        self,
+        workload: str,
+        profile: PathProfile,
+        frame: Frame,
+        predictor_kind: str = "oracle",
+        trace: Optional[FunctionTrace] = None,
+        artifact_key: Optional[str] = None,
+    ) -> List[TimelineEvent]:
+        """Replay the trace as duration events on a simulated-cycle clock.
+
+        One event per predictor-decision segment (a maximal run of
+        same-path, same-decision trace events): successful invocation
+        runs render as "frame" blocks (pipeline fill + II-spaced
+        iterations), guard failures as "abort" blocks (wasted frame +
+        rollback + host re-execution), declined events as "host" blocks.
+        Durations come from the same :class:`_FrameCostModel` the
+        attribution fold uses, so the timeline's total extent tracks the
+        reported ``needle_cycles``.
+        """
+        from ..accel.cgra import CGRAScheduler
+        from ..accel.invocation import (
+            HistoryPredictor,
+            OraclePredictor,
+            evaluate_predictor_runs,
+        )
+
+        cal = self.calibrate(trace, artifact_key=artifact_key)
+        costs = self.path_costs(
+            profile, cal.host_load_latency, artifact_key=artifact_key
+        )
+        cm = self._cost_model(profile, frame, cal, CGRAScheduler)
+        targets = cm.targets
+        if predictor_kind == "oracle":
+            predictor = OraclePredictor(targets)
+        else:
+            predictor = HistoryPredictor()
+        rle = self._rle(profile)
+        run_eval = evaluate_predictor_runs(rle.runs, targets, predictor)
+
+        pipelined_cfg = self.config.offload.pipelined_invocations
+        events: List[TimelineEvent] = []
+        clock = 0.0
+        if cm.reconfig_cycles > 0:
+            events.append(TimelineEvent(
+                name="reconfig", start_cycle=0.0,
+                duration_cycles=cm.reconfig_cycles,
+                args={"configs": cm.sched.n_configs},
+            ))
+            clock = cm.reconfig_cycles
+        for sc in iter_segment_charges(
+            run_eval.segments, targets, pipelined_cfg
+        ):
+            if sc.run_starts or sc.pipelined:
+                dur = (
+                    sc.run_starts * cm.run_start_cycles
+                    + sc.pipelined * cm.pipeline_ii
+                )
+                events.append(TimelineEvent(
+                    name="frame", start_cycle=clock, duration_cycles=dur,
+                    args={"path": sc.pid,
+                          "invocations": sc.run_starts + sc.pipelined,
+                          "fill": sc.run_starts},
+                ))
+            elif sc.failures:
+                dur = sc.failures * (
+                    cm.failure_exec_cycles + cm.transfer_cycles
+                    + cm.rollback_cycles + costs[sc.pid].cycles
+                )
+                events.append(TimelineEvent(
+                    name="abort", start_cycle=clock, duration_cycles=dur,
+                    args={"path": sc.pid, "failures": sc.failures},
+                ))
+            else:
+                dur = sc.host * costs[sc.pid].cycles
+                events.append(TimelineEvent(
+                    name="host", start_cycle=clock, duration_cycles=dur,
+                    args={"path": sc.pid, "events": sc.host},
+                ))
+            clock += dur
+        return events
 
 
 __all__ = ["Calibration", "OffloadOutcome", "OffloadSimulator", "PathCost"]

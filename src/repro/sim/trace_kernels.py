@@ -146,6 +146,62 @@ def census_from_events(
     return census
 
 
+@dataclass(frozen=True)
+class SegmentCharge:
+    """Closed-form census increments of one decision segment.
+
+    Exactly one of the four charge groups is non-zero per segment (a
+    segment has a constant (pid, decision)); ``run_starts + pipelined``
+    together cover a successful segment that begins or extends an
+    accelerator run.
+    """
+
+    pid: int
+    run_starts: int = 0
+    pipelined: int = 0
+    failures: int = 0
+    host: int = 0
+
+
+def iter_segment_charges(
+    segments: Iterable[Tuple[int, bool, int]],
+    targets: Set[int],
+    pipelined: bool,
+) -> "Iterable[SegmentCharge]":
+    """Classify (pid, invoke, length) decision segments one at a time.
+
+    This generator is the *single* statement of the run-accounting
+    semantics: :func:`census_from_segments` sums its yields into the
+    integer census the attribution fold consumes, and the simulated
+    timeline (:meth:`~repro.sim.offload.OffloadSimulator.
+    invocation_timeline`) replays the same yields as duration events —
+    so the timeline can never drift from what was charged.  Only the
+    one-bit ``in_run`` state crosses segment boundaries.
+    """
+    in_run = False
+    for pid, invoke, length in segments:
+        if length <= 0:
+            continue
+        if invoke:
+            if pid in targets:
+                if pipelined:
+                    if in_run:
+                        yield SegmentCharge(pid, pipelined=length)
+                    else:
+                        yield SegmentCharge(
+                            pid, run_starts=1, pipelined=length - 1
+                        )
+                else:
+                    yield SegmentCharge(pid, run_starts=length)
+                in_run = True
+            else:
+                yield SegmentCharge(pid, failures=length)
+                in_run = False
+        else:
+            yield SegmentCharge(pid, host=length)
+            in_run = False
+
+
 def census_from_segments(
     segments: Iterable[Tuple[int, bool, int]],
     targets: Set[int],
@@ -156,32 +212,19 @@ def census_from_segments(
     Segments partition the trace in order with a constant (pid, decision)
     per segment (see
     :func:`~repro.accel.invocation.evaluate_predictor_runs`), so each
-    segment collapses to closed-form census increments; only the
-    one-bit ``in_run`` state crosses segment boundaries.
+    segment collapses to the closed-form increments
+    :func:`iter_segment_charges` yields.
     """
     census = ChargeCensus()
-    in_run = False
-    for pid, invoke, length in segments:
-        if length <= 0:
-            continue
-        if invoke:
-            if pid in targets:
-                if pipelined:
-                    if in_run:
-                        _bump(census.pipelined, pid, length)
-                    else:
-                        _bump(census.run_starts, pid)
-                        if length > 1:
-                            _bump(census.pipelined, pid, length - 1)
-                else:
-                    _bump(census.run_starts, pid, length)
-                in_run = True
-            else:
-                _bump(census.failures, pid, length)
-                in_run = False
-        else:
-            _bump(census.host, pid, length)
-            in_run = False
+    for charge in iter_segment_charges(segments, targets, pipelined):
+        if charge.run_starts:
+            _bump(census.run_starts, charge.pid, charge.run_starts)
+        if charge.pipelined:
+            _bump(census.pipelined, charge.pid, charge.pipelined)
+        if charge.failures:
+            _bump(census.failures, charge.pid, charge.failures)
+        if charge.host:
+            _bump(census.host, charge.pid, charge.host)
     return census
 
 
@@ -191,7 +234,9 @@ __all__ = [
     "KERNELS_RLE",
     "KERNEL_MODES",
     "RLETrace",
+    "SegmentCharge",
     "census_from_events",
     "census_from_segments",
+    "iter_segment_charges",
     "run_length_encode",
 ]

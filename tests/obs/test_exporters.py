@@ -81,6 +81,47 @@ def test_render_metrics_empty_registry_hint():
     assert "no metrics recorded" in text
 
 
+def test_prometheus_and_json_handle_empty_registry():
+    empty = MetricsRegistry()
+    assert export.to_prometheus(empty) == ""
+    data = json.loads(export.to_json(empty))
+    assert data["metrics"] == []
+    assert json.loads(export.semantic_json(empty))["metrics"] == []
+
+
+def test_prometheus_label_value_escaping():
+    reg = MetricsRegistry()
+    c = reg.counter("paths", semantic=True)
+    # the three characters the exposition format requires escaping
+    c.inc(1, workload='back\\slash and "quote"\nnewline')
+    text = export.to_prometheus(reg)
+    (sample,) = [l for l in text.splitlines() if l.startswith("paths{")]
+    assert r"back\\slash" in sample
+    assert r"\"quote\"" in sample
+    assert r"\nnewline" in sample
+    # the raw control characters must not survive into the sample line
+    assert "\n" not in sample
+    # every quote inside the value is escaped: only the two label-value
+    # delimiters remain unescaped
+    assert sample.count('"') == sample.count('\\"') + 2
+
+
+def test_prometheus_escaping_roundtrip_values():
+    # each escape individually, to pin the exact substitutions
+    cases = {
+        "a\\b": r"a\\b",
+        'a"b': r"a\"b",
+        "a\nb": r"a\nb",
+    }
+    reg = MetricsRegistry()
+    c = reg.counter("m")
+    for i, raw in enumerate(sorted(cases)):
+        c.inc(1, v=raw, i=str(i))
+    text = export.to_prometheus(reg)
+    for raw in sorted(cases):
+        assert 'v="%s"' % cases[raw] in text
+
+
 def test_render_trace_indents_children():
     reg = MetricsRegistry()
     with_span = reg.open_span("outer", {"workload": "x"})

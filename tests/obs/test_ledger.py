@@ -1,0 +1,150 @@
+"""The attribution ledger: conservation and cross-mode determinism.
+
+Two contracts under test (docs/observability.md):
+
+* **conservation by construction** — for every evaluated strategy the
+  ledger's folded cycle/energy totals equal the simulator's reported
+  ``needle_cycles``/``needle_energy_pj`` *exactly* (``==``, no
+  tolerance), and the ``host`` baseline rows equal ``baseline_cycles``;
+* **determinism** — the full-suite ledger (inside the semantic-JSON
+  export) is byte-identical whether the suite ran serially, across a
+  process pool, or served from the artifact cache.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import export
+from repro.obs.ledger import (
+    CHARGE_CLASSES,
+    HOST_STRATEGY,
+    AttributionLedger,
+    fold_attribution,
+)
+from repro.pipeline import NeedlePipeline
+from repro.workloads import all_names, get
+from repro.workloads.base import clear_profile_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.registry().clear()
+    clear_profile_cache()
+    yield
+    obs.disable()
+    obs.registry().clear()
+    clear_profile_cache()
+
+
+# -- unit behaviour ----------------------------------------------------------
+
+
+def test_charge_accumulates_and_snapshot_sorts():
+    led = AttributionLedger()
+    led.charge("w", "s", "r", "frame.compute", 2.0, 10.0)
+    led.charge("w", "s", "r", "frame.compute", 3.0, 5.0)
+    led.charge("a", "s", "r", "transfer", 1.0, 1.0)
+    snap = led.snapshot()
+    assert [e["workload"] for e in snap["entries"]] == ["a", "w"]
+    assert snap["entries"][1]["cycles"] == 5.0
+    assert snap["entries"][1]["energy_pj"] == 15.0
+
+
+def test_merge_snapshot_adds_like_counters():
+    a = AttributionLedger()
+    b = AttributionLedger()
+    a.charge("w", "s", "r", "transfer", 1.0, 2.0)
+    b.charge("w", "s", "r", "transfer", 10.0, 20.0)
+    b.charge("w", "s", "r", "reconfig", 5.0, 0.0)
+    a.merge_snapshot(b.snapshot())
+    assert a.cycle_total("w", "s") == 16.0
+    assert a.energy_total("w", "s") == 22.0
+
+
+def test_fold_attribution_matches_ledger_fold_order():
+    # the fold and cycle_total must walk classes in the same (sorted)
+    # order — that ordering is the whole conservation argument
+    attr = {"transfer": (0.1, 1.0), "frame.compute": (0.2, 2.0),
+            "reconfig": (0.3, 0.0)}
+    led = AttributionLedger()
+    led.add_attribution("w", "s", "r", attr)
+    cycles, energy = fold_attribution(attr)
+    assert led.cycle_total("w", "s") == cycles
+    assert led.energy_total("w", "s") == energy
+
+
+# -- conservation against the simulator --------------------------------------
+
+
+def _strategy_outcomes(ev):
+    return [o for o in (ev.path_oracle, ev.path_history, ev.braid)
+            if o is not None]
+
+
+def test_ledger_conserves_simulator_totals_exactly():
+    obs.enable(reset=True)
+    pipeline = NeedlePipeline()
+    for name in ("dwt53", "164.gzip", "fft-2d", "blackscholes"):
+        ev = pipeline.evaluate(get(name))
+        led = obs.ledger()
+        outcomes = _strategy_outcomes(ev)
+        assert outcomes, name
+        for outcome in outcomes:
+            assert led.cycle_total(name, outcome.strategy) == \
+                outcome.needle_cycles
+            assert led.energy_total(name, outcome.strategy) == \
+                outcome.needle_energy_pj
+        # the host baseline is published once, under strategy "host"
+        assert led.cycle_total(name, HOST_STRATEGY) == \
+            outcomes[0].baseline_cycles
+        assert led.energy_total(name, HOST_STRATEGY) == \
+            outcomes[0].baseline_energy_pj
+
+
+def test_ledger_charge_classes_stay_within_the_contract():
+    obs.enable(reset=True)
+    NeedlePipeline().evaluate(get("dwt53"))
+    for (workload, _s, region, charge), _v in obs.ledger().series():
+        assert charge in CHARGE_CLASSES
+        assert workload == "dwt53"
+        assert region in ("bl-path", "braid", HOST_STRATEGY)
+
+
+def test_outcome_attribution_folds_to_reported_totals():
+    # the per-outcome dict itself (before any ledger) is the contract
+    ev = NeedlePipeline().evaluate(get("dwt53"))
+    for outcome in _strategy_outcomes(ev):
+        assert set(outcome.attribution) <= set(CHARGE_CLASSES)
+        assert fold_attribution(outcome.attribution) == (
+            outcome.needle_cycles, outcome.needle_energy_pj)
+        assert fold_attribution(outcome.baseline_attribution) == (
+            outcome.baseline_cycles, outcome.baseline_energy_pj)
+
+
+# -- cross-mode determinism over the full suite -------------------------------
+
+
+def _suite_ledger_json(jobs=None, cache=None) -> str:
+    clear_profile_cache()
+    obs.enable(reset=True)
+    pipeline = NeedlePipeline(cache=cache)
+    pipeline.evaluate_all([get(n) for n in all_names()], jobs=jobs)
+    data = json.loads(export.semantic_json(None))
+    obs.disable()
+    return json.dumps(data["ledger"], sort_keys=True)
+
+
+def test_full_suite_ledger_identical_serial_parallel_and_cached(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    serial = _suite_ledger_json()
+    parallel = _suite_ledger_json(jobs=4)
+    cold = _suite_ledger_json(cache=cache_dir)
+    warm = _suite_ledger_json(cache=cache_dir)  # served from the cache
+    assert serial == parallel
+    assert serial == cold
+    assert serial == warm
+    entries = json.loads(serial)["entries"]
+    assert {e["workload"] for e in entries} == set(all_names())

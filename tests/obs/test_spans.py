@@ -68,14 +68,24 @@ def test_adopt_spans_with_nothing_open_becomes_root():
 
 def test_span_node_roundtrips_through_dict():
     node = SpanNode(
-        name="a", labels={"k": "v"}, duration=0.5,
-        children=[SpanNode(name="b")],
+        name="a", labels={"k": "v"}, start=12.25, duration=0.5,
+        children=[SpanNode(name="b", start=12.3)],
     )
     again = SpanNode.from_dict(node.to_dict())
     assert again.name == "a" and again.labels == {"k": "v"}
     assert again.duration == 0.5
+    # start must survive the round trip: worker-shipped span trees are
+    # rebuilt from dicts and the chrome exporter orders events by it
+    assert again.start == 12.25
+    assert again.children[0].start == 12.3
     assert [c.name for c in again.children] == ["b"]
     assert [n.name for n in node.walk()] == ["a", "b"]
+
+
+def test_span_node_from_dict_defaults_missing_start_to_zero():
+    # dicts serialized before the start field existed still load
+    again = SpanNode.from_dict({"name": "old", "duration": 1.0})
+    assert again.start == 0.0 and again.duration == 1.0
 
 
 def test_scoped_registry_isolates_and_restores():

@@ -1,0 +1,124 @@
+"""Chrome trace-event export: structure, determinism, and agreement
+between the simulated timeline and the attribution ledger."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import SpanNode
+from repro.obs.timeline import (
+    SIM_PID,
+    WALL_PID,
+    TimelineEvent,
+    chrome_trace,
+    render_chrome,
+)
+from repro.pipeline import NeedlePipeline
+from repro.workloads import get
+from repro.workloads.base import clear_profile_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.registry().clear()
+    clear_profile_cache()
+    yield
+    obs.disable()
+    obs.registry().clear()
+    clear_profile_cache()
+
+
+def _duration_events(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+
+def _assert_structurally_valid(doc):
+    """The invariants Perfetto relies on: complete events carry
+    ts/dur/pid/tid, and per-track timestamps never go backwards."""
+    assert "traceEvents" in doc
+    last_ts = {}
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in ("X", "M"), ev
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        if ev["ph"] != "X":
+            continue
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            assert key in ev, (key, ev)
+        assert ev["ts"] >= 0.0 and ev["dur"] >= 0.0
+        track = (ev["pid"], ev["tid"])
+        assert ev["ts"] >= last_ts.get(track, 0.0), ev
+        last_ts[track] = ev["ts"]
+
+
+# -- synthetic input ---------------------------------------------------------
+
+
+def test_span_forest_becomes_wall_clock_process():
+    roots = [SpanNode(name="outer", start=10.0, duration=2.0,
+                      children=[SpanNode(name="inner", start=10.5,
+                                         duration=1.0)])]
+    doc = chrome_trace(span_roots=roots)
+    _assert_structurally_valid(doc)
+    xs = _duration_events(doc)
+    assert [e["name"] for e in xs] == ["outer", "inner"]
+    assert all(e["pid"] == WALL_PID for e in xs)
+    # rebased to the forest's earliest start, scaled to µs
+    assert xs[0]["ts"] == 0.0 and xs[0]["dur"] == 2e6
+    assert xs[1]["ts"] == 0.5e6
+
+
+def test_sim_tracks_get_sorted_tids_and_thread_names():
+    tracks = {
+        "w/braid": [TimelineEvent("frame", 0.0, 5.0)],
+        "w/bl-path-oracle": [TimelineEvent("reconfig", 0.0, 16.0),
+                             TimelineEvent("frame", 16.0, 4.0)],
+    }
+    doc = chrome_trace(sim_tracks=tracks)
+    _assert_structurally_valid(doc)
+    metas = {e["tid"]: e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    # sorted-name order: bl-path-oracle before braid
+    assert metas[1] == "w/bl-path-oracle"
+    assert metas[2] == "w/braid"
+    assert all(e["pid"] == SIM_PID for e in _duration_events(doc))
+
+
+def test_render_chrome_is_deterministic():
+    tracks = {"t": [TimelineEvent("frame", 0.0, 1.0, {"pid": 3})]}
+    assert render_chrome(None, tracks) == render_chrome(None, tracks)
+    json.loads(render_chrome(None, tracks))  # parses
+
+
+# -- a real workload ---------------------------------------------------------
+
+
+def test_real_workload_chrome_trace_is_valid_and_conserves():
+    obs.enable(reset=True)
+    pipeline = NeedlePipeline()
+    w = get("dwt53")
+    ev = pipeline.evaluate(w)
+    tracks = pipeline.timeline(w)
+    doc = chrome_trace(obs.registry().span_roots, tracks)
+    _assert_structurally_valid(doc)
+
+    # both clocks are present as separate processes
+    pids = {e["pid"] for e in _duration_events(doc)}
+    assert pids == {WALL_PID, SIM_PID}
+
+    # each strategy track replays exactly the reported simulated time
+    by_strategy = {
+        "bl-path-oracle": ev.path_oracle,
+        "bl-path-history": ev.path_history,
+        "braid": ev.braid,
+    }
+    for strategy, outcome in by_strategy.items():
+        events = tracks[strategy]
+        assert events, strategy
+        assert events[-1].end_cycle == outcome.needle_cycles
+        # contiguous, gap-free replay
+        clock = 0.0
+        for event in events:
+            assert event.start_cycle == clock
+            clock = event.end_cycle

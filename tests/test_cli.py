@@ -133,6 +133,41 @@ def test_cli_trace_command_prints_span_tree(capsys):
     assert "ms" in out
 
 
+def test_cli_trace_format_chrome_emits_trace_events(capsys):
+    import json
+
+    assert main(["trace", "dwt53", "--no-cache", "--format", "chrome"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    events = doc["traceEvents"]
+    assert any(e["ph"] == "X" and e["pid"] == 1 for e in events)  # spans
+    assert any(e["ph"] == "X" and e["pid"] == 2 for e in events)  # sim tracks
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert "dwt53/braid" in names
+
+
+def test_cli_trace_format_json_emits_span_forest(capsys):
+    import json
+
+    assert main(["trace", "dwt53", "--no-cache", "--format", "json"]) == 0
+    forest = json.loads(capsys.readouterr().out)
+    assert isinstance(forest, list) and forest
+    assert any(n["name"] == "evaluate" for n in forest)
+
+
+def test_cli_trace_without_span_data_exits_cleanly(capsys, monkeypatch):
+    import repro.cli as cli
+
+    # simulate a run that recorded nothing: no spans, no sim tracks
+    monkeypatch.setattr(
+        cli, "_run_evaluations", lambda args, opts: ([], [], None)
+    )
+    for fmt in ("tree", "json", "chrome"):
+        assert main(["trace", "dwt53", "--format", fmt]) == 1
+        captured = capsys.readouterr()
+        assert "nothing to trace" in captured.err
+        assert "Traceback" not in captured.err
+
+
 def test_cli_evaluate_with_metrics_flag_appends_table(capsys):
     assert main(["evaluate", "dwt53", "--no-cache", "--metrics"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""The examples only lean on the public façade.
+
+``repro.__all__`` is the supported surface: the top-level names plus the
+exported subpackages.  Examples are the first thing users copy, so they
+must not model deep imports (``repro.sim.config``,
+``repro.workloads.base``, ...) that the project reserves the right to
+rearrange.  This test parses every example with :mod:`ast` — no example
+code runs — and rejects any import that reaches past one level.
+"""
+
+import ast
+import os
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+EXAMPLE_FILES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR)
+    if name.endswith(".py") and not name.startswith("_")
+)
+
+
+def _facade_violations(path):
+    """Imports in ``path`` that step outside the public façade."""
+    with open(path) as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    violations = []
+
+    def check_module(node, module):
+        if module != "repro" and not module.startswith("repro."):
+            return  # stdlib / third-party imports are out of scope
+        parts = module.split(".")
+        if len(parts) > 2:
+            violations.append(
+                "line %d: deep import %r (only repro.<name> is public)"
+                % (node.lineno, module)
+            )
+        elif len(parts) == 2 and parts[1] not in repro.__all__:
+            violations.append(
+                "line %d: %r is not in repro.__all__" % (node.lineno, module)
+            )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                check_module(node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import — not a repro façade concern
+                continue
+            module = node.module or ""
+            check_module(node, module)
+            if module == "repro":
+                for alias in node.names:
+                    if alias.name not in repro.__all__:
+                        violations.append(
+                            "line %d: 'from repro import %s' is not in "
+                            "repro.__all__" % (node.lineno, alias.name)
+                        )
+    return violations
+
+
+def test_examples_exist():
+    assert EXAMPLE_FILES, "examples/ directory is empty?"
+
+
+@pytest.mark.parametrize("name", EXAMPLE_FILES)
+def test_example_uses_public_facade_only(name):
+    violations = _facade_violations(os.path.join(EXAMPLES_DIR, name))
+    assert not violations, "%s steps outside the public façade:\n%s" % (
+        name, "\n".join(violations)
+    )

@@ -1,0 +1,251 @@
+"""Regression diffing + attribution tables (`repro.reporting.regress`
+and the `repro report` subcommand)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import AttributionLedger
+from repro.reporting import (
+    Thresholds,
+    diff_snapshots,
+    flatten_snapshot,
+    metric_direction,
+    render_attribution,
+    render_diff,
+)
+
+
+# -- direction + thresholds --------------------------------------------------
+
+
+def test_metric_direction_patterns():
+    assert metric_direction("sim_memo.cold_suite_seconds") == "lower"
+    assert metric_direction("ledger{...}.cycles") == "lower"
+    assert metric_direction("ledger{...}.energy_pj") == "lower"
+    assert metric_direction("pipeline_scaling.warm_speedup") == "higher"
+    assert metric_direction("profile.top_path_coverage{w=x}") == "higher"
+    assert metric_direction("something.unclassified") == "unknown"
+
+
+def test_thresholds_ignore_beats_override_beats_default():
+    t = Thresholds(
+        default=0.05,
+        overrides=[("*speedup*", 0.5), ("*", 0.1)],
+        ignore=["*seconds*"],
+    )
+    assert t.for_metric("x.cold_serial_seconds") is None
+    assert t.for_metric("x.warm_speedup") == 0.5
+    assert t.for_metric("anything.else") == 0.1
+
+
+# -- flattening --------------------------------------------------------------
+
+
+def test_flatten_generic_bench_json():
+    flat = flatten_snapshot({
+        "pipeline_scaling": {"jobs": 4, "warm_speedup": 30.0},
+        "sim_memo": {
+            "per_workload": [
+                {"workload": "dwt53", "speedup": 2.5, "note": "str skipped"},
+                {"workload": "470.lbm", "speedup": 3.0},
+            ],
+        },
+        "flag": True,  # bools are not metrics
+    })
+    assert flat["pipeline_scaling.jobs"] == 4.0
+    assert flat["pipeline_scaling.warm_speedup"] == 30.0
+    assert flat["sim_memo.per_workload{dwt53}.speedup"] == 2.5
+    assert flat["sim_memo.per_workload{470.lbm}.speedup"] == 3.0
+    assert "flag" not in flat
+    assert not any("note" in k for k in flat)
+
+
+def test_flatten_obs_snapshot_keeps_semantic_and_ledger_only():
+    snap = {
+        "metrics": [
+            {"name": "sim.cycles", "kind": "counter", "semantic": True,
+             "series": [{"labels": {"workload": "w"}, "value": 100.0}]},
+            {"name": "pipeline.evaluate_seconds", "kind": "gauge",
+             "semantic": False,
+             "series": [{"labels": {}, "value": 0.5}]},
+        ],
+        "ledger": {"entries": [
+            {"workload": "w", "strategy": "braid", "region": "braid",
+             "charge": "transfer", "cycles": 7.0, "energy_pj": 9.0},
+        ]},
+    }
+    flat = flatten_snapshot(snap)
+    assert flat["sim.cycles{workload=w}"] == 100.0
+    assert not any("evaluate_seconds" in k for k in flat)
+    key = "ledger{workload=w,strategy=braid,region=braid,charge=transfer}"
+    assert flat[key + ".cycles"] == 7.0
+    assert flat[key + ".energy_pj"] == 9.0
+
+
+# -- diffing -----------------------------------------------------------------
+
+
+def test_self_diff_is_clean():
+    flat = {"a.cycles": 10.0, "b.speedup": 2.0}
+    result = diff_snapshots(flat, dict(flat))
+    assert result.ok and result.exit_code == 0
+    assert all(d.status == "ok" for d in result.deltas)
+
+
+def test_direction_aware_classification():
+    old = {"x.cycles": 100.0, "y.speedup": 2.0, "z.mystery": 1.0}
+    new = {"x.cycles": 120.0, "y.speedup": 1.0, "z.mystery": 2.0}
+    result = diff_snapshots(old, new)
+    status = {d.name: d.status for d in result.deltas}
+    assert status["x.cycles"] == "regression"  # more cycles = worse
+    assert status["y.speedup"] == "regression"  # less speedup = worse
+    assert status["z.mystery"] == "regression"  # unknown: any move gates
+    assert result.exit_code == 1
+
+
+def test_improvements_do_not_gate():
+    result = diff_snapshots(
+        {"x.cycles": 100.0, "y.speedup": 2.0},
+        {"x.cycles": 50.0, "y.speedup": 4.0},
+    )
+    assert result.ok
+    assert {d.status for d in result.deltas} == {"improvement"}
+
+
+def test_within_threshold_is_ok():
+    result = diff_snapshots(
+        {"x.cycles": 100.0}, {"x.cycles": 104.0},
+        Thresholds(default=0.05),
+    )
+    assert result.ok
+
+
+def test_added_and_removed_metrics_never_gate():
+    result = diff_snapshots({"gone.cycles": 5.0}, {"new.cycles": 5.0})
+    assert result.ok
+    assert {d.status for d in result.deltas} == {"added", "removed"}
+
+
+def test_zero_baseline_gates_on_direction():
+    # 0 -> positive on a lower-is-better metric is a regression even
+    # though the relative change is undefined
+    result = diff_snapshots({"x.failures": 0.0}, {"x.failures": 3.0})
+    assert not result.ok
+    # and 0 -> 0 stays clean
+    assert diff_snapshots({"x.failures": 0.0}, {"x.failures": 0.0}).ok
+
+
+def test_ignored_metrics_reported_but_not_gated():
+    result = diff_snapshots(
+        {"t.cold_seconds": 1.0}, {"t.cold_seconds": 99.0},
+        Thresholds(ignore=["*seconds*"]),
+    )
+    assert result.ok
+    assert result.deltas[0].status == "ignored"
+
+
+def test_render_diff_mentions_regressions():
+    result = diff_snapshots({"x.cycles": 100.0}, {"x.cycles": 200.0})
+    text = render_diff(result)
+    assert "regression" in text
+    assert "x.cycles" in text
+    assert "1 regression" in text
+
+
+# -- attribution tables ------------------------------------------------------
+
+
+def _sample_ledger():
+    led = AttributionLedger()
+    led.charge("w", "braid", "braid", "frame.compute", 80.0, 800.0)
+    led.charge("w", "braid", "braid", "frame.guard", 10.0, 50.0)
+    led.charge("w", "braid", "braid", "transfer", 5.0, 20.0)
+    led.charge("w", "host", "host", "host.compute", 400.0, 4000.0)
+    return led
+
+
+def test_render_attribution_tables():
+    text = render_attribution(_sample_ledger())
+    assert "Simulated-cycle attribution" in text
+    assert "Energy attribution (pJ)" in text
+    assert "braid" in text and "host" in text
+    # row total folds the charge classes
+    assert "95" in text  # 80 + 10 + 5 cycles
+
+
+def test_render_attribution_empty_ledger_hint():
+    text = render_attribution(AttributionLedger())
+    assert "no attribution recorded" in text
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _write(path, data):
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_cli_report_diff_exit_codes(tmp_path, capsys):
+    base = {"sim": {"per_workload": [{"workload": "w", "speedup": 2.0}]}}
+    old = _write(tmp_path / "old.json", base)
+    same = _write(tmp_path / "same.json", base)
+    worse = _write(tmp_path / "worse.json",
+                   {"sim": {"per_workload": [{"workload": "w",
+                                              "speedup": 1.0}]}})
+    assert main(["report", "diff", old, same]) == 0
+    capsys.readouterr()
+    assert main(["report", "diff", old, worse]) == 1
+    assert "regression" in capsys.readouterr().out
+
+
+def test_cli_report_diff_threshold_and_ignore_flags(tmp_path, capsys):
+    old = _write(tmp_path / "o.json", {"a_seconds": 1.0, "b_speedup": 2.0})
+    new = _write(tmp_path / "n.json", {"a_seconds": 9.0, "b_speedup": 1.5})
+    # seconds ignored, speedup within the loosened tolerance -> clean
+    assert main([
+        "report", "diff", old, new,
+        "--ignore", "*seconds*", "--threshold", "*speedup*=0.5",
+    ]) == 0
+    capsys.readouterr()
+    # default thresholds: both gate
+    assert main(["report", "diff", old, new]) == 1
+    capsys.readouterr()
+
+
+def test_cli_report_diff_rejects_malformed_threshold(tmp_path):
+    old = _write(tmp_path / "o.json", {"a": 1.0})
+    with pytest.raises(SystemExit):
+        main(["report", "diff", old, old, "--threshold", "nofraction"])
+
+
+def test_cli_report_table_runs_and_prints_strategies(capsys):
+    assert main(["report", "table", "dwt53", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "Simulated-cycle attribution" in out
+    assert "bl-path-oracle" in out and "host" in out
+
+
+def test_cli_report_table_from_snapshot(tmp_path, capsys):
+    led = _sample_ledger()
+    snap = _write(tmp_path / "m.json", {"ledger": led.snapshot()})
+    assert main(["report", "table", "--from", snap]) == 0
+    out = capsys.readouterr().out
+    assert "Energy attribution" in out and "braid" in out
+
+
+def test_cli_report_diff_on_committed_bench_json(capsys):
+    import os
+
+    bench = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_sim.json",
+    )
+    # the exact invocation CI's perf-smoke gate uses must self-diff clean
+    assert main([
+        "report", "diff", bench, bench,
+        "--ignore", "*seconds*", "--threshold", "*speedup*=0.5",
+    ]) == 0
+    capsys.readouterr()
