@@ -1,0 +1,205 @@
+"""Array-kernel speedups — the ``--trace-kernels array`` tier (perf layer 4).
+
+Two protocols, both cold (``memo=False``, fresh models, warm profiles):
+
+* **named kernels** — exactly the loops the array tier vectorizes: the
+  dual-port memory-profiling replay (calibration), the predictor replay
+  (oracle closed form + inlined history fold), and the charge-census
+  segment fold, timed per workload as one pass under the RLE tier vs the
+  array tier.  The suite median is recorded as ``array_speedup`` and
+  gated at >= 5x.
+* **cold single-workload simulation** — the full per-workload simulate
+  stage (calibration + OOO path costs + RLE + replay + census), recorded
+  as ``simulation_speedup``.  The OOO path walk is inherently sequential
+  Python (the array tier only gains its periodic steady-state closure
+  and lane batching), so this end-to-end number is Amdahl-limited well
+  below the named-kernel speedup; it is recorded and regression-gated by
+  the CI ratio check, not held to 5x.  ``docs/performance.md`` has the
+  breakdown.
+
+Every timed pair is also checked for *identity*: the array tier must
+produce the same predictor counters, censuses and path costs as the RLE
+tier (the property tests already enforce this exhaustively; the bench
+re-asserts it on the real suite so a perf number can never come from a
+divergent kernel).
+"""
+
+import statistics
+import time
+
+from repro.accel.invocation import (
+    HistoryPredictor,
+    OraclePredictor,
+    evaluate_predictor_runs,
+    evaluate_predictor_runs_array,
+)
+from repro.reporting import format_table
+from repro.sim.array_kernels import (
+    backend_name,
+    census_from_segments_array,
+    runs_to_columns,
+)
+from repro.sim.cache import profile_stream_dual, profile_stream_dual_array
+from repro.sim.offload import OffloadSimulator
+from repro.sim.trace_kernels import census_from_segments, run_length_encode
+
+from .conftest import save_result, update_bench_json
+
+#: gate on the suite-median named-kernel speedup (the ISSUE target)
+ARRAY_SPEEDUP_GATE = 5.0
+#: sanity floor for the Amdahl-limited end-to-end simulate stage
+SIMULATION_SPEEDUP_FLOOR = 1.5
+
+_BEST_OF = 5
+
+
+def _best_of(fn, rounds=_BEST_OF):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _census_tables(census):
+    return (census.run_starts, census.pipelined, census.failures, census.host)
+
+
+def _named_kernel_pair(a, hier, pipelined):
+    """(rle_seconds, array_seconds) of the vectorized loops, identity-checked."""
+    targets = set(a.path_frame.region.source_paths)
+    profile = a.profiled.paths
+    mem = a.profiled.trace.memory
+    rle = run_length_encode(profile.trace)
+
+    def rle_tier():
+        if mem:
+            profile_stream_dual(hier, mem)
+        orc = evaluate_predictor_runs(rle.runs, targets, OraclePredictor(targets))
+        hist = evaluate_predictor_runs(rle.runs, targets, HistoryPredictor())
+        return (
+            census_from_segments(orc.segments, targets, pipelined),
+            census_from_segments(hist.segments, targets, pipelined),
+            orc,
+            hist,
+        )
+
+    def array_tier():
+        if mem:
+            profile_stream_dual_array(hier, mem)
+        cols = runs_to_columns(rle.runs)
+        orc = evaluate_predictor_runs_array(
+            rle.runs, targets, OraclePredictor(targets), columns=cols
+        )
+        hist = evaluate_predictor_runs_array(rle.runs, targets, HistoryPredictor())
+        return (
+            census_from_segments_array(
+                orc.segments, targets, pipelined, columns=orc.segment_columns
+            ),
+            census_from_segments_array(
+                hist.segments, targets, pipelined, columns=hist.segment_columns
+            ),
+            orc,
+            hist,
+        )
+
+    ref_oc, ref_hc, ref_orc, ref_hist = rle_tier()
+    got_oc, got_hc, got_orc, got_hist = array_tier()
+    assert _census_tables(got_oc) == _census_tables(ref_oc), a.name
+    assert _census_tables(got_hc) == _census_tables(ref_hc), a.name
+    for ref, got in ((ref_orc, got_orc), (ref_hist, got_hist)):
+        assert (got.true_positives, got.false_positives,
+                got.true_negatives, got.false_negatives) == (
+            ref.true_positives, ref.false_positives,
+            ref.true_negatives, ref.false_negatives), a.name
+    return _best_of(rle_tier), _best_of(array_tier)
+
+
+def _simulate_stage_pair(a):
+    """(rle_seconds, array_seconds) of the cold per-workload simulate stage."""
+    targets = set(a.path_frame.region.source_paths)
+    profile = a.profiled.paths
+    trace = a.profiled.trace
+
+    def stage(mode):
+        sim = OffloadSimulator(memo=False, trace_kernels=mode)
+        pipelined = sim.config.offload.pipelined_invocations
+        cal = sim.calibrate(trace)
+        costs = sim.path_costs(profile, cal.host_load_latency)
+        rle = sim._rle(profile)
+        orc = evaluate_predictor_runs_array(
+            rle.runs, targets, OraclePredictor(targets), columns=rle.columns()
+        ) if mode == "array" else evaluate_predictor_runs(
+            rle.runs, targets, OraclePredictor(targets)
+        )
+        if mode == "array":
+            census = census_from_segments_array(
+                orc.segments, targets, pipelined, columns=orc.segment_columns
+            )
+        else:
+            census = census_from_segments(orc.segments, targets, pipelined)
+        return costs, census
+
+    ref_costs, ref_census = stage("rle")
+    got_costs, got_census = stage("array")
+    assert _census_tables(got_census) == _census_tables(ref_census), a.name
+    assert {pid: c.cycles for pid, c in got_costs.items()} == {
+        pid: c.cycles for pid, c in ref_costs.items()
+    }, a.name
+    return _best_of(lambda: stage("rle")), _best_of(lambda: stage("array"))
+
+
+def _compute(analyses):
+    hier = OffloadSimulator().config.memory
+    pipelined = OffloadSimulator().config.offload.pipelined_invocations
+    rows = []
+    for a in analyses:
+        k_rle, k_arr = _named_kernel_pair(a, hier, pipelined)
+        s_rle, s_arr = _simulate_stage_pair(a)
+        rows.append((
+            a.name,
+            round(k_rle * 1e3, 2), round(k_arr * 1e3, 2),
+            round(k_rle / k_arr, 2),
+            round(s_rle * 1e3, 2), round(s_arr * 1e3, 2),
+            round(s_rle / s_arr, 2),
+        ))
+    return rows
+
+
+def test_array_kernel_speedup(benchmark, analyses):
+    rows = benchmark.pedantic(_compute, args=(analyses,), rounds=1, iterations=1)
+    text = format_table(
+        ["workload", "kern rle ms", "kern array ms", "kern x",
+         "sim rle ms", "sim array ms", "sim x"],
+        rows,
+        title="Array kernels (backend=%s): named loops and cold simulate stage"
+              % backend_name(),
+    )
+    save_result("array_kernels", text)
+
+    kernel_speedups = [r[3] for r in rows]
+    sim_speedups = [r[6] for r in rows]
+    array_speedup = round(statistics.median(kernel_speedups), 2)
+    simulation_speedup = round(statistics.median(sim_speedups), 2)
+    update_bench_json("array_kernels", {
+        "backend": backend_name(),
+        "workloads": len(rows),
+        "array_speedup": array_speedup,
+        "array_speedup_min": min(kernel_speedups),
+        "workloads_at_5x": sum(s >= ARRAY_SPEEDUP_GATE for s in kernel_speedups),
+        "simulation_speedup": simulation_speedup,
+    })
+
+    # the vectorized loops themselves must clear the 5x bar (suite median);
+    # the gate only binds under numpy — the pure-Python backend is a
+    # correctness fallback, not a speed tier
+    if backend_name() == "numpy":
+        assert array_speedup >= ARRAY_SPEEDUP_GATE, (
+            "named-kernel median %.2fx below %.1fx gate"
+            % (array_speedup, ARRAY_SPEEDUP_GATE)
+        )
+        assert simulation_speedup >= SIMULATION_SPEEDUP_FLOOR, (
+            "simulate-stage median %.2fx below %.1fx floor"
+            % (simulation_speedup, SIMULATION_SPEEDUP_FLOOR)
+        )

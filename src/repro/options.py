@@ -60,9 +60,11 @@ class PipelineOptions:
     ``fault_plan``   a :class:`~repro.resilience.FaultPlan` (or a path to
                      its JSON form) injected into the run — chaos testing.
     ``trace_kernels`` offload-accounting kernels: ``"rle"`` (closed-form
-                     run folds, the default) or ``"events"`` (the
-                     event-by-event reference path; bitwise-identical
-                     outcomes, property-tested).
+                     run folds, the default), ``"events"`` (the
+                     event-by-event reference path) or ``"array"``
+                     (columnar batch kernels; numpy when available,
+                     batched pure Python otherwise).  All modes give
+                     bitwise-identical outcomes, property-tested.
     ``no_sim_memo``  disable the cross-strategy simulation memo (every
                      strategy recomputes calibration/path costs/schedules).
     """
@@ -214,11 +216,12 @@ class PipelineOptions:
         )
         parser.add_argument(
             "--trace-kernels",
-            choices=("rle", "events"),
+            choices=("rle", "events", "array"),
             default=cls.trace_kernels,
             help="offload-accounting kernels: closed-form run folds "
-            "('rle', default) or the event-by-event reference path "
-            "('events'); outcomes are bitwise-identical",
+            "('rle', default), the event-by-event reference path "
+            "('events'), or columnar batch kernels ('array'; numpy "
+            "when available); outcomes are bitwise-identical",
         )
         parser.add_argument(
             "--no-sim-memo",

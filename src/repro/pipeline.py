@@ -63,9 +63,11 @@ from .resilience.runner import (
 )
 from .regions.braid import Braid, build_braids
 from .regions.path_region import path_to_region
+from .sim.array_kernels import backend_name
 from .sim.config import DEFAULT_CONFIG, SystemConfig
 from .sim.memo import SimulationMemo
 from .sim.offload import OffloadOutcome, OffloadSimulator
+from .sim.trace_kernels import KERNEL_MODE_LABELS, KERNELS_ARRAY
 from .workloads.base import ProfiledWorkload, Workload, profile_workload
 
 
@@ -331,6 +333,19 @@ class NeedlePipeline:
                       time.perf_counter() - t0,
                       help="wall time to produce one evaluation",
                       workload=workload.name)
+            # recorded here as well as in the simulator so cache-served
+            # evaluations still state which kernel tier is configured
+            obs.gauge("sim.kernel_mode", 1.0,
+                      help="which trace-kernel tier and backend produced "
+                           "this simulation (value is always 1; the "
+                           "labels carry the information)",
+                      workload=workload.name,
+                      mode=KERNEL_MODE_LABELS[self.simulator.trace_kernels],
+                      backend=(
+                          backend_name()
+                          if self.simulator.trace_kernels == KERNELS_ARRAY
+                          else "python"
+                      ))
             publish_workload_evaluation(evaluation)
         self._evaluations[workload.name] = evaluation
         return evaluation

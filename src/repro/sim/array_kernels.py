@@ -1,0 +1,179 @@
+"""Columnar (array-backed) trace kernels (perf layer 4).
+
+The RLE kernels of :mod:`repro.sim.trace_kernels` already fold the trace
+run by run; this module goes one representation further and treats the
+run list as *parallel integer columns* (path ids, run lengths), so the
+charge census and the predictor accuracy census become a handful of
+whole-column operations instead of a Python-level loop over runs.
+
+numpy is the preferred backend but strictly optional: every kernel has a
+pure-Python batched fallback that is selected automatically when numpy
+is not importable (or when :data:`FORCE_PYTHON_ENV` is set, which is how
+the kernel-equality tests and the no-numpy CI job pin the fallback on a
+machine that *does* have numpy).  Both backends reduce to the same
+integer censuses as the event-by-event reference, so bit-identity of the
+downstream float fold is preserved by construction — the same contract
+the RLE kernels established.
+
+Backend selection is observable: :func:`backend_name` feeds the
+``sim.kernel_mode`` gauge so every run records which kernel tier and
+backend produced it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Set, Tuple
+
+from .trace_kernels import ChargeCensus, census_from_segments
+
+try:  # numpy is an optional accelerator, never a requirement
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _numpy = None
+
+#: environment switch forcing the pure-Python batched fallback even when
+#: numpy is importable (set to anything but ""/"0")
+FORCE_PYTHON_ENV = "REPRO_PURE_PYTHON_KERNELS"
+
+#: backend label values for the ``sim.kernel_mode`` gauge
+BACKEND_NUMPY = "numpy"
+BACKEND_PYTHON = "python"
+
+
+def get_numpy():
+    """The numpy module, or ``None`` when absent or explicitly disabled."""
+    if os.environ.get(FORCE_PYTHON_ENV, "") not in ("", "0"):
+        return None
+    return _numpy
+
+
+def backend_name() -> str:
+    """Which backend the array kernels would use right now."""
+    return BACKEND_NUMPY if get_numpy() is not None else BACKEND_PYTHON
+
+
+def runs_to_columns(runs: Iterable[Tuple[int, int]]):
+    """(pids, lengths) int64 columns of an RLE run list, or ``None``
+    when the pure-Python backend is active (columns buy nothing there).
+    """
+    np = get_numpy()
+    if np is None:
+        return None
+    runs = tuple(runs)
+    n = len(runs)
+    flat = np.fromiter(
+        (x for run in runs for x in run), dtype=np.int64, count=2 * n
+    )
+    cols = flat.reshape(n, 2)
+    return cols[:, 0], cols[:, 1]
+
+
+def _targets_column(targets: Set[int], np):
+    if not targets:
+        return np.empty(0, dtype=np.int64)
+    return np.fromiter(targets, dtype=np.int64, count=len(targets))
+
+
+def census_from_segments_array(
+    segments: Iterable[Tuple[int, bool, int]],
+    targets: Set[int],
+    pipelined: bool,
+    columns=None,
+) -> ChargeCensus:
+    """Array kernel: fold (pid, invoke, length) segments as columns.
+
+    Identical census to :func:`~repro.sim.trace_kernels.
+    census_from_segments` (property-tested): the one-bit ``in_run`` state
+    that crosses segment boundaries is just the previous segment's
+    success flag, so it vectorizes as a shifted column.  Empty or
+    zero-length segment lists short-circuit before any column is built —
+    array kernels never index into empty columns.
+
+    ``columns``, when given, is the segment list already in parallel
+    (pids, invoke, lengths) form — arrays or plain lists — as produced
+    by the predictor replay kernels (``segment_columns``).  Passing it
+    skips the per-segment conversion loop, which otherwise costs as much
+    as the fold itself; ``segments`` is still consulted by the
+    pure-Python backend.
+    """
+    np = get_numpy()
+    if np is None:
+        # the segment fold *is* the batched pure-Python form: O(#segments)
+        # closed-form increments, no per-event work
+        return census_from_segments(segments, targets, pipelined)
+    if columns is not None:
+        pids = np.asarray(columns[0], dtype=np.int64)
+        invoked = np.asarray(columns[1], dtype=bool)
+        lens = np.asarray(columns[2], dtype=np.int64)
+        if len(lens) == 0:
+            return ChargeCensus()
+        keep = lens > 0
+        if not bool(keep.all()):
+            pids, invoked, lens = pids[keep], invoked[keep], lens[keep]
+            if len(lens) == 0:
+                return ChargeCensus()
+        n = len(lens)
+    else:
+        segs = [s for s in segments if s[2] > 0]
+        if not segs:
+            return ChargeCensus()
+        n = len(segs)
+        flat = np.fromiter(
+            (x for s in segs for x in (s[0], 1 if s[1] else 0, s[2])),
+            dtype=np.int64,
+            count=3 * n,
+        ).reshape(n, 3)
+        pids = flat[:, 0]
+        invoked = flat[:, 1].astype(bool)
+        lens = flat[:, 2]
+
+    offloadable = np.isin(pids, _targets_column(targets, np))
+    success = invoked & offloadable
+    failure = invoked & ~offloadable
+    declined = ~invoked
+    # in_run before segment i == success of segment i-1 (False before 0)
+    prev_success = np.empty(n, dtype=bool)
+    prev_success[0] = False
+    prev_success[1:] = success[:-1]
+
+    run_starts = np.zeros(n, dtype=np.int64)
+    pipelined_col = np.zeros(n, dtype=np.int64)
+    if pipelined:
+        starts = success & ~prev_success
+        run_starts[starts] = 1
+        pipelined_col[success] = lens[success]
+        pipelined_col[starts] -= 1
+    else:
+        run_starts[success] = lens[success]
+    failures_col = np.where(failure, lens, 0)
+    host_col = np.where(declined, lens, 0)
+
+    census = ChargeCensus()
+    for table, col in (
+        (census.run_starts, run_starts),
+        (census.pipelined, pipelined_col),
+        (census.failures, failures_col),
+        (census.host, host_col),
+    ):
+        charged = col != 0
+        if not charged.any():
+            continue
+        charged_pids = pids[charged]
+        unique_pids, inverse = np.unique(charged_pids, return_inverse=True)
+        sums = np.zeros(len(unique_pids), dtype=np.int64)
+        np.add.at(sums, inverse, col[charged])
+        for pid, total in zip(unique_pids.tolist(), sums.tolist()):
+            table[pid] = total
+    return census
+
+
+__all__ = [
+    "BACKEND_NUMPY",
+    "BACKEND_PYTHON",
+    "FORCE_PYTHON_ENV",
+    "backend_name",
+    "census_from_segments_array",
+    "get_numpy",
+    "runs_to_columns",
+]

@@ -30,6 +30,14 @@ The memo is picklable via :meth:`snapshot`/:meth:`merge` (content entries
 only), and pool workers ship their snapshots back with each result the
 same way obs registry snapshots travel, so the parent's memo warms up as
 a sharded sweep progresses.
+
+Kernel modes and keys: the ``trace_kernels`` mode ("rle", "events",
+"array") is deliberately *absent* from every memo key.  All kernel tiers
+produce bitwise-identical calibrations, path-cost tables and outcomes
+(property-tested three ways), so entries computed under one mode are
+valid under any other — a cache-served run therefore reports the mode it
+*would* have used via the ``sim.kernel_mode`` gauge, while the numbers
+themselves are mode-independent by construction.
 """
 
 from __future__ import annotations

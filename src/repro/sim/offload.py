@@ -64,13 +64,16 @@ from ..obs.timeline import TimelineEvent
 from ..profiling.ranking import count_ops
 from ..interp.events import FunctionTrace
 from ..profiling.path_profile import PathProfile
-from .cache import profile_stream_dual
+from .array_kernels import backend_name, census_from_segments_array
+from .cache import profile_stream_dual, profile_stream_dual_array
 from .config import DEFAULT_CONFIG, SystemConfig
-from .core_ooo import OOOModel, OOOResult
+from .core_ooo import OOOModel, OOOResult, simulate_paths_batch
 from .energy import EnergyModel
 from .memo import Calibration, SimulationMemo, content_key
 from .trace_kernels import (
+    KERNEL_MODE_LABELS,
     KERNEL_MODES,
+    KERNELS_ARRAY,
     KERNELS_EVENTS,
     KERNELS_RLE,
     census_from_events,
@@ -183,8 +186,12 @@ class OffloadSimulator:
     ``memo``           a shared :class:`~repro.sim.memo.SimulationMemo`
                        (``None`` = a fresh private one; ``False`` =
                        disable memoization — every call recomputes).
-    ``trace_kernels``  ``"rle"`` (closed-form run folds, the default) or
-                       ``"events"`` (the event-by-event reference path).
+    ``trace_kernels``  ``"rle"`` (closed-form run folds, the default),
+                       ``"events"`` (the event-by-event reference path)
+                       or ``"array"`` (columnar batch kernels — numpy
+                       when available, batched pure Python otherwise).
+                       All three produce bitwise-identical outcomes;
+                       memo entries are therefore shared across modes.
     """
 
     def __init__(
@@ -234,7 +241,12 @@ class OffloadSimulator:
             host_levels: Dict[str, int] = {}
             accel_levels: Dict[str, int] = {}
             if trace is not None and trace.memory:
-                host_prof, accel_prof = profile_stream_dual(hier, trace.memory)
+                profiler = (
+                    profile_stream_dual_array
+                    if self.trace_kernels == KERNELS_ARRAY
+                    else profile_stream_dual
+                )
+                host_prof, accel_prof = profiler(hier, trace.memory)
                 host_levels = dict(host_prof.level_counts)
                 accel_levels = dict(accel_prof.level_counts)
                 if host_prof.loads:
@@ -278,14 +290,26 @@ class OffloadSimulator:
 
         def compute() -> Dict[int, PathCost]:
             model = OOOModel(self.config.host, fixed_load_latency=fixed_latency)
+            plan = [
+                (
+                    pid,
+                    tuple(profile.decode(pid)),
+                    amortise_reps if count >= amortise_reps else 1,
+                )
+                for pid, count in profile.counts.items()
+            ]
+            if self.trace_kernels == KERNELS_ARRAY:
+                # lane-batched replay; falls back to the scalar loop
+                # (bit-identical either way) on unfavourable geometry
+                results = simulate_paths_batch(model, plan)
+            else:
+                results = {
+                    pid: model.simulate(list(blocks) * reps)
+                    for pid, blocks, reps in plan
+                }
             costs: Dict[int, PathCost] = {}
-            for pid, count in profile.counts.items():
-                blocks = profile.decode(pid)
-                reps = amortise_reps if count >= amortise_reps else 1
-                stream: List = []
-                for r in range(reps):
-                    stream.extend(blocks)
-                res = model.simulate(stream)
+            for pid, _blocks, reps in plan:
+                res = results[pid]
                 per_exec = OOOResult()
                 for name in vars(per_exec):
                     setattr(per_exec, name, getattr(res, name) / reps)
@@ -652,6 +676,7 @@ class OffloadSimulator:
             OraclePredictor,
             evaluate_predictor,
             evaluate_predictor_runs,
+            evaluate_predictor_runs_array,
         )
 
         with _obs_span("simulate_offload", workload=workload,
@@ -661,6 +686,7 @@ class OffloadSimulator:
                 artifact_key,
                 CGRAScheduler, HistoryPredictor, OraclePredictor,
                 evaluate_predictor, evaluate_predictor_runs,
+                evaluate_predictor_runs_array,
             )
 
     def _simulate_offload(
@@ -677,7 +703,22 @@ class OffloadSimulator:
         OraclePredictor,
         evaluate_predictor,
         evaluate_predictor_runs,
+        evaluate_predictor_runs_array,
     ) -> OffloadOutcome:
+        if _obs_enabled():
+            _obs_gauge(
+                "sim.kernel_mode", 1.0,
+                help="which trace-kernel tier and backend produced this "
+                     "simulation (value is always 1; the labels carry "
+                     "the information)",
+                workload=workload,
+                mode=KERNEL_MODE_LABELS[self.trace_kernels],
+                backend=(
+                    backend_name()
+                    if self.trace_kernels == KERNELS_ARRAY
+                    else "python"
+                ),
+            )
         cal = self.calibrate(trace, artifact_key=artifact_key)
         costs = self.path_costs(
             profile, cal.host_load_latency, artifact_key=artifact_key
@@ -694,10 +735,11 @@ class OffloadSimulator:
             predictor = HistoryPredictor()
 
         # Classify every trace event into an integer ChargeCensus, via the
-        # O(#runs) RLE kernel or the O(#events) reference kernel.  Both
-        # produce the same census (property-tested), and the shared fold
-        # below is the only place floats accumulate — so the two kernel
-        # modes yield bitwise-identical outcomes by construction.
+        # O(#runs) RLE kernel, the columnar array kernels, or the
+        # O(#events) reference kernel.  All produce the same census
+        # (property-tested), and the shared fold below is the only place
+        # floats accumulate — so every kernel mode yields bitwise-
+        # identical outcomes by construction.
         pipelined_cfg = self.config.offload.pipelined_invocations
         if self.trace_kernels == KERNELS_EVENTS:
             evaluation = evaluate_predictor(profile.trace, targets, predictor)
@@ -714,10 +756,21 @@ class OffloadSimulator:
                          "closed-form fold savings)",
                     workload=workload,
                 )
-            run_eval = evaluate_predictor_runs(rle.runs, targets, predictor)
-            census = census_from_segments(
-                run_eval.segments, targets, pipelined_cfg
-            )
+            if self.trace_kernels == KERNELS_ARRAY:
+                run_eval = evaluate_predictor_runs_array(
+                    rle.runs, targets, predictor, columns=rle.columns()
+                )
+                census = census_from_segments_array(
+                    run_eval.segments, targets, pipelined_cfg,
+                    columns=run_eval.segment_columns,
+                )
+            else:
+                run_eval = evaluate_predictor_runs(
+                    rle.runs, targets, predictor
+                )
+                census = census_from_segments(
+                    run_eval.segments, targets, pipelined_cfg
+                )
             precision = run_eval.precision
 
         # The reported totals are *defined as* the canonical fold of the
