@@ -10,25 +10,30 @@ clocks and records them to ``benchmarks/results/pipeline_scaling.txt``
 * **warm cache** — a second fresh pipeline against the now-populated cache:
   the suite should come back in well under 2 s because each evaluation is a
   hash plus a pickle load;
-* **parallel cold** — fresh pipeline and empty cache again, sharded with
-  ``evaluate_all(jobs=N)``.  Speedup is bounded by the machine's core
-  count (on a single-core container the pool only adds fork overhead, so
-  the recorded number documents that honestly rather than asserting it).
+* **parallel cold** — fresh pipeline and empty cache again, sharded over
+  the :mod:`repro.exec` process pool via ``PipelineOptions(jobs=N)``.
+  The pool keeps its workers *warm*: forked once, batch-fed, pipeline
+  state reused across tasks — the redesign that fixed the old sub-1x
+  ``--jobs 2`` regression (per-task executor churn).
 
-The parallel wall clock is further decomposed so a sub-1x
+The parallel wall clock is further decomposed so any residual sub-1x
 ``parallel_speedup`` is diagnosable instead of mysterious:
 
 * **spawn/import overhead** — wall time to bring up a pool of ``N``
   workers and round-trip one trivial probe task through each.  This is
   everything the suite pays *before* any workload computes: process
-  creation, worker bootstrap, and (under the ``spawn`` start method)
-  re-importing the package — under ``fork`` the imports are inherited and
-  the number is mostly process creation + IPC round-trip.
+  creation, worker bootstrap, and (without ``fork``) re-importing the
+  package — under ``fork`` the imports are inherited and the number is
+  mostly process creation + IPC round-trip.
 * **steady state** — the parallel wall clock minus the measured spawn
-  overhead: the throughput the pool delivers once workers exist.  On a
-  multi-core machine this should approach core-count scaling even when
-  the end-to-end number is dragged down by spawn cost; on a single-core
-  container both numbers document that the pool cannot win.
+  overhead: the throughput the pool delivers once workers exist.
+
+On a machine with >= 2 effective cores the end-to-end parallel speedup
+is *asserted* >= 1.5x at jobs=2 — the acceptance floor of the pool
+redesign.  On a single-core container the pool cannot win by physics
+(Amdahl with one lane); the numbers are recorded honestly and the floor
+is not asserted, with ``effective_cores`` in the JSON telling the reader
+which regime produced them.
 
 The parallel and warm paths are also checked bitwise-identical to the cold
 serial rows — a wrong-but-fast pipeline is worthless.
@@ -37,27 +42,44 @@ serial rows — a wrong-but-fast pipeline is worthless.
 import os
 import shutil
 import time
-from concurrent.futures import ProcessPoolExecutor
 
-from repro import ArtifactCache, NeedlePipeline
+from repro import ArtifactCache, NeedlePipeline, PipelineOptions
 from repro.cli import evaluation_row
+from repro.exec.pools import ProcessPool
+from repro.resilience.runner import run_failsafe
 from repro.workloads.base import clear_profile_cache
 
 from .conftest import save_result, update_bench_json
 
-#: at least 2 so the ProcessPoolExecutor path genuinely runs even on a
-#: single-core container (where it measures pure pool overhead)
+#: at least 2 so the pool path genuinely runs even on a single-core
+#: container (where it measures pure pool overhead)
 _JOBS = max(2, min(4, os.cpu_count() or 1))
+
+#: the acceptance floor for the pool redesign, enforced where the
+#: hardware can physically deliver it
+_SPEEDUP_FLOOR = 1.5
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def _rows(evaluations):
     return [evaluation_row(ev.name, ev) for ev in evaluations]
 
 
-def _probe_worker(_i):
+def _probe_worker(i):
     """Trivial pool task: prove the worker is up and the package loaded."""
     import repro.pipeline  # noqa: F401  (cost is the point being measured)
 
+    return os.getpid()
+
+
+def _pid_task(item, plan, attempt):
+    """Picklable fail-safe task: report which process ran it."""
     return os.getpid()
 
 
@@ -66,9 +88,29 @@ def _measure_spawn_import(jobs: int):
     probe task per worker — the fixed cost every parallel sweep pays
     before its first workload starts computing."""
     t0 = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        pids = set(pool.map(_probe_worker, range(jobs)))
+    pool = ProcessPool(jobs=jobs)
+    pool.start()
+    try:
+        for i in range(jobs):
+            pool.submit(_probe_worker, (i,), key=str(i))
+        pids, done = set(), 0
+        while done < jobs:
+            for c in pool.wait(10.0):
+                assert c.ok, c.error
+                pids.add(c.result)
+                done += 1
+    finally:
+        pool.close(graceful=True)
     return time.perf_counter() - t0, len(pids)
+
+
+def test_pool_workers_stay_warm():
+    """3x as many tasks as workers never touch more than ``jobs`` pids —
+    the warm-worker property the scaling numbers depend on."""
+    pids = set(run_failsafe(_pid_task, list(range(3 * _JOBS)),
+                            jobs=_JOBS, pool="process"))
+    assert len(pids) <= _JOBS
+    assert os.getpid() not in pids
 
 
 def test_pipeline_scaling(tmp_path_factory, suite):
@@ -89,24 +131,26 @@ def test_pipeline_scaling(tmp_path_factory, suite):
     shutil.rmtree(cache_dir)
     clear_profile_cache()
     t0 = time.perf_counter()
-    par_evs = NeedlePipeline(cache=ArtifactCache(cache_dir)).evaluate_all(
-        suite, jobs=_JOBS
-    )
+    par_evs = NeedlePipeline(
+        cache=ArtifactCache(cache_dir),
+        options=PipelineOptions(jobs=_JOBS, pool="process"),
+    ).evaluate_all(suite)
     parallel = time.perf_counter() - t0
 
     spawn, workers_seen = _measure_spawn_import(_JOBS)
     steady = max(parallel - spawn, 1e-9)
+    cores = _effective_cores()
 
     assert _rows(warm_evs) == _rows(cold_evs)
     assert _rows(par_evs) == _rows(cold_evs)
 
     lines = [
-        "pipeline scaling over the %d-workload suite (%d cores visible)"
-        % (len(suite), os.cpu_count() or 1),
+        "pipeline scaling over the %d-workload suite (%d effective cores)"
+        % (len(suite), cores),
         "",
         "cold serial      : %7.2f s" % cold,
         "warm cache       : %7.2f s  (%.0fx faster)" % (warm, cold / warm),
-        "parallel jobs=%-2d : %7.2f s  (%.2fx vs cold serial)"
+        "parallel jobs=%-2d : %7.2f s  (%.2fx vs cold serial, process pool)"
         % (_JOBS, parallel, cold / parallel),
         "",
         "parallel decomposition:",
@@ -121,6 +165,8 @@ def test_pipeline_scaling(tmp_path_factory, suite):
     update_bench_json("pipeline_scaling", {
         "suite_size": len(suite),
         "jobs": _JOBS,
+        "pool_backend": "process",
+        "effective_cores": cores,
         "cold_serial_seconds": cold,
         "warm_cache_seconds": warm,
         "parallel_seconds": parallel,
@@ -135,3 +181,9 @@ def test_pipeline_scaling(tmp_path_factory, suite):
     assert warm < 2.0
     # every worker must actually have come up for the probe to mean anything
     assert workers_seen >= 1
+    if cores >= 2:
+        # the acceptance floor of the pool redesign: with real cores the
+        # warm process pool must beat serial by 1.5x end to end
+        assert cold / parallel >= _SPEEDUP_FLOOR, (
+            "parallel_speedup %.2fx below the %.1fx floor on %d cores"
+            % (cold / parallel, _SPEEDUP_FLOOR, cores))

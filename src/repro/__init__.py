@@ -24,14 +24,27 @@ working but may be rearranged between versions.
     obs.enable()
     rows = evaluate_suite(jobs=4, cache_dir="/tmp/needle-cache")
     print(obs.export.render_metrics(None))
+
+    # the same sweep on a specific execution backend — results are
+    # bitwise-identical across serial, process and thread pools
+    rows = evaluate_suite(jobs=4, pool="thread")
 """
 
 from typing import List, Optional
 
 from . import analysis, frames, interp, ir, obs, profiling, regions
 from . import accel, reporting, resilience, sim, transforms, workloads
+from . import exec  # noqa: A004 - the execution-pool subsystem
 from .artifacts import ArtifactCache
-from .options import PipelineOptions
+from .exec import (
+    POOL_BACKENDS,
+    Pool,
+    ProcessPool,
+    SerialPool,
+    ThreadPool,
+    make_pool,
+)
+from .options import POOL_CHOICES, PipelineOptions
 from .pipeline import (
     NeedlePipeline,
     WorkloadAnalysis,
@@ -63,8 +76,14 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "NeedlePipeline",
+    "POOL_BACKENDS",
+    "POOL_CHOICES",
     "PipelineOptions",
+    "Pool",
+    "ProcessPool",
+    "SerialPool",
     "SystemConfig",
+    "ThreadPool",
     "Workload",
     "WorkloadAnalysis",
     "WorkloadEvaluation",
@@ -72,10 +91,12 @@ __all__ = [
     "accel",
     "analysis",
     "evaluate_suite",
+    "exec",
     "frames",
     "interp",
     "ir",
     "load_workload",
+    "make_pool",
     "obs",
     "profiling",
     "regions",

@@ -16,7 +16,9 @@ report diff A B      compare two metric snapshots; exit 1 on regression
 content-addressed artifact cache (default ``~/.cache/repro-needle``, or
 ``$REPRO_CACHE_DIR``), so repeat invocations skip re-profiling; ``--no-cache``
 bypasses it and ``--cache-dir`` relocates it.  ``evaluate --jobs N`` shards
-the suite across N worker processes.  Every pipeline command accepts
+the suite across N pool workers; ``--pool {serial,process,thread}``
+picks the execution backend (default: warm worker processes, results
+bitwise-identical on every backend).  Every pipeline command accepts
 ``--metrics`` (print the observability registry afterwards) and
 ``--metrics-out PATH`` (write it as JSON); the flags come from
 :class:`~repro.options.PipelineOptions`, the same options surface the
@@ -189,7 +191,7 @@ def _run_evaluations(args, opts: PipelineOptions):
     pipeline = _make_pipeline(args)
     names = [args.workload] if args.workload else workloads.all_names()
     evaluations = pipeline.evaluate_all(
-        [workloads.get(name) for name in names], jobs=opts.jobs
+        [workloads.get(name) for name in names]
     )
     return names, evaluations, pipeline
 

@@ -31,6 +31,7 @@ the parent folds it in with :func:`merge`.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterable, Optional
 
@@ -49,6 +50,10 @@ from .spans import NOOP_SPAN, SpanContext, SpanNode
 
 _ENABLED = False
 _REGISTRY = MetricsRegistry()
+# Per-thread registry overlay: inside :func:`scoped` a thread publishes
+# into its own private registry (thread-pool workers run one task each
+# this way) while every other thread keeps seeing the global one.
+_TLS = threading.local()
 
 
 # -- switches ---------------------------------------------------------------
@@ -77,51 +82,57 @@ def disable() -> None:
 
 
 def registry() -> MetricsRegistry:
-    """The process-global registry."""
-    return _REGISTRY
+    """The active registry: this thread's :func:`scoped` registry when one
+    is in effect, the process-global registry otherwise."""
+    reg = getattr(_TLS, "registry", None)
+    return _REGISTRY if reg is None else reg
 
 
 def ledger() -> AttributionLedger:
-    """The global registry's attribution ledger."""
-    return _REGISTRY.ledger
+    """The active registry's attribution ledger."""
+    return registry().ledger
 
 
 def set_registry(reg: MetricsRegistry) -> MetricsRegistry:
-    """Swap the global registry; returns the previous one."""
+    """Swap the process-global registry; returns the previous one."""
     global _REGISTRY
     old, _REGISTRY = _REGISTRY, reg
     return old
 
 
 def snapshot() -> dict:
-    """Plain-dict image of the global registry (picklable, JSON-able)."""
-    return _REGISTRY.snapshot()
+    """Plain-dict image of the active registry (picklable, JSON-able)."""
+    return registry().snapshot()
 
 
 def merge(snap: dict) -> None:
-    """Fold a worker's registry snapshot into the global registry."""
-    _REGISTRY.merge_snapshot(snap)
+    """Fold a worker's registry snapshot into the active registry."""
+    registry().merge_snapshot(snap)
 
 
 @contextmanager
 def scoped(collect: bool = True):
     """Run against a fresh private registry, restoring state afterwards.
 
-    Yields the private :class:`MetricsRegistry`.  Used by process-pool
-    workers: whatever the forked child inherited is set aside, the task
-    publishes into a clean registry, and the caller snapshots it for the
-    trip back to the parent.
+    Yields the private :class:`MetricsRegistry`.  Used by pool workers:
+    whatever the worker inherited is set aside, the task publishes into
+    a clean registry, and the caller snapshots it for the trip back to
+    the parent.  The swap is *thread-local*, so thread-pool workers each
+    scope their own task without disturbing the parent thread (the
+    enable flag stays global — workers only collect when the parent
+    already does, so toggling it is idempotent across threads).
     """
     global _ENABLED
     fresh = MetricsRegistry()
-    old_registry = set_registry(fresh)
+    old_registry = getattr(_TLS, "registry", None)
+    _TLS.registry = fresh
     old_enabled = _ENABLED
     _ENABLED = collect
     try:
         yield fresh
     finally:
         _ENABLED = old_enabled
-        set_registry(old_registry)
+        _TLS.registry = old_registry
 
 
 # -- publication helpers ----------------------------------------------------
@@ -132,7 +143,7 @@ def counter(name: str, value: float = 1, semantic: bool = False,
     """Increment a counter series (no-op while disabled)."""
     if not _ENABLED:
         return
-    _REGISTRY.counter(name, help=help, semantic=semantic).inc(value, **labels)
+    registry().counter(name, help=help, semantic=semantic).inc(value, **labels)
 
 
 def gauge(name: str, value: float, semantic: bool = False,
@@ -140,7 +151,7 @@ def gauge(name: str, value: float, semantic: bool = False,
     """Set a gauge series (no-op while disabled)."""
     if not _ENABLED:
         return
-    _REGISTRY.gauge(name, help=help, semantic=semantic).set(value, **labels)
+    registry().gauge(name, help=help, semantic=semantic).set(value, **labels)
 
 
 def observe(name: str, value: float, semantic: bool = False, help: str = "",
@@ -148,7 +159,7 @@ def observe(name: str, value: float, semantic: bool = False, help: str = "",
     """Record a histogram observation (no-op while disabled)."""
     if not _ENABLED:
         return
-    _REGISTRY.histogram(
+    registry().histogram(
         name, help=help, semantic=semantic, buckets=buckets
     ).observe(value, **labels)
 
@@ -161,7 +172,7 @@ def span(name: str, **labels):
     """
     if not _ENABLED:
         return NOOP_SPAN
-    return SpanContext(_REGISTRY, name, labels)
+    return SpanContext(registry(), name, labels)
 
 
 __all__ = [

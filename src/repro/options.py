@@ -9,12 +9,37 @@ shows up in both automatically.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, fields
 from typing import Optional
 
 from .artifacts import ArtifactCache
+from .exec.pools import POOL_BACKENDS
 from .sim.config import SystemConfig
+
+#: valid ``pool`` values: ``auto`` (processes when the sweep is
+#: parallel, inline serial otherwise) plus every real backend
+POOL_CHOICES = ("auto",) + POOL_BACKENDS
+
+
+def validate_pool(pool: Optional[str]) -> str:
+    """Normalise a pool-backend request.
+
+    ``None`` defers to ``$REPRO_POOL`` (how the CI matrix forces every
+    backend through the full test suite) and then to ``"auto"``.
+    Unknown names raise a ``ValueError`` naming the valid choices, so a
+    typo fails loudly before any worker is spawned.
+    """
+    if pool is None:
+        pool = os.environ.get("REPRO_POOL") or "auto"
+    pool = str(pool).strip().lower()
+    if pool not in POOL_CHOICES:
+        raise ValueError(
+            "unknown pool backend %r (choose from: %s)"
+            % (pool, ", ".join(POOL_CHOICES))
+        )
+    return pool
 
 
 def validate_jobs(jobs: Optional[int]) -> Optional[int]:
@@ -43,7 +68,12 @@ class PipelineOptions:
     """Everything configurable about a pipeline run.
 
     ``config``       Table V system parameters (``None`` = paper default).
-    ``jobs``         process-pool width for suite sweeps (``None``/1 = serial).
+    ``jobs``         worker-pool width for suite sweeps (``None``/1 = serial).
+    ``pool``         execution backend for suite sweeps: ``serial``,
+                     ``process`` (warm forked workers), ``thread``, or
+                     ``None``/``auto`` (``$REPRO_POOL`` if set, else
+                     processes when ``jobs > 1``).  Results are
+                     bitwise-identical on every backend.
     ``cache_dir``    artifact cache root (``None`` = ``$REPRO_CACHE_DIR`` or
                      ``~/.cache/repro-needle``).
     ``no_cache``     bypass the persistent artifact cache entirely.
@@ -71,6 +101,7 @@ class PipelineOptions:
 
     config: Optional[SystemConfig] = None
     jobs: Optional[int] = None
+    pool: Optional[str] = None
     cache_dir: Optional[str] = None
     no_cache: bool = False
     metrics: bool = False
@@ -97,6 +128,10 @@ class PipelineOptions:
     def normalized_jobs(self) -> Optional[int]:
         """``jobs`` validated for pool use (warns + serial on bad input)."""
         return validate_jobs(self.jobs)
+
+    def normalized_pool(self) -> str:
+        """``pool`` resolved against ``$REPRO_POOL`` and validated."""
+        return validate_pool(self.pool)
 
     def build_cache(self) -> Optional[ArtifactCache]:
         """The artifact cache this run should use (``None`` when bypassed)."""
@@ -153,7 +188,16 @@ class PipelineOptions:
                 type=int,
                 default=None,
                 metavar="N",
-                help="shard the suite across N worker processes",
+                help="shard the suite across N pool workers",
+            )
+            parser.add_argument(
+                "--pool",
+                choices=POOL_CHOICES,
+                default=None,
+                help="suite-sweep execution backend (default: $REPRO_POOL "
+                "if set, else 'auto' = warm worker processes when "
+                "--jobs > 1); results are bitwise-identical on every "
+                "backend",
             )
         parser.add_argument(
             "--cache-dir",
@@ -243,4 +287,4 @@ class PipelineOptions:
         return cls(**kwargs)
 
 
-__all__ = ["PipelineOptions", "validate_jobs"]
+__all__ = ["POOL_CHOICES", "PipelineOptions", "validate_jobs", "validate_pool"]

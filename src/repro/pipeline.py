@@ -13,21 +13,24 @@ behind Figs. 9 and 10, plus the HLS feasibility estimate of §VI.
 
 Suite sweeps scale two ways:
 
-* ``jobs=N`` shards the suite across a :class:`ProcessPoolExecutor`;
+* ``PipelineOptions(jobs=N, pool=...)`` shards the suite across a
+  :mod:`repro.exec` worker pool — warm forked processes by default,
+  threads or inline-serial by choice (``--pool`` / ``$REPRO_POOL``);
   results come back in deterministic suite order regardless of which
-  worker finished first.  Evaluation records are flat, picklable
-  summaries, so shipping them between processes is cheap.
+  worker finished first, and are bitwise-identical across backends.
+  Evaluation records are flat, picklable summaries, and workers ship
+  *delta* memo snapshots, so per-task transport stays compact.
 * an optional :class:`~repro.artifacts.ArtifactCache` persists profiles
   and evaluation summaries on disk keyed by (IR text, run args, config,
   format version), so a second CLI/bench/test run skips re-profiling
   entirely.
 
-Suite sweeps are *fail-safe*: instead of a bare ``f.result()`` fan-out
-that dies with its first worker, both the pool and serial paths run
-through :mod:`repro.resilience` — per-workload timeouts, bounded
-retries with seeded backoff, ``BrokenProcessPool`` recovery (respawn,
-resubmit only what is incomplete) and quarantine.  A sweep always
-returns one entry per workload: the evaluation, or a structured
+Suite sweeps are *fail-safe*: instead of a bare fan-out that dies with
+its first worker, every path (the serial one included) runs through
+:mod:`repro.resilience` — per-workload timeouts, bounded retries with
+seeded backoff, precise dead-worker blame with single-worker respawn,
+and quarantine.  A sweep always returns one entry per workload: the
+evaluation, or a structured
 :class:`~repro.resilience.WorkloadFailure` record.  ``fail_fast=True``
 restores propagate-first-error semantics, now with the workload name
 attached (:class:`~repro.resilience.WorkloadExecutionError`).
@@ -36,17 +39,26 @@ attached (:class:`~repro.resilience.WorkloadExecutionError`).
 from __future__ import annotations
 
 import os
+import threading
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from . import obs
 from .accel.cgra import CGRAScheduler, ScheduleResult
 from .accel.hls import HLSEstimator, HLSReport
-from .artifacts import EVALUATION_KIND, ArtifactCache, workload_key
+from .artifacts import (
+    EVALUATION_KIND,
+    ArtifactCache,
+    config_fingerprint,
+    workload_key,
+)
+from .exec import worker as _exec_worker
+from .exec.pools import SerialPool
 from .frames.frame import Frame, build_frame
 from .obs.instruments import publish_workload_evaluation
-from .options import PipelineOptions, validate_jobs
+from .options import PipelineOptions, validate_jobs, validate_pool
 from .profiling.ranking import RankedPath, rank_paths
 from .resilience import faults as _faults
 from .resilience.faults import (
@@ -69,6 +81,10 @@ from .sim.memo import SimulationMemo
 from .sim.offload import OffloadOutcome, OffloadSimulator
 from .sim.trace_kernels import KERNEL_MODE_LABELS, KERNELS_ARRAY
 from .workloads.base import ProfiledWorkload, Workload, profile_workload
+
+#: distinguishes "caller passed jobs explicitly" (deprecated) from the
+#: default of deferring to ``PipelineOptions``
+_UNSET = object()
 
 
 @dataclass
@@ -438,30 +454,27 @@ class NeedlePipeline:
 
     # -- suite sweeps -----------------------------------------------------------------
 
-    def analyse_all(
-        self, workloads, jobs: Optional[int] = None
-    ) -> List[WorkloadAnalysis]:
-        """Analyse a suite, optionally sharded over ``jobs`` processes."""
-        workloads = list(workloads)
-        jobs = validate_jobs(jobs)
-        if not self._use_jobs(jobs, workloads, self._analyses):
-            return self._run_serial(self.analyse, workloads, self._analyses)
-        with obs.span("analyse_all", jobs=jobs, workloads=len(workloads)):
-            results = self._fan_out(_analyse_worker, workloads, jobs)
-        for w, analysis in zip(workloads, results):
-            if not isinstance(analysis, WorkloadFailure):
-                self._analyses[w.name] = analysis
-        return results
+    def analyse_all(self, workloads, jobs=_UNSET) -> List[WorkloadAnalysis]:
+        """Analyse a suite; :class:`~repro.options.PipelineOptions`
+        decides the pool backend and width (see :meth:`evaluate_all`)."""
+        return self._sweep(
+            "analyse", _analyse_worker, self._analyses, workloads, jobs
+        )
 
-    def evaluate_all(
-        self, workloads, jobs: Optional[int] = None
-    ) -> List[WorkloadEvaluation]:
-        """Evaluate a suite, optionally sharded over ``jobs`` processes.
+    def evaluate_all(self, workloads, jobs=_UNSET) -> List[WorkloadEvaluation]:
+        """Evaluate a suite, sharded over the configured worker pool.
 
-        Rows come back in suite order and are bitwise-identical to the
-        serial path: each worker runs the same deterministic pipeline, and
-        the pool only changes *where* a workload is computed.  Invalid
+        ``PipelineOptions(jobs=N, pool=...)`` drives execution: ``pool``
+        names a :mod:`repro.exec` backend (``serial`` | ``process`` |
+        ``thread``; default ``auto`` = warm worker processes when
+        ``jobs > 1``), overridable per-environment via ``$REPRO_POOL``.
+        Rows come back in suite order and are bitwise-identical on every
+        backend: workers run the same deterministic pipeline, and the
+        pool only changes *where* a workload is computed.  Invalid
         ``jobs`` values (< 1) warn and fall back to serial.
+
+        Passing ``jobs=`` here directly is deprecated — configure the
+        pipeline's options instead.
 
         A workload that keeps failing (exception, timeout, worker crash)
         is retried per :class:`~repro.options.PipelineOptions` and then
@@ -470,75 +483,100 @@ class NeedlePipeline:
         the sweep.  With ``fail_fast`` the first failure raises
         :class:`~repro.resilience.WorkloadExecutionError`.
         """
-        workloads = list(workloads)
-        jobs = validate_jobs(jobs)
-        if not self._use_jobs(jobs, workloads, self._evaluations):
-            return self._run_serial(self.evaluate, workloads, self._evaluations)
-        with obs.span("evaluate_all", jobs=jobs, workloads=len(workloads)):
-            results = self._fan_out(_evaluate_worker, workloads, jobs)
-        for w, evaluation in zip(workloads, results):
-            if not isinstance(evaluation, WorkloadFailure):
-                self._evaluations[w.name] = evaluation
-        return results
+        return self._sweep(
+            "evaluate", _evaluate_worker, self._evaluations, workloads, jobs
+        )
 
     # -- fan-out helpers ----------------------------------------------------
 
-    def _use_jobs(self, jobs: Optional[int], workloads, memo: Dict) -> bool:
-        if jobs is None or jobs <= 1 or len(workloads) <= 1:
-            return False
-        # everything already in memory: the serial loop is pure lookup
-        if all(w.name in memo for w in workloads):
-            return False
-        return True
+    def _resolve_jobs(self, jobs, method: str) -> Optional[int]:
+        if jobs is _UNSET:
+            return self.options.normalized_jobs()
+        warnings.warn(
+            "%s_all(jobs=N) is deprecated; configure the sweep with "
+            "PipelineOptions(jobs=..., pool=...) instead" % method,
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        return validate_jobs(jobs)
+
+    def _execution_plan(self, jobs: Optional[int], n_todo: int):
+        """Resolve ``(backend name, pool width)`` for a sweep with
+        ``n_todo`` not-yet-memoised workloads.
+
+        ``jobs`` decides *whether* to pool — ``None``/``1`` (and a sweep
+        with at most one workload to run) stay inline-serial, keeping
+        the documented contract whatever the backend.  ``pool`` decides
+        *where* pooled sweeps run: ``auto`` means warm worker processes,
+        and a forced ``serial`` routes even ``jobs=N`` sweeps through
+        the in-line backend (how the CI matrix proves backend
+        equivalence).
+        """
+        backend = validate_pool(self.options.pool)
+        if jobs is None or jobs <= 1 or n_todo <= 1:
+            return "serial", 1
+        if backend == "auto":
+            backend = "process"
+        if backend == "serial":
+            return "serial", 1
+        return backend, min(jobs, n_todo)
+
+    def _sweep(self, method, worker_fn, memo: Dict, workloads, jobs) -> List:
+        workloads = list(workloads)
+        jobs = self._resolve_jobs(jobs, method)
+        # memoised results never re-run, so they cannot re-fail
+        todo = [w for w in workloads if w.name not in memo]
+        backend, width = self._execution_plan(jobs, len(todo))
+        if backend == "serial":
+            fresh = self._run_serial(method, todo)
+        else:
+            with obs.span(
+                method + "_all", jobs=width, workloads=len(workloads)
+            ):
+                fresh = self._fan_out(worker_fn, todo, backend, width)
+        by_name = dict(zip((w.name for w in todo), fresh))
+        for name, row in by_name.items():
+            if not isinstance(row, WorkloadFailure):
+                memo[name] = row
+        return [
+            by_name[w.name] if w.name in by_name else memo[w.name]
+            for w in workloads
+        ]
 
     def _fault_plan(self) -> Optional[FaultPlan]:
         return self.options.resolve_fault_plan()
 
-    def _run_serial(self, call, workloads, memo: Dict) -> List:
-        """Serial sweep with the same retry/quarantine contract as the
-        pool path (timeouts excepted: a thread cannot interrupt itself)."""
-        policy = self.options.failure_policy()
+    def _run_serial(self, method: str, workloads) -> List:
+        """Serial sweep through the fail-safe runner on a
+        :class:`~repro.exec.SerialPool` — the same retry/quarantine/blame
+        contract as every other backend (timeouts excepted: a thread
+        cannot interrupt itself).  Tasks call the *bound* pipeline
+        methods, so profiles, evaluations and memo tables land directly
+        in this pipeline with no snapshot round-trip."""
+        if not workloads:
+            return []
         plan = self._fault_plan()
-        out = []
-        for w in workloads:
-            # memoised results never re-run, so they cannot re-fail
-            if w.name in memo:
-                out.append(memo[w.name])
-                continue
-            attempt = 0
-            while True:
-                try:
-                    if plan is not None:
-                        with _faults.installed(plan, attempt=attempt):
-                            out.append(call(w))
-                    else:
-                        out.append(call(w))
-                    break
-                except Exception as exc:
-                    attempt += 1
-                    if policy.fail_fast:
-                        raise WorkloadExecutionError(
-                            w.name, "exception"
-                        ) from exc
-                    if obs.enabled():
-                        obs.counter("resilience.retries"
-                                    if attempt <= policy.retries
-                                    else "resilience.quarantined", 1,
-                                    help="suite-sweep failure handling",
-                                    kind="exception")
-                    if attempt > policy.retries:
-                        out.append(WorkloadFailure(
-                            workload=w.name, kind="exception",
-                            attempts=attempt,
-                            error_type=type(exc).__name__, error=str(exc),
-                        ))
-                        break
-                    time.sleep(policy.backoff(attempt, w.name))
-        return out
+        bound = getattr(self, method)
 
-    def _fan_out(self, worker, workloads, jobs: int) -> List:
-        """Shard over a fail-safe process pool; workers return ``(result,
-        obs snapshot-or-None, memo snapshot-or-None)``.  Snapshots are
+        def call(workload, _plan, attempt):
+            if _plan is None:
+                return bound(workload)
+            with _faults.installed(_plan, attempt=attempt):
+                _consult_worker_faults(workload.name)
+                return bound(workload)
+
+        return run_failsafe(
+            call,
+            workloads,
+            pool=SerialPool(),
+            policy=self.options.failure_policy(),
+            plan=plan,
+            key_fn=lambda w: w.name,
+        )
+
+    def _fan_out(self, worker, workloads, backend: str, width: int) -> List:
+        """Shard over a fail-safe worker pool; workers return ``(result,
+        obs snapshot-or-None, memo delta-or-None)``.  Snapshots are
         folded in as each worker finishes — a later failure can no longer
         drop metrics or memo entries that were already collected — and
         failed workloads come back as :class:`WorkloadFailure` records in
@@ -556,7 +594,8 @@ class NeedlePipeline:
         rows = run_failsafe(
             worker,
             workloads,
-            jobs=jobs,
+            jobs=width,
+            pool=backend,
             policy=self.options.failure_policy(),
             task_args=(self.config, cache_root, collect,
                        self.options.trace_kernels, self.options.no_sim_memo),
@@ -582,17 +621,20 @@ def evaluate_suite(
     retries: Optional[int] = None,
     fail_fast: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    pool: Optional[str] = None,
 ) -> List[WorkloadEvaluation]:
     """One-call evaluation of the suite (or a named subset of it).
 
     The supported public entry point for "give me the Fig. 9/10 numbers":
-    resolves workload names, honours the artifact cache and process-pool
-    sharding, and returns evaluations in suite order.  Keyword arguments
-    are shorthands for the matching :class:`~repro.options.PipelineOptions`
-    fields; pass ``options`` to control everything at once.
+    resolves workload names, honours the artifact cache and worker-pool
+    sharding (``jobs`` wide on the ``pool`` backend — ``serial`` |
+    ``process`` | ``thread``, default automatic), and returns evaluations
+    in suite order.  Keyword arguments are shorthands for the matching
+    :class:`~repro.options.PipelineOptions` fields; pass ``options`` to
+    control everything at once.
 
     The sweep is fail-safe: a workload that keeps failing is retried
-    (``retries``, per-attempt ``timeout`` under ``jobs``) and then
+    (``retries``, per-attempt ``timeout`` on preemptive pools) and then
     quarantined as a :class:`~repro.resilience.WorkloadFailure` in its
     suite slot, so partial results always come back.  ``fail_fast=True``
     raises on the first failure instead.
@@ -600,7 +642,7 @@ def evaluate_suite(
     from . import workloads as workload_registry
 
     opts = options or PipelineOptions(
-        config=config, jobs=jobs, cache_dir=cache_dir,
+        config=config, jobs=jobs, cache_dir=cache_dir, pool=pool,
         timeout=timeout,
         retries=retries if retries is not None else PipelineOptions.retries,
         fail_fast=fail_fast, fault_plan=fault_plan,
@@ -613,10 +655,15 @@ def evaluate_suite(
             workload_registry.get(n) if isinstance(n, str) else n
             for n in names
         ]
-    return pipeline.evaluate_all(suite, jobs=opts.jobs)
+    return pipeline.evaluate_all(suite)
 
 
-# -- process-pool workers (module level: must be picklable by reference) --------
+# -- pool workers (module level: must be picklable by reference) ----------------
+
+#: per-worker-thread pipeline cache: a warm pool worker keeps one
+#: pipeline alive across tasks (imports done, caches primed) instead of
+#: rebuilding it per workload — the bulk of the old ``--jobs`` overhead
+_WORKER_TLS = threading.local()
 
 
 def _worker_pipeline(
@@ -625,6 +672,23 @@ def _worker_pipeline(
     trace_kernels: str = "rle",
     no_sim_memo: bool = False,
 ) -> NeedlePipeline:
+    """The warm per-worker pipeline, rebuilt only when the sweep
+    configuration changes.
+
+    Keyed thread-locally, so process workers (one main thread each) and
+    thread workers (many per interpreter) both get exactly one pipeline
+    per worker.  Reuse is safe because results are content-keyed and
+    deterministic; per-task record memos are cleared by the caller so a
+    retried task always recomputes.
+    """
+    key = (
+        config_fingerprint(config) if config is not None else None,
+        cache_root,
+        trace_kernels,
+        bool(no_sim_memo),
+    )
+    if getattr(_WORKER_TLS, "key", None) == key:
+        return _WORKER_TLS.pipeline
     cache = ArtifactCache(cache_root) if cache_root is not None else None
     opts = PipelineOptions(
         config=config,
@@ -632,21 +696,33 @@ def _worker_pipeline(
         trace_kernels=trace_kernels,
         no_sim_memo=no_sim_memo,
     )
-    return NeedlePipeline(config, cache=cache, options=opts)
+    pipe = NeedlePipeline(config, cache=cache, options=opts)
+    _WORKER_TLS.pipeline = pipe
+    _WORKER_TLS.key = key
+    return pipe
 
 
 def _consult_worker_faults(name: str) -> None:
-    """The chaos suite's worker-level sites: crash, hang, exception."""
+    """The chaos suite's worker-level sites: crash, hang, exception.
+
+    Consulted by every backend's workers — the serial path included — so
+    one fault plan produces the same quarantine records everywhere:
+    ``worker.crash`` dies the way the current backend dies (``os._exit``
+    in a process child, an inline :class:`~repro.exec.WorkerCrashed`
+    elsewhere), and ``worker.hang`` only stalls preemptible workers — a
+    serial sweep could never evict its own thread.
+    """
     if not _faults.enabled():
         return
     spec = _faults.consult(SITE_WORKER_CRASH, name)
     if spec is not None:
         # simulate a segfault/OOM-kill: no cleanup, no exception — the
-        # parent sees BrokenProcessPool
-        os._exit(int(spec.payload.get("exit_code", 13)))
-    spec = _faults.consult(SITE_WORKER_HANG, name)
-    if spec is not None:
-        time.sleep(float(spec.payload.get("seconds", 3600.0)))
+        # parent finds the corpse and blames this task
+        _exec_worker.crash(int(spec.payload.get("exit_code", 13)))
+    if _exec_worker.preemptive():
+        spec = _faults.consult(SITE_WORKER_HANG, name)
+        if spec is not None:
+            time.sleep(float(spec.payload.get("seconds", 3600.0)))
     spec = _faults.consult(SITE_WORKER_EXCEPTION, name)
     if spec is not None:
         raise FaultInjected("injected worker exception for %s" % name)
@@ -657,32 +733,40 @@ def _run_worker(method, workload, config, cache_root, collect: bool,
                 plan: Optional[FaultPlan] = None, attempt: int = 0):
     """Run one workload in a pool worker, optionally collecting obs data
     into a private registry whose snapshot rides back with the result.
-    The worker pipeline's simulation-memo snapshot travels back the same
-    way, so the parent's memo warms up as the sweep progresses.
+    The worker pipeline's new simulation-memo entries travel back the
+    same way (as a delta — the parent already merged earlier shipments),
+    so the parent's memo warms up as the sweep progresses.
 
     The fault plan is installed fresh per (task, attempt) — and any
-    injector the forked child inherited from the parent is cleared — so
-    a worker's fault pattern depends only on the task, never on pool
-    scheduling.
+    injector the worker inherited from a fork or a previous task is
+    cleared — so a worker's fault pattern depends only on the task,
+    never on pool scheduling.
     """
     _faults.install(plan, attempt=attempt)
     try:
         _consult_worker_faults(workload.name)
         pipe = _worker_pipeline(config, cache_root, trace_kernels, no_sim_memo)
-        if not collect:
-            result = getattr(pipe, method)(workload)
-            snap = None
-        else:
-            with obs.scoped() as reg:
-                obs.counter("pipeline.worker_tasks", 1,
-                            help="workloads processed per pool worker",
-                            worker=str(os.getpid()))
+        try:
+            if not collect:
                 result = getattr(pipe, method)(workload)
-                snap = reg.snapshot()
-        memo_snap = (
-            pipe.sim_memo.snapshot() if pipe.sim_memo is not None else None
-        )
-        return result, snap, memo_snap
+                snap = None
+            else:
+                with obs.scoped() as reg:
+                    obs.counter("pipeline.worker_tasks", 1,
+                                help="workloads processed per pool worker",
+                                worker=str(os.getpid()))
+                    result = getattr(pipe, method)(workload)
+                    snap = reg.snapshot()
+            memo_snap = (
+                pipe.sim_memo.drain() if pipe.sim_memo is not None else None
+            )
+            return result, snap, memo_snap
+        finally:
+            # record memos are per-task: a retry must recompute (its
+            # fault sites consulted afresh), and a warm worker must not
+            # serve another task's rows from memory
+            pipe._analyses.clear()
+            pipe._evaluations.clear()
     finally:
         _faults.uninstall()
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
@@ -231,51 +232,71 @@ def corrupt_value(value, spec: FaultSpec):
 
 
 # -- ambient installation ----------------------------------------------------
+#
+# Installation is *per thread*: each thread-pool worker installs the
+# injector for its own task attempt without clobbering its neighbours
+# (process workers each own a whole interpreter, so they get the same
+# behaviour for free).  A process-wide count of installed injectors
+# keeps the disabled-path cost at one integer test.
 
-_ACTIVE: Optional[FaultInjector] = None
+_TLS = threading.local()
+_INSTALLED_COUNT = 0
+_COUNT_LOCK = threading.Lock()
 
 
 def enabled() -> bool:
-    """Is a fault plan currently installed?  (The production answer is
-    ``False``, and this one flag test is the entire disabled-path cost.)"""
-    return _ACTIVE is not None
+    """Is a fault plan installed in *this* thread?
+
+    The production answer is ``False``, and the global count test is the
+    entire disabled-path cost: only when some thread has an injector do
+    we pay the thread-local lookup.  (The count alone would be wrong —
+    an abandoned hung worker keeps its injector until its sleep ends.)"""
+    return _INSTALLED_COUNT > 0 and getattr(_TLS, "injector", None) is not None
 
 
 def active() -> Optional[FaultInjector]:
-    """The installed injector, if any."""
-    return _ACTIVE
+    """The injector installed in the current thread, if any."""
+    return getattr(_TLS, "injector", None)
+
+
+def _set_active(inj: Optional[FaultInjector]) -> Optional[FaultInjector]:
+    global _INSTALLED_COUNT
+    old = getattr(_TLS, "injector", None)
+    _TLS.injector = inj
+    delta = (inj is not None) - (old is not None)
+    if delta:
+        with _COUNT_LOCK:
+            _INSTALLED_COUNT += delta
+    return inj
 
 
 def install(plan: Optional[FaultPlan], attempt: int = 0) -> Optional[FaultInjector]:
-    """Install a fresh injector for ``plan`` (``None`` clears)."""
-    global _ACTIVE
-    _ACTIVE = FaultInjector(plan, attempt) if plan is not None else None
-    return _ACTIVE
+    """Install a fresh injector for ``plan`` in this thread (``None`` clears)."""
+    return _set_active(FaultInjector(plan, attempt) if plan is not None else None)
 
 
 def uninstall() -> None:
-    """Remove any installed injector."""
-    global _ACTIVE
-    _ACTIVE = None
+    """Remove the current thread's installed injector."""
+    _set_active(None)
 
 
 @contextmanager
 def installed(plan: Optional[FaultPlan], attempt: int = 0):
     """Scope an injector to a ``with`` block, restoring the previous one."""
-    global _ACTIVE
-    old = _ACTIVE
+    old = active()
     install(plan, attempt)
     try:
-        yield _ACTIVE
+        yield active()
     finally:
-        _ACTIVE = old
+        _set_active(old)
 
 
 def consult(site: str, key: Optional[str] = None) -> Optional[FaultSpec]:
-    """Consult the ambient injector (``None`` when no plan is installed)."""
-    if _ACTIVE is None:
+    """Consult this thread's injector (``None`` when no plan is installed)."""
+    inj = getattr(_TLS, "injector", None)
+    if inj is None:
         return None
-    return _ACTIVE.consult(site, key)
+    return inj.consult(site, key)
 
 
 __all__ = [

@@ -1,26 +1,34 @@
 """Fail-safe suite execution: the pool fan-out that survives its workers.
 
-``ProcessPoolExecutor`` alone is brittle in exactly the ways a long
-suite sweep cannot afford: one worker exception unwinds the whole run,
-one hung workload stalls it forever, and one hard-killed child breaks
-the pool and poisons every in-flight future with ``BrokenProcessPool``.
+A bare pool is brittle in exactly the ways a long suite sweep cannot
+afford: one worker exception unwinds the whole run, one hung workload
+stalls it forever, and one hard-killed child used to break the whole
+``ProcessPoolExecutor`` and poison every in-flight future.
 :func:`run_failsafe` wraps the fan-out so the sweep *always completes*:
 
 * **per-task timeouts** — a task past its deadline is charged a
-  ``timeout`` failure; the wedged worker's pool is killed and respawned,
-  and the other in-flight tasks are resubmitted without charge;
+  ``timeout`` failure and *only its* worker is evicted (killed or
+  abandoned) and replaced; other in-flight tasks keep running;
 * **bounded retries** — each failed attempt backs off exponentially
   with deterministic seeded jitter before the task runs again;
-* **pool-crash recovery** — on ``BrokenProcessPool`` the pool is
-  respawned and incomplete tasks rerun *one at a time* ("careful
-  mode"), so the next crash unambiguously blames its task instead of
-  charging innocent neighbours;
+* **crash blame** — pool workers announce each task before executing
+  it, so when one dies the backend knows exactly which task it was
+  running and charges a ``crash`` to that task alone (named in the
+  log); the one-at-a-time "careful mode" survives only as the fallback
+  for :class:`~repro.exec.PoolBroken` — a backend failure with no task
+  to blame — and is counted via ``resilience.careful_mode_entries``;
 * **quarantine** — a task that exhausts its retries is replaced in the
   result list by a structured :class:`WorkloadFailure` record, and the
   sweep moves on.
 
-Blame is only ever assigned on evidence (an exception from the task's
-own future, its own missed deadline, or a crash while running alone),
+Where tasks run is the caller's choice: the runner drives any
+:class:`repro.exec.Pool` (``pool="serial" | "process" | "thread"``, a
+backend name or an instance) with identical retry/quarantine/blame
+semantics — the serial backend simply has no preemption, so deadlines
+are not enforced there (a thread cannot interrupt itself).
+
+Blame is only ever assigned on evidence (an exception from the task
+itself, its own missed deadline, or a worker found dead beneath it),
 which is what makes the final record set a deterministic function of
 the workloads and the installed :class:`~repro.resilience.faults.FaultPlan`
 — rerunning a chaos scenario with the same seed reproduces the same
@@ -29,14 +37,16 @@ outcome, byte for byte.
 
 from __future__ import annotations
 
+import logging
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..exec.pools import Pool, PoolBroken, WorkerCrashed, make_pool
 from .faults import FaultPlan, _unit
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -44,8 +54,8 @@ class FailurePolicy:
     """How the runner reacts when a task misbehaves.
 
     ``timeout``       per-attempt wall-clock budget in seconds (``None``
-                      = unlimited; pool mode only — a serial run cannot
-                      interrupt its own thread).
+                      = unlimited; preemptive pools only — a serial run
+                      cannot interrupt its own thread).
     ``retries``       failed attempts retried before quarantine, so a
                       task runs at most ``retries + 1`` times.
     ``backoff_base``  first-retry delay; doubles per attempt.
@@ -81,7 +91,8 @@ class WorkloadFailure:
     Appears in suite results *in place of* the evaluation it failed to
     produce, so ``zip(workloads, results)`` stays aligned.  Fields are
     deliberately wall-clock-free: the record of a seeded chaos run is
-    bit-identical across reruns.
+    bit-identical across reruns — and across pool backends, which all
+    normalise a dead worker to the same :class:`WorkerCrashed` error.
     """
 
     workload: str
@@ -119,16 +130,14 @@ def split_failures(results: Sequence) -> Tuple[list, List[WorkloadFailure]]:
 class _Task:
     """Mutable per-item scheduling state."""
 
-    __slots__ = ("index", "item", "key", "attempt", "future", "deadline",
-                 "not_before")
+    __slots__ = ("index", "item", "key", "attempt", "ticket", "not_before")
 
     def __init__(self, index, item, key):
         self.index = index
         self.item = item
         self.key = key
         self.attempt = 0  #: failed attempts so far
-        self.future = None
-        self.deadline = None
+        self.ticket = None  #: pool ticket while in flight
         self.not_before = 0.0
 
 
@@ -140,7 +149,8 @@ def run_failsafe(
     task: Callable,
     items: Sequence,
     *,
-    jobs: int,
+    jobs: Optional[int] = None,
+    pool=None,
     policy: Optional[FailurePolicy] = None,
     task_args: tuple = (),
     plan: Optional[FaultPlan] = None,
@@ -149,66 +159,58 @@ def run_failsafe(
 ) -> List:
     """Run ``task(item, *task_args, plan, attempt)`` for every item.
 
-    ``task`` must be a module-level callable (pickled by reference into
-    pool workers).  Returns one entry per item, in item order: the
-    task's return value, or a :class:`WorkloadFailure`.  ``on_result``
-    fires as each success lands — before any later failure can abort
-    the sweep — so callers can fold in side data (obs snapshots)
-    without losing the work already done.
+    ``pool`` selects where tasks run: a backend name from
+    :data:`repro.exec.POOL_BACKENDS`, an already-built
+    :class:`repro.exec.Pool` instance, or ``None`` for the historical
+    default (warm worker processes, ``jobs`` wide).  ``task`` must be a
+    module-level callable for the process backend (it is pickled by
+    reference); the serial and thread backends accept any callable.
+
+    Returns one entry per item, in item order: the task's return value,
+    or a :class:`WorkloadFailure`.  ``on_result`` fires as each success
+    lands — before any later failure can abort the sweep — so callers
+    can fold in side data (obs snapshots) without losing the work
+    already done.
     """
     items = list(items)
     policy = policy or FailurePolicy()
     results: List[object] = [None] * len(items)
     tasks = [_Task(i, item, key_fn(item)) for i, item in enumerate(items)]
     incomplete = {t.index: t for t in tasks}
-    max_workers = max(1, min(jobs, len(items)))
 
-    pool: Optional[ProcessPoolExecutor] = None
-    pending = {}  # future -> _Task
-    careful = False  # one-at-a-time after a crash: accurate blame
-    spawned = 0
+    if isinstance(pool, Pool):
+        backend = pool
+    else:
+        width = max(1, min(jobs if jobs is not None else 1, max(1, len(items))))
+        backend = make_pool(pool if pool is not None else "process", jobs=width)
 
-    def spawn() -> ProcessPoolExecutor:
-        nonlocal spawned
-        spawned += 1
-        if spawned > 1 and obs.enabled():
-            obs.counter("resilience.pool_respawns", 1,
-                        help="process pools respawned after crash/hang")
-        return ProcessPoolExecutor(max_workers=1 if careful else max_workers)
+    pending: Dict[int, _Task] = {}  # ticket -> task
+    careful = False  # one-at-a-time after an unattributable pool failure
 
-    def teardown(graceful: bool) -> None:
-        nonlocal pool
-        if pool is None:
-            return
-        if not graceful:
-            # a wedged or hard-killed child never drains the call queue;
-            # kill the children outright before abandoning the pool
-            # (private attr, guarded — worst case we leak until exit)
-            for proc in list((getattr(pool, "_processes", None) or {}).values()):
-                try:
-                    proc.kill()
-                except Exception:
-                    pass
+    def enter_careful(why: BaseException) -> None:
+        nonlocal careful
+        for t in pending.values():
+            t.ticket = None
+        pending.clear()
         try:
-            pool.shutdown(wait=graceful, cancel_futures=True)
+            backend.reset()
         except Exception:
             pass
-        pool = None
-
-    def release_pending() -> None:
-        """Return every in-flight task to the submit queue, uncharged."""
-        for t in pending.values():
-            t.future = None
-            t.deadline = None
-        pending.clear()
+        if obs.enabled():
+            obs.counter("resilience.careful_mode_entries", 1,
+                        help="pool failures with no task to blame; "
+                             "outstanding work rerun one task at a time")
+        log.warning(
+            "pool %r broke with no task to blame (%s); entering careful "
+            "mode: %d outstanding task(s) rerun one at a time",
+            backend.name, why, len(incomplete))
+        careful = True
 
     def charge(t: _Task, kind: str, exc: Optional[BaseException]) -> None:
         """One failed attempt for ``t``: retry with backoff or quarantine."""
         t.attempt += 1
-        t.future = None
-        t.deadline = None
+        t.ticket = None
         if policy.fail_fast:
-            teardown(graceful=False)
             raise WorkloadExecutionError(t.key, kind) from exc
         if t.attempt > policy.retries:
             results[t.index] = WorkloadFailure(
@@ -230,97 +232,107 @@ def run_failsafe(
                             help="failed attempts scheduled for retry",
                             kind=kind)
 
+    deadlines = policy.timeout is not None and backend.preemptive
+
+    backend.start()
     try:
         while incomplete:
-            if pool is None:
-                pool = spawn()
             now = time.monotonic()
 
             # submit eligible tasks in deterministic index order; careful
             # mode keeps exactly one in flight
             try:
                 for t in sorted(incomplete.values(), key=lambda t: t.index):
-                    if t.future is not None or t.not_before > now:
+                    if t.ticket is not None or t.not_before > now:
                         continue
                     if careful and pending:
                         break
-                    t.future = pool.submit(task, t.item, *task_args, plan, t.attempt)
-                    t.deadline = (
-                        now + policy.timeout if policy.timeout is not None else None
-                    )
-                    pending[t.future] = t
+                    t.ticket = backend.submit(
+                        task, (t.item,) + tuple(task_args) + (plan, t.attempt),
+                        key=t.key)
+                    pending[t.ticket] = t
                     if careful:
                         break
-            except BrokenProcessPool:
-                release_pending()
-                teardown(graceful=False)
-                careful = True
+            except PoolBroken as exc:
+                enter_careful(exc)
                 continue
 
             if not pending:
                 # everyone is backing off; sleep until the earliest retry
                 wake = min(
-                    t.not_before for t in incomplete.values() if t.future is None
+                    t.not_before for t in incomplete.values() if t.ticket is None
                 )
                 time.sleep(max(0.0, min(wake - now, policy.backoff_cap)))
                 continue
 
-            horizon = [t.deadline for t in pending.values() if t.deadline is not None]
+            horizon = []
+            if deadlines:
+                horizon += [
+                    started + policy.timeout
+                    for ticket, started in backend.running().items()
+                    if ticket in pending
+                ]
             horizon += [
                 t.not_before
                 for t in incomplete.values()
-                if t.future is None and t.not_before > now
+                if t.ticket is None and t.not_before > now
             ]
             wait_for = max(0.01, min(horizon) - now) if horizon else None
-            done, _ = wait(list(pending), timeout=wait_for,
-                           return_when=FIRST_COMPLETED)
+            try:
+                completions = backend.wait(wait_for)
+            except PoolBroken as exc:
+                enter_careful(exc)
+                continue
             now = time.monotonic()
 
-            if not done:
+            if not completions:
+                if not deadlines:
+                    continue
                 expired = [
-                    t for t in pending.values()
-                    if t.deadline is not None and t.deadline <= now
+                    pending[ticket]
+                    for ticket, started in backend.running().items()
+                    if ticket in pending and started + policy.timeout <= now
                 ]
                 if expired:
                     if obs.enabled():
                         obs.counter("resilience.timeouts", len(expired),
                                     help="attempts that exceeded the per-task "
                                          "deadline")
-                    # the expired tasks' workers are wedged; the whole pool
-                    # goes with them, and the other in-flight tasks rerun
-                    # without charge
-                    release_pending()
-                    teardown(graceful=False)
                     for t in expired:
+                        ticket, t.ticket = t.ticket, None
+                        pending.pop(ticket, None)
+                        # only the wedged task's worker dies; its queued
+                        # neighbours are requeued by the pool, uncharged
+                        backend.evict(ticket)
+                        log.warning(
+                            "task %r exceeded its %.3gs deadline "
+                            "(attempt %d); worker evicted",
+                            t.key, policy.timeout, t.attempt)
                         charge(t, "timeout", None)
                 continue
 
-            broke = False
-            for f in done:
-                t = pending.pop(f)
-                exc = f.exception()
-                if exc is None:
-                    results[t.index] = f.result()
+            for c in completions:
+                t = pending.pop(c.ticket, None)
+                if t is None:
+                    continue  # stale: lost a race with a timeout charge
+                t.ticket = None
+                if c.error is None:
+                    results[t.index] = c.result
                     del incomplete[t.index]
-                    t.future = None
                     if on_result is not None:
                         on_result(t.item, results[t.index])
-                elif isinstance(exc, BrokenProcessPool):
-                    broke = True
-                    if careful:
-                        # one task in flight: the blame is unambiguous
-                        charge(t, "crash", exc)
-                    else:
-                        t.future = None  # innocent until run alone
-                        t.deadline = None
+                elif isinstance(c.error, WorkerCrashed):
+                    log.warning(
+                        "worker crash blamed on workload %r "
+                        "(attempt %d, %s)", t.key, t.attempt, c.error)
+                    charge(t, "crash", c.error)
                 else:
-                    charge(t, "exception", exc)
-            if broke:
-                release_pending()
-                teardown(graceful=False)
-                careful = True
+                    charge(t, "exception", c.error)
     finally:
-        teardown(graceful=not pending)
+        try:
+            backend.close(graceful=not pending)
+        except Exception:
+            pass
 
     return results
 

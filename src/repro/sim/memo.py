@@ -82,6 +82,7 @@ class SimulationMemo:
         self.cache = cache
         self._content: Dict[Tuple[str, str], object] = {}
         self._identity: Dict[tuple, Tuple[object, object]] = {}
+        self._unsynced: set = set()
         self.hits = 0
         self.misses = 0
 
@@ -98,10 +99,12 @@ class SimulationMemo:
             stored = self.cache.get(kind, key)
             if stored is not None:
                 self._content[mem_key] = stored
+                self._unsynced.add(mem_key)
                 self._note(kind, hit=True)
                 return stored
         value = compute()
         self._content[mem_key] = value
+        self._unsynced.add(mem_key)
         if persist and self.cache is not None:
             # write-through immediately: a later crash of this attempt
             # must not lose the sub-simulation for the retry
@@ -144,6 +147,21 @@ class SimulationMemo:
     def snapshot(self) -> dict:
         """Picklable image of the content-keyed tables."""
         return {"content": dict(self._content)}
+
+    def drain(self) -> Optional[dict]:
+        """Content entries added since the last drain, or ``None``.
+
+        The delta counterpart of :meth:`snapshot` for *warm* pool
+        workers: the parent already merged everything this memo shipped
+        with earlier results, so each new result only needs to carry the
+        tables its own task added — O(new entries) transport instead of
+        O(every entry this worker ever computed)."""
+        if not self._unsynced:
+            return None
+        delta = {"content": {k: self._content[k] for k in self._unsynced
+                             if k in self._content}}
+        self._unsynced.clear()
+        return delta
 
     def merge(self, snap: Optional[dict]) -> None:
         """Fold a worker's snapshot in (entries are deterministic per key,

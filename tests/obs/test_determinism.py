@@ -1,11 +1,14 @@
 """The determinism contract: semantic metrics are identical whether a
-suite was evaluated serially, across a process pool, or served from the
+suite was evaluated serially, across a worker pool, or served from the
 artifact cache."""
+
+import os
 
 import pytest
 
 from repro import obs
 from repro.obs import export
+from repro.options import PipelineOptions
 from repro.pipeline import NeedlePipeline
 from repro.workloads import get
 from repro.workloads.base import clear_profile_cache
@@ -27,8 +30,8 @@ def _clean_obs():
 def _run(jobs=None, cache=None) -> str:
     clear_profile_cache()
     obs.enable(reset=True)
-    pipeline = NeedlePipeline(cache=cache)
-    pipeline.evaluate_all([get(n) for n in SUBSET], jobs=jobs)
+    pipeline = NeedlePipeline(cache=cache, options=PipelineOptions(jobs=jobs))
+    pipeline.evaluate_all([get(n) for n in SUBSET])
     text = export.semantic_json(None)
     obs.disable()
     return text
@@ -46,11 +49,16 @@ def test_cold_and_cache_served_semantic_metrics_identical(tmp_path):
     assert cold == _run()  # and both match a cache-less run
 
 
+@pytest.mark.skipif(
+    os.environ.get("REPRO_POOL") == "serial",
+    reason="worker-side metrics need a pooled backend; "
+    "$REPRO_POOL forces serial",
+)
 def test_parallel_run_collects_operational_metrics_too():
     clear_profile_cache()
     obs.enable(reset=True)
-    pipeline = NeedlePipeline()
-    pipeline.evaluate_all([get(n) for n in SUBSET], jobs=2)
+    pipeline = NeedlePipeline(options=PipelineOptions(jobs=2))
+    pipeline.evaluate_all([get(n) for n in SUBSET])
     reg = obs.registry()
     workers = reg.get("pipeline.worker_tasks")
     assert workers is not None

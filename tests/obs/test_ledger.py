@@ -23,6 +23,7 @@ from repro.obs.ledger import (
     AttributionLedger,
     fold_attribution,
 )
+from repro.options import PipelineOptions
 from repro.pipeline import NeedlePipeline
 from repro.workloads import all_names, get
 from repro.workloads.base import clear_profile_cache
@@ -130,8 +131,8 @@ def test_outcome_attribution_folds_to_reported_totals():
 def _suite_ledger_json(jobs=None, cache=None) -> str:
     clear_profile_cache()
     obs.enable(reset=True)
-    pipeline = NeedlePipeline(cache=cache)
-    pipeline.evaluate_all([get(n) for n in all_names()], jobs=jobs)
+    pipeline = NeedlePipeline(cache=cache, options=PipelineOptions(jobs=jobs))
+    pipeline.evaluate_all([get(n) for n in all_names()])
     data = json.loads(export.semantic_json(None))
     obs.disable()
     return json.dumps(data["ledger"], sort_keys=True)

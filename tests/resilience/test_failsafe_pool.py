@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+from repro.exec import worker as exec_worker
 from repro.pipeline import evaluate_suite
 from repro.resilience import faults
 from repro.resilience.faults import (
@@ -51,10 +52,13 @@ def toy_task(item, plan, attempt):
         inj = faults.FaultInjector(plan, attempt=attempt)
         spec = inj.consult(TOY_CRASH, item)
         if spec is not None:
-            os._exit(int(spec.payload.get("exit_code", 7)))
-        spec = inj.consult(TOY_HANG, item)
-        if spec is not None:
-            time.sleep(float(spec.payload.get("seconds", 30.0)))
+            # dies the way the current backend dies: os._exit in a
+            # process worker, an inline WorkerCrashed everywhere else
+            exec_worker.crash(int(spec.payload.get("exit_code", 7)))
+        if exec_worker.preemptive():
+            spec = inj.consult(TOY_HANG, item)
+            if spec is not None:
+                time.sleep(float(spec.payload.get("seconds", 30.0)))
         spec = inj.consult(TOY_EXCEPTION, item)
         if spec is not None:
             raise ValueError("boom:%s" % item)
@@ -171,11 +175,41 @@ def test_backoff_is_deterministic_bounded_and_seed_sensitive():
     assert p.backoff(1, "w") != other.backoff(1, "w")
 
 
+def _toy_records(pool):
+    plan = FaultPlan(seed=9, specs=(
+        FaultSpec(site=TOY_CRASH, key="b", times=-1),
+        FaultSpec(site=TOY_EXCEPTION, key="d", times=-1),
+    ))
+    return run_failsafe(
+        toy_task, ["a", "b", "c", "d"], jobs=2, pool=pool,
+        policy=FailurePolicy(retries=1, **FAST), plan=plan,
+    )
+
+
+def test_failure_records_identical_across_pool_backends():
+    # every backend normalises a dead worker to the same WorkerCrashed
+    # error, so the full record set is deep-equal — not just equivalent
+    serial = _toy_records("serial")
+    assert _toy_records("thread") == serial
+    assert _toy_records("process") == serial
+    good, bad = split_failures(serial)
+    assert good == ["ok:a:0", "ok:c:0"]
+    assert {f.workload for f in bad} == {"b", "d"}
+    crash = serial[1]
+    assert (crash.kind, crash.error_type, crash.error) == (
+        "crash", "WorkerCrashed", "worker exited with code 7")
+
+
 # -- pipeline / evaluate_suite scenarios ---------------------------------------
 
 SUBSET = ["164.gzip", "429.mcf", "470.lbm", "dwt53"]
 
 
+@pytest.mark.skipif(
+    os.environ.get("REPRO_POOL") == "serial",
+    reason="the hang leg needs a preemptive backend; "
+    "$REPRO_POOL forces serial",
+)
 def test_suite_survives_crash_and_hang_and_replays_identically():
     # the acceptance scenario: one workload hard-kills its worker, a
     # second wedges; the sweep still returns evaluations for the healthy

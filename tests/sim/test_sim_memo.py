@@ -172,8 +172,8 @@ def test_memo_serial_parallel_and_cached_are_byte_identical(tmp_path):
     assert [_flatten(ev) for ev in memo_serial] == reference
 
     memo_parallel = NeedlePipeline(
-        options=PipelineOptions(no_cache=True)
-    ).evaluate_all(suite, jobs=4)
+        options=PipelineOptions(no_cache=True, jobs=4)
+    ).evaluate_all(suite)
     assert [_flatten(ev) for ev in memo_parallel] == reference
 
     cache_dir = str(tmp_path / "cache")
@@ -187,8 +187,8 @@ def test_memo_serial_parallel_and_cached_are_byte_identical(tmp_path):
 
 
 def test_parallel_workers_ship_memo_snapshots_back():
-    pipe = NeedlePipeline(options=PipelineOptions(no_cache=True))
-    pipe.evaluate_all(_suite(SUBSET), jobs=4)
+    pipe = NeedlePipeline(options=PipelineOptions(no_cache=True, jobs=4))
+    pipe.evaluate_all(_suite(SUBSET))
     # without an artifact cache the only way content entries reach the
     # parent memo is the per-result snapshot merge
     assert pipe.sim_memo is not None

@@ -388,9 +388,7 @@ def test_array_kernels_identical_under_injected_faults():
             no_cache=True, trace_kernels=mode, jobs=2, retries=1,
             fault_plan=plan,
         ))
-        return pipe.evaluate_all(
-            [workloads.get(n) for n in SUITE_SLICE], jobs=2
-        )
+        return pipe.evaluate_all([workloads.get(n) for n in SUITE_SLICE])
 
     rle_rows = run("rle")
     arr_rows = run("array")

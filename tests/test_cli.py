@@ -76,7 +76,7 @@ def test_cli_evaluate_prints_dashes_for_missing_outcomes(capsys, monkeypatch):
     import repro.workloads as workloads
 
     class _StubPipeline:
-        def evaluate_all(self, suite, jobs=None):
+        def evaluate_all(self, suite):
             return [_empty_evaluation(w.name) for w in suite]
 
     monkeypatch.setattr(cli, "_make_pipeline", lambda args: _StubPipeline())

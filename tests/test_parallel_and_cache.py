@@ -5,6 +5,7 @@ import pytest
 from repro import workloads
 from repro.artifacts import ArtifactCache
 from repro.cli import evaluation_row
+from repro.options import PipelineOptions
 from repro.pipeline import NeedlePipeline, WorkloadEvaluation
 
 #: small but structurally diverse slice of the suite: int + fp, loop-heavy
@@ -37,7 +38,9 @@ def _flatten(ev: WorkloadEvaluation):
 
 def test_parallel_evaluate_matches_serial_bitwise():
     serial = NeedlePipeline().evaluate_all(_suite(SUBSET))
-    fanned = NeedlePipeline().evaluate_all(_suite(SUBSET), jobs=4)
+    fanned = NeedlePipeline(
+        options=PipelineOptions(jobs=4)
+    ).evaluate_all(_suite(SUBSET))
 
     assert [ev.name for ev in fanned] == SUBSET  # suite order preserved
     for s, p in zip(serial, fanned):
@@ -50,7 +53,9 @@ def test_parallel_evaluate_matches_serial_bitwise():
 def test_parallel_analyse_matches_serial():
     names = SUBSET[:2]
     serial = NeedlePipeline().analyse_all(_suite(names))
-    fanned = NeedlePipeline().analyse_all(_suite(names), jobs=2)
+    fanned = NeedlePipeline(
+        options=PipelineOptions(jobs=2)
+    ).analyse_all(_suite(names))
     for s, p in zip(serial, fanned):
         assert s.name == p.name
         assert s.profiled.paths.counts == p.profiled.paths.counts
@@ -58,15 +63,20 @@ def test_parallel_analyse_matches_serial():
         assert [b.coverage for b in s.braids] == [b.coverage for b in p.braids]
 
 
-def test_jobs_one_and_single_workload_stay_serial():
+def test_jobs_one_and_single_workload_stay_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_POOL", raising=False)
     pipeline = NeedlePipeline()
+    assert pipeline._execution_plan(None, 2) == ("serial", 1)
+    assert pipeline._execution_plan(1, 2) == ("serial", 1)
+    assert pipeline._execution_plan(4, 1) == ("serial", 1)
+    # fully memoized suite: nothing left to fan out
     suite = _suite(SUBSET[:2])
-    assert not pipeline._use_jobs(None, suite, {})
-    assert not pipeline._use_jobs(1, suite, {})
-    assert not pipeline._use_jobs(4, suite[:1], {})
-    # fully memoized suite: serial lookup beats forking workers
     pipeline.evaluate_all(suite)
-    assert not pipeline._use_jobs(4, suite, pipeline._evaluations)
+    todo = [w for w in suite if w.name not in pipeline._evaluations]
+    assert pipeline._execution_plan(4, len(todo)) == ("serial", 1)
+    # parallel sweeps clamp the pool to the work available
+    assert pipeline._execution_plan(4, 2) == ("process", 2)
+    assert pipeline._execution_plan(2, 8) == ("process", 2)
 
 
 def test_evaluation_cache_roundtrip_in_fresh_pipeline(tmp_path):

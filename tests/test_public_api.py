@@ -10,8 +10,14 @@ PUBLIC_API = [
     "FaultPlan",
     "FaultSpec",
     "NeedlePipeline",
+    "POOL_BACKENDS",
+    "POOL_CHOICES",
     "PipelineOptions",
+    "Pool",
+    "ProcessPool",
+    "SerialPool",
     "SystemConfig",
+    "ThreadPool",
     "Workload",
     "WorkloadAnalysis",
     "WorkloadEvaluation",
@@ -19,10 +25,12 @@ PUBLIC_API = [
     "accel",
     "analysis",
     "evaluate_suite",
+    "exec",
     "frames",
     "interp",
     "ir",
     "load_workload",
+    "make_pool",
     "obs",
     "profiling",
     "regions",
@@ -89,6 +97,9 @@ def test_deep_imports_keep_working():
 def test_internal_modules_declare_all():
     import repro.artifacts
     import repro.cli
+    import repro.exec
+    import repro.exec.pools
+    import repro.exec.worker
     import repro.obs
     import repro.options
     import repro.pipeline
@@ -102,6 +113,9 @@ def test_internal_modules_declare_all():
     for mod in (
         repro.artifacts,
         repro.cli,
+        repro.exec,
+        repro.exec.pools,
+        repro.exec.worker,
         repro.obs,
         repro.options,
         repro.pipeline,
