@@ -14,7 +14,13 @@ clocks and records them to ``benchmarks/results/pipeline_scaling.txt``
   the :mod:`repro.exec` process pool via ``PipelineOptions(jobs=N)``.
   The pool keeps its workers *warm*: forked once, batch-fed, pipeline
   state reused across tasks — the redesign that fixed the old sub-1x
-  ``--jobs 2`` regression (per-task executor churn).
+  ``--jobs 2`` regression (per-task executor churn);
+* **journaled cold** — the cold-serial sweep again with the crash-safe
+  run journal attached (``PipelineOptions(journal_dir=...)``): every
+  completed workload is fsynced to the write-ahead journal as it lands.
+  The journal's own fsync cost is read back from its ``run_finished``
+  record and the healthy-path overhead is *asserted* within 3% of the
+  no-journal baseline (plus a small absolute grace for fsync jitter).
 
 The parallel wall clock is further decomposed so any residual sub-1x
 ``parallel_speedup`` is diagnosable instead of mysterious:
@@ -39,6 +45,7 @@ The parallel and warm paths are also checked bitwise-identical to the cold
 serial rows — a wrong-but-fast pipeline is worthless.
 """
 
+import json
 import os
 import shutil
 import time
@@ -58,6 +65,12 @@ _JOBS = max(2, min(4, os.cpu_count() or 1))
 #: the acceptance floor for the pool redesign, enforced where the
 #: hardware can physically deliver it
 _SPEEDUP_FLOOR = 1.5
+
+#: healthy-path journal overhead ceiling: relative share of the cold
+#: serial wall clock, plus an absolute grace for per-record fsync
+#: jitter on slow or shared disks
+_JOURNAL_OVERHEAD_RATIO = 0.03
+_JOURNAL_OVERHEAD_GRACE = 0.2
 
 
 def _effective_cores() -> int:
@@ -137,12 +150,35 @@ def test_pipeline_scaling(tmp_path_factory, suite):
     ).evaluate_all(suite)
     parallel = time.perf_counter() - t0
 
+    # journaled cold serial: same work as the cold leg, plus the
+    # write-ahead journal fsyncing each completed workload as it lands
+    jcache_dir = str(tmp_path_factory.mktemp("scaling-cache-journal"))
+    journal_dir = str(tmp_path_factory.mktemp("scaling-journal"))
+    clear_profile_cache()
+    t0 = time.perf_counter()
+    journal_evs = NeedlePipeline(
+        cache=ArtifactCache(jcache_dir),
+        options=PipelineOptions(journal_dir=journal_dir, run_id="bench"),
+    ).evaluate_all(suite)
+    journaled = time.perf_counter() - t0
+
+    # the journal's terminal record carries its own fsync cost, so the
+    # overhead is decomposed explicitly rather than inferred
+    with open(os.path.join(journal_dir, "bench.jsonl")) as fh:
+        journal_events = [json.loads(line) for line in fh]
+    run_finished = journal_events[-1]
+    assert run_finished["event"] == "run_finished"
+    assert run_finished["completed"] == len(suite)
+    journal_fsync = run_finished["fsync_seconds"]
+    journal_records = run_finished["records"]
+
     spawn, workers_seen = _measure_spawn_import(_JOBS)
     steady = max(parallel - spawn, 1e-9)
     cores = _effective_cores()
 
     assert _rows(warm_evs) == _rows(cold_evs)
     assert _rows(par_evs) == _rows(cold_evs)
+    assert _rows(journal_evs) == _rows(cold_evs)
 
     lines = [
         "pipeline scaling over the %d-workload suite (%d effective cores)"
@@ -152,6 +188,10 @@ def test_pipeline_scaling(tmp_path_factory, suite):
         "warm cache       : %7.2f s  (%.0fx faster)" % (warm, cold / warm),
         "parallel jobs=%-2d : %7.2f s  (%.2fx vs cold serial, process pool)"
         % (_JOBS, parallel, cold / parallel),
+        "journaled cold   : %7.2f s  (%+.1f%% vs cold serial; %d records, "
+        "%.3f s in journal fsyncs)"
+        % (journaled, 100.0 * (journaled - cold) / cold, journal_records,
+           journal_fsync),
         "",
         "parallel decomposition:",
         "  spawn+import   : %7.2f s  (%d workers probed, %.0f%% of parallel"
@@ -175,10 +215,21 @@ def test_pipeline_scaling(tmp_path_factory, suite):
         "spawn_import_seconds": spawn,
         "steady_state_seconds": steady,
         "steady_state_speedup": cold / steady,
+        "journaled_cold_seconds": journaled,
+        "journal_overhead_ratio": journaled / cold,
+        "journal_fsync_seconds": journal_fsync,
+        "journal_records": journal_records,
     })
 
     assert warm < cold
     assert warm < 2.0
+    # healthy-path journal overhead stays within the acceptance ceiling
+    assert journaled <= cold * (1.0 + _JOURNAL_OVERHEAD_RATIO) \
+        + _JOURNAL_OVERHEAD_GRACE, (
+        "journaled sweep %.2fs exceeds cold serial %.2fs by more than "
+        "%.0f%% + %.1fs (journal fsyncs: %.3fs over %d records)"
+        % (journaled, cold, 100 * _JOURNAL_OVERHEAD_RATIO,
+           _JOURNAL_OVERHEAD_GRACE, journal_fsync, journal_records))
     # every worker must actually have come up for the probe to mean anything
     assert workers_seen >= 1
     if cores >= 2:

@@ -51,7 +51,14 @@ from .pipeline import (
     WorkloadEvaluation,
     evaluate_suite,
 )
-from .resilience import FaultPlan, FaultSpec, WorkloadFailure
+from .resilience import (
+    EXIT_DRAINED,
+    FaultPlan,
+    FaultSpec,
+    RunJournal,
+    SweepDrained,
+    WorkloadFailure,
+)
 from .sim.config import DEFAULT_CONFIG, SystemConfig
 from .workloads import Workload
 from .workloads import get as load_workload
@@ -73,6 +80,7 @@ def suite(name: Optional[str] = None) -> List[Workload]:
 __all__ = [
     "ArtifactCache",
     "DEFAULT_CONFIG",
+    "EXIT_DRAINED",
     "FaultPlan",
     "FaultSpec",
     "NeedlePipeline",
@@ -81,7 +89,9 @@ __all__ = [
     "PipelineOptions",
     "Pool",
     "ProcessPool",
+    "RunJournal",
     "SerialPool",
+    "SweepDrained",
     "SystemConfig",
     "ThreadPool",
     "Workload",

@@ -61,6 +61,9 @@ EVALUATION_KIND = "evaluation"
 #: sub-simulation tables persisted by the simulation memo (repro.sim.memo)
 CALIBRATION_KIND = "calibration"
 PATH_COSTS_KIND = "pathcosts"
+#: completed-evaluation payloads referenced by the crash-safe run journal
+#: (repro.resilience.journal)
+JOURNAL_KIND = "journal"
 
 #: deep IR graphs (SSA chains, operand links) exceed the default
 #: recursion limit during pickling; raised temporarily around dump/load
@@ -104,10 +107,20 @@ def workload_key(workload, config, extra: str = "") -> Tuple[str, object]:
 
 
 class ArtifactCache:
-    """Content-addressed on-disk store of pickled pipeline products."""
+    """Content-addressed on-disk store of pickled pipeline products.
 
-    def __init__(self, root: Optional[str] = None):
+    Writes are always *atomic* (temp file in the target directory +
+    ``os.replace``): a reader can never observe a torn payload at the
+    final path, whatever kills the writer.  ``fsync=True`` additionally
+    makes each write *durable* before :meth:`put` returns — the run
+    journal's payload store needs write-ahead ordering (payload on disk
+    before the record referencing it), while the ordinary pipeline cache
+    skips the sync cost because a lost entry is merely recomputed.
+    """
+
+    def __init__(self, root: Optional[str] = None, fsync: bool = False):
         self.root = root or default_cache_dir()
+        self.fsync = fsync
         self.hits = 0
         self.misses = 0
 
@@ -183,6 +196,9 @@ class ArtifactCache:
             try:
                 with os.fdopen(fd, "wb") as fh:
                     fh.write(payload)
+                    if self.fsync:
+                        fh.flush()
+                        os.fsync(fh.fileno())
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -200,7 +216,7 @@ class ArtifactCache:
         """Delete every stored artifact; returns the number removed."""
         removed = 0
         for kind in (PROFILE_KIND, EVALUATION_KIND,
-                     CALIBRATION_KIND, PATH_COSTS_KIND):
+                     CALIBRATION_KIND, PATH_COSTS_KIND, JOURNAL_KIND):
             base = os.path.join(self.root, kind)
             for dirpath, _dirs, files in os.walk(base):
                 for name in files:
@@ -225,6 +241,7 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "CALIBRATION_KIND",
     "EVALUATION_KIND",
+    "JOURNAL_KIND",
     "PATH_COSTS_KIND",
     "PROFILE_KIND",
     "ArtifactCache",

@@ -30,6 +30,16 @@ Python API uses.  Suite sweeps are fail-safe: ``--timeout``,
 event-by-event reference accounting and ``--no-sim-memo`` disables the
 cross-strategy simulation memo — both bitwise-neutral, perf-only knobs
 (docs/performance.md).
+
+Suite sweeps are also *crash-safe*: ``--journal-dir DIR`` (or
+``$REPRO_JOURNAL_DIR``) writes a write-ahead run journal, and
+``evaluate --resume RUN_ID`` continues a killed run — completed
+workloads are restored from the journal and the merged output is
+byte-identical to an uninterrupted sweep.  SIGINT/SIGTERM during a
+journaled sweep drains in-flight work (bounded by ``--drain-timeout``),
+prints the resume command, and exits with code 75; the
+``--max-total-failures`` / ``--max-consecutive-failures`` circuit
+breaker aborts a doomed suite early (docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -44,6 +54,8 @@ from .obs import timeline as obs_timeline
 from .options import PipelineOptions
 from .pipeline import NeedlePipeline, WorkloadEvaluation
 from .resilience import WorkloadFailure
+from .resilience.journal import JournalError, RunJournal, resolve_journal_dir
+from .resilience.shutdown import EXIT_DRAINED, SweepDrained
 
 
 def _options_from_args(args) -> PipelineOptions:
@@ -187,9 +199,35 @@ def evaluation_row(name: str, ev: WorkloadEvaluation) -> tuple:
     )
 
 
+def _resume_manifest(opts: PipelineOptions) -> List[str]:
+    """The workload names a ``--resume`` run must evaluate: exactly the
+    manifest its journal header recorded (anything else is a mismatch)."""
+    journal_dir = resolve_journal_dir(opts.journal_dir)
+    if journal_dir is None:
+        raise SystemExit(
+            "--resume needs --journal-dir or $REPRO_JOURNAL_DIR to find "
+            "the journal")
+    try:
+        header = RunJournal.peek(journal_dir, opts.resume)
+    except JournalError as exc:
+        raise SystemExit(str(exc))
+    return list(header.get("manifest") or workloads.all_names())
+
+
 def _run_evaluations(args, opts: PipelineOptions):
     pipeline = _make_pipeline(args)
-    names = [args.workload] if args.workload else workloads.all_names()
+    if getattr(args, "resume", None):
+        if args.workload:
+            raise SystemExit(
+                "--resume replays the journaled suite manifest; drop the "
+                "workload argument")
+        names = _resume_manifest(opts)
+    elif args.workload:
+        # a single name or a comma-separated subset — handy for smoke
+        # runs and for journaled sweeps that should stay small
+        names = [n.strip() for n in args.workload.split(",") if n.strip()]
+    else:
+        names = workloads.all_names()
     evaluations = pipeline.evaluate_all(
         [workloads.get(name) for name in names]
     )
@@ -363,7 +401,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("evaluate", help="simulate offload (Fig. 9/10 numbers)")
-    p.add_argument("workload", nargs="?", default=None)
+    p.add_argument("workload", nargs="?", default=None,
+                   help="one workload, or a comma-separated subset "
+                        "(default: the whole suite)")
     PipelineOptions.add_cli_arguments(p)
     p.set_defaults(func=_cmd_evaluate)
 
@@ -456,7 +496,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SweepDrained as exc:
+        # a journaled sweep drained on SIGINT/SIGTERM: everything that
+        # finished is durable; say how to pick the run back up
+        print(
+            "\nsweep interrupted: %d workload(s) completed and journaled, "
+            "%d outstanding (drained in %.1fs)"
+            % (exc.completed, len(exc.outstanding), exc.drain_seconds),
+            file=sys.stderr,
+        )
+        resume = exc.resume_command()
+        if resume is not None:
+            print("resume with:\n  %s" % resume, file=sys.stderr)
+        return EXIT_DRAINED
+    except JournalError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
 
 
 __all__ = ["build_parser", "evaluation_row", "main"]

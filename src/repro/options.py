@@ -97,6 +97,21 @@ class PipelineOptions:
                      bitwise-identical outcomes, property-tested.
     ``no_sim_memo``  disable the cross-strategy simulation memo (every
                      strategy recomputes calibration/path costs/schedules).
+    ``journal_dir``  write a crash-safe run journal for suite sweeps
+                     under this directory (``None`` = ``$REPRO_JOURNAL_DIR``
+                     if set, else no journal).  See docs/resilience.md.
+    ``run_id``       name the journaled run (``None`` = fresh generated id).
+    ``resume``       resume the journaled run with this id: completed
+                     workloads are restored from the journal, only
+                     in-flight/quarantined ones re-run, and the merged
+                     result is byte-identical to an uninterrupted run.
+    ``drain_timeout`` bounded wait (seconds) for in-flight workloads
+                     after SIGINT/SIGTERM before a journaled sweep exits
+                     with its resume command.
+    ``max_total_failures``       circuit breaker: abort the sweep after
+                     this many failed attempts in total (``None`` = off).
+    ``max_consecutive_failures`` circuit breaker: abort after this many
+                     consecutive failed attempts (``None`` = off).
     """
 
     config: Optional[SystemConfig] = None
@@ -113,6 +128,12 @@ class PipelineOptions:
     fault_plan: "Optional[object]" = None  # FaultPlan | str path to JSON
     trace_kernels: str = "rle"
     no_sim_memo: bool = False
+    journal_dir: Optional[str] = None
+    run_id: Optional[str] = None
+    resume: Optional[str] = None
+    drain_timeout: float = 10.0
+    max_total_failures: Optional[int] = None
+    max_consecutive_failures: Optional[int] = None
 
     # -- derived views -----------------------------------------------------
 
@@ -175,6 +196,14 @@ class PipelineOptions:
             retries=max(0, int(self.retries)),
             fail_fast=self.fail_fast,
             seed=plan.seed if plan is not None else 0,
+            max_total_failures=(
+                None if self.max_total_failures is None
+                else max(1, int(self.max_total_failures))
+            ),
+            max_consecutive_failures=(
+                None if self.max_consecutive_failures is None
+                else max(1, int(self.max_consecutive_failures))
+            ),
         )
 
     # -- argparse bridge ---------------------------------------------------
@@ -198,6 +227,56 @@ class PipelineOptions:
                 "if set, else 'auto' = warm worker processes when "
                 "--jobs > 1); results are bitwise-identical on every "
                 "backend",
+            )
+            parser.add_argument(
+                "--journal-dir",
+                default=None,
+                metavar="DIR",
+                help="write a crash-safe run journal under DIR; a killed "
+                "sweep resumes with --resume (default: $REPRO_JOURNAL_DIR "
+                "if set, else no journal)",
+            )
+            parser.add_argument(
+                "--run-id",
+                default=None,
+                metavar="ID",
+                help="name this journaled run (default: a fresh "
+                "timestamped id)",
+            )
+            parser.add_argument(
+                "--resume",
+                default=None,
+                metavar="RUN_ID",
+                help="resume a journaled run: completed workloads are "
+                "restored from the journal and only in-flight/quarantined "
+                "ones re-run; the merged result is byte-identical to an "
+                "uninterrupted run",
+            )
+            parser.add_argument(
+                "--drain-timeout",
+                type=float,
+                default=cls.drain_timeout,
+                metavar="SEC",
+                help="bounded wait for in-flight workloads after "
+                "SIGINT/SIGTERM before a journaled sweep exits with its "
+                "resume command (default: %gs)" % cls.drain_timeout,
+            )
+            parser.add_argument(
+                "--max-total-failures",
+                type=int,
+                default=None,
+                metavar="N",
+                help="circuit breaker: abort the sweep after N failed "
+                "attempts in total instead of grinding through a doomed "
+                "suite",
+            )
+            parser.add_argument(
+                "--max-consecutive-failures",
+                type=int,
+                default=None,
+                metavar="N",
+                help="circuit breaker: abort after N consecutive failed "
+                "attempts with no success in between",
             )
         parser.add_argument(
             "--cache-dir",

@@ -38,6 +38,8 @@ attached (:class:`~repro.resilience.WorkloadExecutionError`).
 
 from __future__ import annotations
 
+import contextlib
+import logging
 import os
 import threading
 import time
@@ -68,10 +70,21 @@ from .resilience.faults import (
     FaultInjected,
     FaultPlan,
 )
+from .resilience.journal import (
+    JournalError,
+    RunJournal,
+    resolve_journal_dir,
+    sweep_fingerprint,
+)
 from .resilience.runner import (
     WorkloadExecutionError,
     WorkloadFailure,
     run_failsafe,
+)
+from .resilience.shutdown import (
+    DrainController,
+    SweepDrained,
+    drain_on_signals,
 )
 from .regions.braid import Braid, build_braids
 from .regions.path_region import path_to_region
@@ -81,6 +94,8 @@ from .sim.memo import SimulationMemo
 from .sim.offload import OffloadOutcome, OffloadSimulator
 from .sim.trace_kernels import KERNEL_MODE_LABELS, KERNELS_ARRAY
 from .workloads.base import ProfiledWorkload, Workload, profile_workload
+
+log = logging.getLogger(__name__)
 
 #: distinguishes "caller passed jobs explicitly" (deprecated) from the
 #: default of deferring to ``PipelineOptions``
@@ -524,29 +539,133 @@ class NeedlePipeline:
     def _sweep(self, method, worker_fn, memo: Dict, workloads, jobs) -> List:
         workloads = list(workloads)
         jobs = self._resolve_jobs(jobs, method)
-        # memoised results never re-run, so they cannot re-fail
+        # journaling (and therefore resume) applies to evaluation sweeps:
+        # those are the long batch jobs whose partial results are worth
+        # keeping; analyse memos are a cheap byproduct of evaluation
+        journal = self._open_journal(workloads, memo) \
+            if method == "evaluate" else None
+        # memoised results never re-run, so they cannot re-fail; on a
+        # resumed run this is exactly what skips completed workloads
         todo = [w for w in workloads if w.name not in memo]
         backend, width = self._execution_plan(jobs, len(todo))
-        if backend == "serial":
-            fresh = self._run_serial(method, todo)
-        else:
-            with obs.span(
-                method + "_all", jobs=width, workloads=len(workloads)
-            ):
-                fresh = self._fan_out(worker_fn, todo, backend, width)
+        drain = None
+        signal_scope = contextlib.nullcontext()
+        if journal is not None:
+            journal.scheduled([w.name for w in todo])
+            drain = DrainController(timeout=self.options.drain_timeout)
+            signal_scope = drain_on_signals(drain)
+        try:
+            with signal_scope:
+                if backend == "serial":
+                    fresh = self._run_serial(
+                        method, todo, journal=journal, drain=drain)
+                else:
+                    with obs.span(
+                        method + "_all", jobs=width, workloads=len(workloads)
+                    ):
+                        fresh = self._fan_out(
+                            worker_fn, todo, backend, width,
+                            journal=journal, drain=drain)
+        except SweepDrained as exc:
+            if journal is not None:
+                exc.run_id = journal.run_id
+                exc.journal_dir = journal.journal_dir
+                journal.aborted(reason="drain", outstanding=exc.outstanding)
+                journal.close()
+            raise
+        except BaseException:
+            if journal is not None:
+                journal.close()
+            raise
         by_name = dict(zip((w.name for w in todo), fresh))
         for name, row in by_name.items():
             if not isinstance(row, WorkloadFailure):
                 memo[name] = row
+        if journal is not None:
+            failed = sum(
+                1 for row in fresh if isinstance(row, WorkloadFailure))
+            journal.finished(completed=len(fresh) - failed, quarantined=failed)
+            journal.close()
         return [
             by_name[w.name] if w.name in by_name else memo[w.name]
             for w in workloads
         ]
 
+    # -- journal / resume ---------------------------------------------------
+
+    def _open_journal(self, workloads, memo: Dict) -> Optional[RunJournal]:
+        """Create or resume this sweep's run journal, if configured.
+
+        A resumed journal's completed workloads are folded straight into
+        ``memo`` (records, obs snapshots or record-derived semantic
+        publication, and simulation-memo deltas), so the sweep re-runs
+        only what never durably finished — and the merged final state is
+        byte-identical to an uninterrupted run.
+        """
+        opts = self.options
+        journal_dir = resolve_journal_dir(opts.journal_dir)
+        if journal_dir is None:
+            if opts.resume is not None or opts.run_id is not None:
+                raise JournalError(
+                    "journaling needs a directory: pass "
+                    "--journal-dir/PipelineOptions.journal_dir or set "
+                    "$REPRO_JOURNAL_DIR")
+            return None
+        manifest = [w.name for w in workloads]
+        fingerprint = sweep_fingerprint(self.config, manifest)
+        plan = self._fault_plan()
+        if opts.resume is not None:
+            journal, replay = RunJournal.resume(
+                journal_dir, opts.resume,
+                fingerprint=fingerprint, manifest=manifest, plan=plan)
+            self._seed_from_replay(journal, replay, memo)
+            return journal
+        return RunJournal.create(
+            journal_dir, opts.run_id,
+            fingerprint=fingerprint, manifest=manifest,
+            config_fingerprint=config_fingerprint(self.config), plan=plan)
+
+    def _seed_from_replay(self, journal: RunJournal, replay, memo: Dict):
+        """Restore completed workloads from a replayed journal."""
+        seeded = 0
+        for name, key in replay.completed.items():
+            row = journal.load_payload(key) if key else None
+            if not (isinstance(row, tuple) and len(row) == 3):
+                log.warning(
+                    "journal payload for completed workload %r is missing "
+                    "or unreadable; it will be re-run", name)
+                continue
+            result, snap, memo_snap = row
+            if isinstance(result, WorkloadFailure):
+                continue
+            memo[name] = result
+            if memo_snap is not None and self.sim_memo is not None:
+                self.sim_memo.merge(memo_snap)
+            if obs.enabled():
+                if snap is not None:
+                    # pooled runs journal the worker's whole registry
+                    # snapshot; merging it reproduces the clean-run state
+                    obs.merge(snap)
+                else:
+                    # serial runs journal the bare record; its semantic
+                    # metrics + ledger entries are a pure function of it
+                    publish_workload_evaluation(result)
+                obs.counter("resilience.resumed_workloads", 1,
+                            help="completed workloads restored from the "
+                                 "run journal instead of re-executed")
+            seeded += 1
+        if seeded:
+            log.info(
+                "resumed run %s: %d completed workload(s) restored from "
+                "the journal, %d to run",
+                journal.run_id, seeded,
+                len(replay.header.get("manifest", ())) - seeded)
+
     def _fault_plan(self) -> Optional[FaultPlan]:
         return self.options.resolve_fault_plan()
 
-    def _run_serial(self, method: str, workloads) -> List:
+    def _run_serial(self, method: str, workloads, journal=None,
+                    drain=None) -> List:
         """Serial sweep through the fail-safe runner on a
         :class:`~repro.exec.SerialPool` — the same retry/quarantine/blame
         contract as every other backend (timeouts excepted: a thread
@@ -565,6 +684,15 @@ class NeedlePipeline:
                 _consult_worker_faults(workload.name)
                 return bound(workload)
 
+        on_result = None
+        if journal is not None:
+            def on_result(workload, result):
+                # payload first (atomic + fsynced), then the journal
+                # record that references it — write-ahead ordering
+                key = journal.store_payload(workload.name,
+                                            (result, None, None))
+                journal.completed(workload.name, key)
+
         return run_failsafe(
             call,
             workloads,
@@ -572,24 +700,33 @@ class NeedlePipeline:
             policy=self.options.failure_policy(),
             plan=plan,
             key_fn=lambda w: w.name,
+            on_result=on_result,
+            on_event=journal.lifecycle if journal is not None else None,
+            drain=drain,
         )
 
-    def _fan_out(self, worker, workloads, backend: str, width: int) -> List:
+    def _fan_out(self, worker, workloads, backend: str, width: int,
+                 journal=None, drain=None) -> List:
         """Shard over a fail-safe worker pool; workers return ``(result,
         obs snapshot-or-None, memo delta-or-None)``.  Snapshots are
         folded in as each worker finishes — a later failure can no longer
         drop metrics or memo entries that were already collected — and
         failed workloads come back as :class:`WorkloadFailure` records in
-        their suite slot."""
+        their suite slot.  With a journal attached, each row is persisted
+        and its ``completed`` record fsynced the moment it lands, from
+        any backend."""
         cache_root = self.cache.root if self.cache is not None else None
         collect = obs.enabled()
 
-        def _absorb(_workload, row):
+        def _absorb(workload, row):
             _result, snap, memo_snap = row
             if snap is not None:
                 obs.merge(snap)
             if memo_snap is not None and self.sim_memo is not None:
                 self.sim_memo.merge(memo_snap)
+            if journal is not None:
+                key = journal.store_payload(workload.name, row)
+                journal.completed(workload.name, key)
 
         rows = run_failsafe(
             worker,
@@ -602,6 +739,8 @@ class NeedlePipeline:
             plan=self._fault_plan(),
             key_fn=lambda w: w.name,
             on_result=_absorb,
+            on_event=journal.lifecycle if journal is not None else None,
+            drain=drain,
         )
         return [
             row if isinstance(row, WorkloadFailure) else row[0] for row in rows
@@ -638,6 +777,12 @@ def evaluate_suite(
     quarantined as a :class:`~repro.resilience.WorkloadFailure` in its
     suite slot, so partial results always come back.  ``fail_fast=True``
     raises on the first failure instead.
+
+    With ``options.journal_dir`` (or ``$REPRO_JOURNAL_DIR``) set the
+    sweep writes a crash-safe run journal; ``options.resume`` continues
+    a journaled run — when ``names`` is omitted, the journaled suite
+    manifest is replayed, so the resumed sweep evaluates exactly what
+    the original one scheduled.
     """
     from . import workloads as workload_registry
 
@@ -648,6 +793,11 @@ def evaluate_suite(
         fail_fast=fail_fast, fault_plan=fault_plan,
     )
     pipeline = opts.build_pipeline()
+    if names is None and opts.resume is not None:
+        journal_dir = resolve_journal_dir(opts.journal_dir)
+        if journal_dir is not None:
+            names = RunJournal.peek(
+                journal_dir, opts.resume).get("manifest")
     if names is None:
         suite = workload_registry.all_workloads()
     else:

@@ -1,18 +1,29 @@
-"""Resilience subsystem: deterministic fault injection + fail-safe sweeps.
+"""Resilience subsystem: fault injection, fail-safe sweeps, durability.
 
-Two halves, designed to be used together:
+Four pieces, designed to be used together:
 
 * :mod:`repro.resilience.faults` — a seeded :class:`FaultPlan` consulted
-  at named sites inside the frame executor, interpreter, artifact cache
-  and pool workers.  Zero-cost when disabled (one flag test per site,
-  same discipline as :mod:`repro.obs`); byte-reproducible when enabled.
+  at named sites inside the frame executor, interpreter, artifact cache,
+  pool workers and run journal.  Zero-cost when disabled (one flag test
+  per site, same discipline as :mod:`repro.obs`); byte-reproducible when
+  enabled.
 * :mod:`repro.resilience.runner` — :func:`run_failsafe`, the pool
   fan-out with per-task timeouts, seeded-backoff retries,
-  ``BrokenProcessPool`` recovery and quarantine, returning partial
-  results plus :class:`WorkloadFailure` records instead of crashing.
+  ``BrokenProcessPool`` recovery, quarantine and a sweep-level circuit
+  breaker, returning partial results plus :class:`WorkloadFailure`
+  records instead of crashing.
+* :mod:`repro.resilience.journal` — :class:`RunJournal`, the
+  write-ahead run journal that makes a sweep crash-safe: every
+  completed workload is durable the moment it lands, and
+  ``repro evaluate --resume <run-id>`` merges back to a state
+  byte-identical to an uninterrupted run.
+* :mod:`repro.resilience.shutdown` — SIGINT/SIGTERM drain handling:
+  :class:`SweepDrained`, :class:`DrainController`, and the
+  :data:`EXIT_DRAINED` exit code.
 
-See ``docs/resilience.md`` for the site list, retry policy and the
-chaos-testing workflow.
+See ``docs/resilience.md`` for the site list, retry policy, the
+chaos-testing workflow, and the checkpoint/resume + graceful-shutdown
+contracts.
 """
 
 from .faults import (
@@ -27,7 +38,18 @@ from .faults import (
     enabled,
     install,
     installed,
+    restore,
     uninstall,
+)
+from .journal import (
+    JOURNAL_FORMAT_VERSION,
+    JournalError,
+    JournalMismatch,
+    JournalReplay,
+    RunJournal,
+    new_run_id,
+    resolve_journal_dir,
+    sweep_fingerprint,
 )
 from .runner import (
     FailurePolicy,
@@ -36,23 +58,42 @@ from .runner import (
     run_failsafe,
     split_failures,
 )
+from .shutdown import (
+    EXIT_DRAINED,
+    DrainController,
+    SweepDrained,
+    drain_on_signals,
+)
 
 __all__ = [
     "ALL_SITES",
+    "EXIT_DRAINED",
+    "DrainController",
     "FailurePolicy",
     "FaultInjected",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "JOURNAL_FORMAT_VERSION",
+    "JournalError",
+    "JournalMismatch",
+    "JournalReplay",
+    "RunJournal",
+    "SweepDrained",
     "WorkloadExecutionError",
     "WorkloadFailure",
     "active",
     "consult",
     "corrupt_value",
+    "drain_on_signals",
     "enabled",
     "install",
     "installed",
+    "new_run_id",
+    "resolve_journal_dir",
+    "restore",
     "run_failsafe",
     "split_failures",
+    "sweep_fingerprint",
     "uninstall",
 ]

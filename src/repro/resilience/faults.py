@@ -58,6 +58,10 @@ SITE_FRAME_GUARD_FLIP = "frame.guard_flip"
 SITE_INTERP_RUN = "interp.exception"
 #: truncate an artifact payload before it reaches disk (key: artifact kind)
 SITE_CACHE_TRUNCATE = "cache.truncated_payload"
+#: hard-kill the sweep driver as it appends a run-journal record (key:
+#: journal event name; payload ``exit_code``, optional ``torn_bytes`` to
+#: leave a partial line behind — the kill-mid-write case)
+SITE_JOURNAL_CRASH = "journal.crash"
 
 ALL_SITES = (
     SITE_WORKER_EXCEPTION,
@@ -68,6 +72,7 @@ ALL_SITES = (
     SITE_FRAME_GUARD_FLIP,
     SITE_INTERP_RUN,
     SITE_CACHE_TRUNCATE,
+    SITE_JOURNAL_CRASH,
 )
 
 
@@ -280,6 +285,16 @@ def uninstall() -> None:
     _set_active(None)
 
 
+def restore(inj: Optional[FaultInjector]) -> None:
+    """Reinstate a previously :func:`active` injector (or ``None``).
+
+    The fail-safe runner snapshots the ambient injector on entry and
+    restores it on *every* exit path — a ``KeyboardInterrupt`` mid-sweep
+    must not leave a task-scoped injector installed in the caller's
+    thread."""
+    _set_active(inj)
+
+
 @contextmanager
 def installed(plan: Optional[FaultPlan], attempt: int = 0):
     """Scope an injector to a ``with`` block, restoring the previous one."""
@@ -310,6 +325,7 @@ __all__ = [
     "SITE_FRAME_GUARD_FLIP",
     "SITE_FRAME_STORE_CORRUPT",
     "SITE_INTERP_RUN",
+    "SITE_JOURNAL_CRASH",
     "SITE_WORKER_CRASH",
     "SITE_WORKER_EXCEPTION",
     "SITE_WORKER_HANG",
@@ -319,5 +335,6 @@ __all__ = [
     "enabled",
     "install",
     "installed",
+    "restore",
     "uninstall",
 ]

@@ -44,7 +44,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..exec.pools import Pool, PoolBroken, WorkerCrashed, make_pool
+from . import faults as _faults
 from .faults import FaultPlan, _unit
+from .shutdown import DrainController, SweepDrained
 
 log = logging.getLogger(__name__)
 
@@ -65,6 +67,15 @@ class FailurePolicy:
                       retrying/quarantining (the pre-resilience crash
                       behaviour, now with the workload name attached).
     ``seed``          jitter seed; chaos runs reuse the fault plan's.
+    ``max_total_failures``        circuit breaker: trip after this many
+                      failed attempts across the whole sweep (``None``
+                      = never) — a doomed suite aborts instead of
+                      grinding through every retry budget.
+    ``max_consecutive_failures``  trip after this many failed attempts
+                      with no success in between (a success resets the
+                      streak).  Tripping quarantines all outstanding
+                      work as ``kind="aborted"`` records and journals
+                      the abort when a run journal is attached.
     """
 
     timeout: Optional[float] = None
@@ -73,6 +84,19 @@ class FailurePolicy:
     backoff_cap: float = 2.0
     fail_fast: bool = False
     seed: int = 0
+    max_total_failures: Optional[int] = None
+    max_consecutive_failures: Optional[int] = None
+
+    def breaker_reason(self, total: int, consecutive: int) -> Optional[str]:
+        """Why the circuit breaker trips at these counts (``None`` = no)."""
+        if self.max_total_failures is not None and \
+                total >= self.max_total_failures:
+            return "max_total_failures=%d reached" % self.max_total_failures
+        if self.max_consecutive_failures is not None and \
+                consecutive >= self.max_consecutive_failures:
+            return ("max_consecutive_failures=%d reached"
+                    % self.max_consecutive_failures)
+        return None
 
     def backoff(self, failed_attempts: int, key: str) -> float:
         """Delay before the next attempt of ``key`` (deterministic)."""
@@ -96,7 +120,7 @@ class WorkloadFailure:
     """
 
     workload: str
-    kind: str  #: ``exception`` | ``timeout`` | ``crash``
+    kind: str  #: ``exception`` | ``timeout`` | ``crash`` | ``aborted``
     attempts: int
     error_type: str = ""
     error: str = ""
@@ -156,6 +180,8 @@ def run_failsafe(
     plan: Optional[FaultPlan] = None,
     key_fn: Callable = _default_key,
     on_result: Optional[Callable] = None,
+    on_event: Optional[Callable] = None,
+    drain: Optional[DrainController] = None,
 ) -> List:
     """Run ``task(item, *task_args, plan, attempt)`` for every item.
 
@@ -171,12 +197,26 @@ def run_failsafe(
     lands — before any later failure can abort the sweep — so callers
     can fold in side data (obs snapshots) without losing the work
     already done.
+
+    ``on_event(event, key, **data)`` receives lifecycle notifications —
+    ``attempt_started`` (at submission, so a journal records intent
+    before execution; at-least-once under careful-mode resubmission),
+    ``quarantined`` and ``circuit_open``.  ``drain`` attaches a
+    :class:`~repro.resilience.shutdown.DrainController`: once a drain is
+    requested, no new work is submitted and the runner waits (bounded by
+    the controller's timeout) for in-flight tasks, then raises
+    :class:`~repro.resilience.shutdown.SweepDrained` listing the
+    outstanding keys.  On every exit path — clean, drained, interrupted
+    — the pool is closed and the caller thread's ambient fault injector
+    is restored.
     """
     items = list(items)
     policy = policy or FailurePolicy()
     results: List[object] = [None] * len(items)
     tasks = [_Task(i, item, key_fn(item)) for i, item in enumerate(items)]
     incomplete = {t.index: t for t in tasks}
+
+    emit = on_event if on_event is not None else (lambda event, key, **d: None)
 
     if isinstance(pool, Pool):
         backend = pool
@@ -186,6 +226,11 @@ def run_failsafe(
 
     pending: Dict[int, _Task] = {}  # ticket -> task
     careful = False  # one-at-a-time after an unattributable pool failure
+    total_failures = 0
+    consecutive_failures = 0
+    trip_reason: Optional[str] = None
+    draining = False
+    drain_started = drain_deadline = 0.0
 
     def enter_careful(why: BaseException) -> None:
         nonlocal careful
@@ -208,8 +253,11 @@ def run_failsafe(
 
     def charge(t: _Task, kind: str, exc: Optional[BaseException]) -> None:
         """One failed attempt for ``t``: retry with backoff or quarantine."""
+        nonlocal total_failures, consecutive_failures, trip_reason
         t.attempt += 1
         t.ticket = None
+        total_failures += 1
+        consecutive_failures += 1
         if policy.fail_fast:
             raise WorkloadExecutionError(t.key, kind) from exc
         if t.attempt > policy.retries:
@@ -221,6 +269,8 @@ def run_failsafe(
                 error=str(exc) if exc is not None else "",
             )
             del incomplete[t.index]
+            emit("quarantined", t.key, kind=kind, attempts=t.attempt,
+                 error_type=type(exc).__name__ if exc is not None else "")
             if obs.enabled():
                 obs.counter("resilience.quarantined", 1,
                             help="tasks that exhausted their retry budget",
@@ -231,38 +281,66 @@ def run_failsafe(
                 obs.counter("resilience.retries", 1,
                             help="failed attempts scheduled for retry",
                             kind=kind)
+        if trip_reason is None:
+            trip_reason = policy.breaker_reason(
+                total_failures, consecutive_failures)
 
     deadlines = policy.timeout is not None and backend.preemptive
 
+    ambient = _faults.active()
     backend.start()
     try:
         while incomplete:
             now = time.monotonic()
 
+            if drain is not None and not draining and drain.requested():
+                draining = True
+                drain_started = now
+                drain_deadline = now + drain.timeout
+                log.warning(
+                    "shutdown requested: draining %d in-flight task(s) "
+                    "(%d outstanding, %.1fs deadline)",
+                    len(pending), len(incomplete), drain.timeout)
+
+            if trip_reason is not None:
+                break
+            if draining and (not pending or now >= drain_deadline):
+                break
+
             # submit eligible tasks in deterministic index order; careful
-            # mode keeps exactly one in flight
+            # mode keeps exactly one in flight; a draining sweep submits
+            # nothing more (retries included)
             try:
-                for t in sorted(incomplete.values(), key=lambda t: t.index):
-                    if t.ticket is not None or t.not_before > now:
-                        continue
-                    if careful and pending:
-                        break
-                    t.ticket = backend.submit(
-                        task, (t.item,) + tuple(task_args) + (plan, t.attempt),
-                        key=t.key)
-                    pending[t.ticket] = t
-                    if careful:
-                        break
+                if not draining:
+                    for t in sorted(incomplete.values(), key=lambda t: t.index):
+                        if t.ticket is not None or t.not_before > now:
+                            continue
+                        if careful and pending:
+                            break
+                        emit("attempt_started", t.key, attempt=t.attempt)
+                        t.ticket = backend.submit(
+                            task,
+                            (t.item,) + tuple(task_args) + (plan, t.attempt),
+                            key=t.key)
+                        pending[t.ticket] = t
+                        if careful:
+                            break
             except PoolBroken as exc:
                 enter_careful(exc)
                 continue
 
             if not pending:
+                if draining:
+                    continue  # only backed-off retries left: drain now
                 # everyone is backing off; sleep until the earliest retry
                 wake = min(
                     t.not_before for t in incomplete.values() if t.ticket is None
                 )
-                time.sleep(max(0.0, min(wake - now, policy.backoff_cap)))
+                delay = max(0.0, min(wake - now, policy.backoff_cap))
+                if drain is not None:
+                    # stay responsive to a drain request during backoff
+                    delay = min(delay, 0.2)
+                time.sleep(delay)
                 continue
 
             horizon = []
@@ -278,6 +356,13 @@ def run_failsafe(
                 if t.ticket is None and t.not_before > now
             ]
             wait_for = max(0.01, min(horizon) - now) if horizon else None
+            if drain is not None:
+                # blocking waits are PEP 475-restarted after a signal
+                # handler returns, so an unbounded wait would never
+                # notice the drain flag; poll instead
+                wait_for = 0.25 if wait_for is None else min(wait_for, 0.25)
+                if draining:
+                    wait_for = max(0.01, min(wait_for, drain_deadline - now))
             try:
                 completions = backend.wait(wait_for)
             except PoolBroken as exc:
@@ -319,6 +404,7 @@ def run_failsafe(
                 if c.error is None:
                     results[t.index] = c.result
                     del incomplete[t.index]
+                    consecutive_failures = 0
                     if on_result is not None:
                         on_result(t.item, results[t.index])
                 elif isinstance(c.error, WorkerCrashed):
@@ -328,11 +414,42 @@ def run_failsafe(
                     charge(t, "crash", c.error)
                 else:
                     charge(t, "exception", c.error)
+
+        if trip_reason is not None and incomplete:
+            outstanding = sorted(t.key for t in incomplete.values())
+            log.error(
+                "circuit breaker tripped (%s): aborting %d outstanding "
+                "task(s)", trip_reason, len(outstanding))
+            if obs.enabled():
+                obs.counter("resilience.circuit_breaker_trips", 1,
+                            help="sweeps aborted by the failure circuit "
+                                 "breaker")
+            emit("circuit_open", "", reason=trip_reason,
+                 outstanding=outstanding)
+            for t in list(incomplete.values()):
+                results[t.index] = WorkloadFailure(
+                    workload=t.key, kind="aborted", attempts=t.attempt,
+                    error_type="CircuitBreaker", error=trip_reason)
+                del incomplete[t.index]
+        elif draining and incomplete:
+            drain_seconds = time.monotonic() - drain_started
+            if obs.enabled():
+                obs.gauge("resilience.drain_seconds", drain_seconds,
+                          help="wall time spent draining in-flight tasks "
+                               "after a shutdown request")
+            raise SweepDrained(
+                outstanding=sorted(t.key for t in incomplete.values()),
+                completed=len(items) - len(incomplete),
+                drain_seconds=drain_seconds)
     finally:
+        # every exit path — clean, drained, fail_fast, KeyboardInterrupt —
+        # restores the caller's ambient fault injector and closes the pool
+        if _faults.active() is not ambient:
+            _faults.restore(ambient)
         try:
             backend.close(graceful=not pending)
-        except Exception:
-            pass
+        except BaseException:
+            log.debug("pool close failed during teardown", exc_info=True)
 
     return results
 

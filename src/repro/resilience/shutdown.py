@@ -1,0 +1,123 @@
+"""Graceful shutdown: drain a sweep on SIGINT/SIGTERM instead of dying.
+
+A journaled sweep installs a :class:`DrainController` and wraps itself
+in :func:`drain_on_signals`.  The first SIGINT/SIGTERM does *not*
+unwind the stack — it flips the controller, and the fail-safe runner
+reacts at its next scheduling step: stop submitting work, wait (bounded
+by the drain timeout) for in-flight tasks to land and be journaled,
+then raise :class:`SweepDrained`.  The pipeline journals the abort, the
+CLI prints the resume command and exits with :data:`EXIT_DRAINED`.  A
+second signal means "now": it raises ``KeyboardInterrupt`` immediately,
+the historical behaviour.
+
+:class:`SweepDrained` subclasses ``KeyboardInterrupt`` deliberately —
+callers that do not know about draining treat it exactly like Ctrl-C
+(it must never be swallowed by a broad ``except Exception``), while
+callers that do get the outstanding workloads and the resume command.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+#: process exit code for a drained sweep (BSD EX_TEMPFAIL: partial work
+#: is journaled; re-running with ``--resume`` completes it)
+EXIT_DRAINED = 75
+
+#: default bounded wait for in-flight tasks after the first signal
+DEFAULT_DRAIN_TIMEOUT = 10.0
+
+
+class SweepDrained(KeyboardInterrupt):
+    """A sweep stopped early by a drain request, with its work journaled."""
+
+    def __init__(self, outstanding=(), completed: int = 0,
+                 drain_seconds: float = 0.0, run_id: Optional[str] = None,
+                 journal_dir: Optional[str] = None):
+        self.outstanding = list(outstanding)
+        self.completed = int(completed)
+        self.drain_seconds = float(drain_seconds)
+        self.run_id = run_id
+        self.journal_dir = journal_dir
+        super().__init__(
+            "sweep drained with %d workload(s) outstanding"
+            % len(self.outstanding))
+
+    def resume_command(self) -> Optional[str]:
+        """The CLI invocation that continues this run, if journaled."""
+        if self.run_id is None:
+            return None
+        command = "python -m repro evaluate --resume %s" % self.run_id
+        if self.journal_dir:
+            command += " --journal-dir %s" % self.journal_dir
+        return command
+
+
+class DrainController:
+    """Thread-safe 'please stop feeding the pool' flag + drain budget."""
+
+    def __init__(self, timeout: Optional[float] = DEFAULT_DRAIN_TIMEOUT):
+        self.timeout = (DEFAULT_DRAIN_TIMEOUT if timeout is None
+                        else max(0.0, float(timeout)))
+        self._event = threading.Event()
+        self.signum: Optional[int] = None
+        self.requested_at: Optional[float] = None
+
+    def request(self, signum: Optional[int] = None) -> None:
+        """Ask the sweep to drain (idempotent; first request wins)."""
+        if not self._event.is_set():
+            self.signum = signum
+            self.requested_at = time.monotonic()
+            self._event.set()
+
+    def requested(self) -> bool:
+        return self._event.is_set()
+
+
+@contextmanager
+def drain_on_signals(controller: Optional[DrainController],
+                     signums=(signal.SIGINT, signal.SIGTERM)):
+    """Route SIGINT/SIGTERM into ``controller`` for the enclosed sweep.
+
+    Installs handlers only on the main thread (Python restricts signal
+    handling to it; worker threads simply yield unchanged) and always
+    restores the previous handlers on exit.  First signal: drain.
+    Second: ``KeyboardInterrupt``.
+    """
+    if controller is None or \
+            threading.current_thread() is not threading.main_thread():
+        yield controller
+        return
+
+    def _handler(signum, frame):
+        if controller.requested():
+            raise KeyboardInterrupt
+        controller.request(signum)
+
+    previous = {}
+    for signum in signums:
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError, RuntimeError):
+            continue
+    try:
+        yield controller
+    finally:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError, RuntimeError):
+                pass
+
+
+__all__ = [
+    "DEFAULT_DRAIN_TIMEOUT",
+    "EXIT_DRAINED",
+    "DrainController",
+    "SweepDrained",
+    "drain_on_signals",
+]

@@ -1,0 +1,349 @@
+"""The crash-safe run journal (`repro.resilience.journal`).
+
+Locks the durability contract: every fsynced record survives replay, a
+torn trailing record is detected, counted and truncated (never an
+error), and resuming against a journal written under different options
+is a hard mismatch.  The hypothesis property drives the central claim —
+replaying *any* byte prefix of a journal, then replaying the truncated
+file again, reaches the same folded state: resume is idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.resilience.journal import (
+    EVENT_RUN_RESUMED,
+    EVENT_RUN_STARTED,
+    JOURNAL_DIR_ENV,
+    JOURNAL_FORMAT_VERSION,
+    JournalError,
+    JournalMismatch,
+    JournalReplay,
+    RunJournal,
+    new_run_id,
+    resolve_journal_dir,
+    sweep_fingerprint,
+)
+from repro.sim.config import DEFAULT_CONFIG
+
+MANIFEST = ["164.gzip", "470.lbm", "dwt53"]
+FP = "f" * 64
+
+
+def _create(tmp_path, run_id="run1", manifest=MANIFEST, fingerprint=FP):
+    return RunJournal.create(
+        str(tmp_path), run_id, fingerprint=fingerprint, manifest=manifest,
+        config_fingerprint="cfg")
+
+
+# -- ids, directories, fingerprints -----------------------------------------
+
+
+def test_new_run_ids_are_valid_and_unique():
+    ids = {new_run_id() for _ in range(16)}
+    assert len(ids) == 16
+    for run_id in ids:
+        RunJournal("/tmp", run_id)  # validates without touching disk
+
+
+@pytest.mark.parametrize("bad", ["", "../escape", "a/b", "a b", ".hidden"])
+def test_path_unsafe_run_ids_are_rejected(bad):
+    with pytest.raises(JournalError, match="invalid run id"):
+        RunJournal("/tmp", bad)
+
+
+def test_resolve_journal_dir_precedence(monkeypatch):
+    monkeypatch.delenv(JOURNAL_DIR_ENV, raising=False)
+    assert resolve_journal_dir(None) is None
+    assert resolve_journal_dir("/a") == "/a"
+    monkeypatch.setenv(JOURNAL_DIR_ENV, "/b")
+    assert resolve_journal_dir(None) == "/b"
+    assert resolve_journal_dir("/a") == "/a"
+
+
+def test_sweep_fingerprint_pins_config_manifest_and_format():
+    base = sweep_fingerprint(DEFAULT_CONFIG, MANIFEST)
+    assert base == sweep_fingerprint(DEFAULT_CONFIG, list(MANIFEST))
+    assert base != sweep_fingerprint(DEFAULT_CONFIG, MANIFEST[:-1])
+    assert base != sweep_fingerprint(DEFAULT_CONFIG, list(reversed(MANIFEST)))
+    import dataclasses
+
+    cgra = dataclasses.replace(
+        DEFAULT_CONFIG.cgra, rows=DEFAULT_CONFIG.cgra.rows + 1)
+    other = dataclasses.replace(DEFAULT_CONFIG, cgra=cgra)
+    assert base != sweep_fingerprint(other, MANIFEST)
+
+
+# -- append / replay round-trip ---------------------------------------------
+
+
+def test_round_trip_folds_lifecycle_into_state(tmp_path):
+    j = _create(tmp_path)
+    j.scheduled(MANIFEST)
+    j.lifecycle("attempt_started", "164.gzip", attempt=0)
+    j.completed("164.gzip", "key-gzip")
+    j.lifecycle("attempt_started", "470.lbm", attempt=0)
+    j.lifecycle("quarantined", "dwt53", kind="crash", attempts=2,
+                error_type="WorkerCrashed")
+    j.close()
+
+    replay = RunJournal(str(tmp_path), "run1").replay()
+    assert replay.torn_records == 0
+    assert replay.header["event"] == EVENT_RUN_STARTED
+    assert replay.header["manifest"] == MANIFEST
+    assert replay.header["fingerprint"] == FP
+    assert replay.header["format"] == JOURNAL_FORMAT_VERSION
+    assert replay.scheduled == MANIFEST
+    assert replay.completed == {"164.gzip": "key-gzip"}
+    assert replay.in_flight == ["470.lbm"]  # started, never finished
+    assert set(replay.quarantined) == {"dwt53"}
+    assert replay.quarantined["dwt53"]["kind"] == "crash"
+
+
+def test_completed_clears_in_flight_and_quarantine(tmp_path):
+    j = _create(tmp_path)
+    j.lifecycle("attempt_started", "470.lbm", attempt=0)
+    j.lifecycle("quarantined", "470.lbm", kind="timeout", attempts=3)
+    j.completed("470.lbm", "key")  # e.g. a resumed run finished it
+    j.close()
+    replay = RunJournal(str(tmp_path), "run1").replay()
+    assert replay.completed == {"470.lbm": "key"}
+    assert replay.in_flight == []
+    assert replay.quarantined == {}
+
+
+def test_create_refuses_to_overwrite_an_existing_run(tmp_path):
+    _create(tmp_path).close()
+    with pytest.raises(JournalError, match="already has a journal"):
+        _create(tmp_path)
+
+
+def test_replay_of_missing_journal_is_an_error(tmp_path):
+    with pytest.raises(JournalError, match="no journal for run id"):
+        RunJournal(str(tmp_path), "ghost").replay()
+
+
+# -- torn-tail detection and truncation -------------------------------------
+
+
+def test_torn_trailing_fragment_is_counted_and_truncated(tmp_path):
+    j = _create(tmp_path)
+    j.completed("164.gzip", "key")
+    j.close()
+    with open(j.path, "ab") as fh:
+        fh.write(b'{"event":"completed","workload":"470.l')  # no newline
+
+    obs.enable(reset=True)
+    try:
+        replay = RunJournal(str(tmp_path), "run1").replay()
+        torn = obs.registry().get("resilience.journal_torn_records")
+        assert torn is not None
+        assert sum(v for _k, v in torn.series()) == 1
+    finally:
+        obs.disable()
+        obs.registry().clear()
+
+    assert replay.torn_records == 1
+    assert replay.completed == {"164.gzip": "key"}
+    # the file was truncated back to the durable prefix: a second replay
+    # sees a clean journal with identical state
+    again = RunJournal(str(tmp_path), "run1").replay()
+    assert again.torn_records == 0
+    assert again.completed == replay.completed
+    assert again.events == replay.events
+
+
+def test_fully_parseable_fragment_without_newline_is_still_torn(tmp_path):
+    # the fsync covers the newline; a line missing it was never durable,
+    # even if json.loads would accept the fragment
+    j = _create(tmp_path)
+    j.close()
+    with open(j.path, "ab") as fh:
+        fh.write(b'{"event":"completed","workload":"x","payload":"k"}')
+    replay = RunJournal(str(tmp_path), "run1").replay()
+    assert replay.torn_records == 1
+    assert replay.completed == {}
+
+
+def test_corrupt_line_poisons_everything_after_it(tmp_path):
+    j = _create(tmp_path)
+    j.completed("164.gzip", "key")
+    j.close()
+    with open(j.path, "ab") as fh:
+        fh.write(b"\x00garbage\x00\n")
+        fh.write(b'{"event":"completed","workload":"470.lbm","payload":"k"}\n')
+    replay = RunJournal(str(tmp_path), "run1").replay()
+    # both the garbage line and the (possibly state-dependent) record
+    # after it are counted as lost
+    assert replay.torn_records == 2
+    assert replay.completed == {"164.gzip": "key"}
+    again = RunJournal(str(tmp_path), "run1").replay()
+    assert again.torn_records == 0
+    assert again.completed == {"164.gzip": "key"}
+
+
+def test_peek_reads_header_without_truncating(tmp_path):
+    j = _create(tmp_path)
+    j.close()
+    with open(j.path, "ab") as fh:
+        fh.write(b'{"torn')
+    size_before = os.path.getsize(j.path)
+    header = RunJournal.peek(str(tmp_path), "run1")
+    assert header["manifest"] == MANIFEST
+    assert os.path.getsize(j.path) == size_before  # side-effect free
+
+
+# -- resume validation -------------------------------------------------------
+
+
+def test_resume_appends_marker_and_reports_completed(tmp_path):
+    j = _create(tmp_path)
+    j.completed("164.gzip", "key")
+    j.close()
+    j2, replay = RunJournal.resume(
+        str(tmp_path), "run1", fingerprint=FP, manifest=MANIFEST)
+    j2.close()
+    assert replay.completed == {"164.gzip": "key"}
+    events = RunJournal(str(tmp_path), "run1").replay().events
+    assert events[-1]["event"] == EVENT_RUN_RESUMED
+    assert events[-1]["completed"] == 1
+
+
+def test_resume_fingerprint_mismatch_is_a_hard_error(tmp_path):
+    _create(tmp_path).close()
+    with pytest.raises(JournalMismatch, match="fingerprint mismatch"):
+        RunJournal.resume(str(tmp_path), "run1", fingerprint="0" * 64)
+
+
+def test_resume_manifest_change_is_a_hard_error(tmp_path):
+    _create(tmp_path).close()
+    with pytest.raises(JournalMismatch, match="manifest changed"):
+        RunJournal.resume(str(tmp_path), "run1", fingerprint=FP,
+                          manifest=MANIFEST + ["fft-2d"])
+
+
+def test_resume_format_mismatch_is_a_hard_error(tmp_path):
+    j = _create(tmp_path)
+    j.close()
+    lines = open(j.path).read().splitlines()
+    header = json.loads(lines[0])
+    header["format"] = JOURNAL_FORMAT_VERSION + 1
+    lines[0] = json.dumps(header, sort_keys=True, separators=(",", ":"))
+    with open(j.path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalMismatch, match="format"):
+        RunJournal.resume(str(tmp_path), "run1", fingerprint=FP)
+
+
+def test_resume_headerless_journal_is_a_hard_error(tmp_path):
+    path = tmp_path / "bare.jsonl"
+    path.write_text('{"event":"completed","workload":"x","payload":"k"}\n')
+    with pytest.raises(JournalError, match="no run_started header"):
+        RunJournal.resume(str(tmp_path), "bare", fingerprint=FP)
+
+
+# -- payload store write-ahead ordering --------------------------------------
+
+
+def test_payload_is_durable_before_its_completed_record(tmp_path):
+    j = _create(tmp_path)
+    key = j.store_payload("164.gzip", ("row", None, None))
+    # the payload landed before any `completed` record references it
+    assert j.load_payload(key) == ("row", None, None)
+    j.completed("164.gzip", key)
+    j.close()
+    replay = RunJournal(str(tmp_path), "run1").replay()
+    assert j.load_payload(replay.completed["164.gzip"]) == ("row", None, None)
+    assert j.store.fsync  # journal payloads take the durable write path
+
+
+def test_payload_keys_are_scoped_per_run_and_workload(tmp_path):
+    a = RunJournal(str(tmp_path), "run-a")
+    b = RunJournal(str(tmp_path), "run-b")
+    assert a.payload_key("164.gzip") != a.payload_key("470.lbm")
+    assert a.payload_key("164.gzip") != b.payload_key("164.gzip")
+    assert a.payload_key("164.gzip") == RunJournal(
+        str(tmp_path), "run-a").payload_key("164.gzip")
+
+
+# -- the replay-idempotence property -----------------------------------------
+
+_WORKLOADS = st.sampled_from(["w0", "w1", "w2", "w3"])
+_EVENTS = st.lists(
+    st.one_of(
+        st.tuples(st.just("attempt_started"), _WORKLOADS),
+        st.tuples(st.just("completed"), _WORKLOADS),
+        st.tuples(st.just("quarantined"), _WORKLOADS),
+    ),
+    max_size=24,
+)
+
+
+def _state(replay: JournalReplay):
+    return (
+        dict(replay.completed),
+        sorted(replay.quarantined),
+        sorted(replay.in_flight),
+        list(replay.scheduled),
+    )
+
+
+@pytest.mark.chaos
+@settings(max_examples=60, deadline=None)
+@given(events=_EVENTS, cut=st.integers(min_value=0, max_value=10_000),
+       data=st.data())
+def test_replay_of_any_prefix_is_idempotent(tmp_path_factory, events, cut,
+                                            data):
+    """Crash anywhere: replay truncates to a durable prefix, and replay
+    of the truncated file is a fixed point (resume, re-resume, ... all
+    see the same state)."""
+    tmp = tmp_path_factory.mktemp("journal-prop")
+    j = RunJournal.create(
+        str(tmp), "prop", fingerprint=FP, manifest=["w0", "w1", "w2", "w3"],
+        config_fingerprint="cfg")
+    j.scheduled(["w0", "w1", "w2", "w3"])
+    for kind, name in events:
+        if kind == "completed":
+            j.completed(name, "key-" + name)
+        elif kind == "attempt_started":
+            j.lifecycle("attempt_started", name, attempt=0)
+        else:
+            j.lifecycle("quarantined", name, kind="crash", attempts=1)
+    j.close()
+
+    blob = open(j.path, "rb").read()
+    cut = min(cut, len(blob))
+    # optionally corrupt the torn tail, as a real crash mid-write would
+    tail = b""
+    if cut < len(blob) and data.draw(st.booleans(), label="garbage_tail"):
+        tail = b"\xff{torn"
+    with open(j.path, "wb") as fh:
+        fh.write(blob[:cut] + tail)
+
+    if cut == 0 or b"\n" not in blob[:cut]:
+        # not even the header survived: resume correctly refuses
+        replay = RunJournal(str(tmp), "prop").replay()
+        assert replay.header is None
+        return
+
+    first = RunJournal(str(tmp), "prop").replay()
+    second = RunJournal(str(tmp), "prop").replay()
+    third = RunJournal(str(tmp), "prop").replay()
+    assert second.torn_records == 0  # truncation removed the tear
+    assert _state(first) == _state(second) == _state(third)
+    assert first.events == second.events == third.events
+    # every record that survived is a prefix of what was written: no
+    # record is ever invented or reordered by replay
+    full = [json.loads(line) for line in blob.splitlines()]
+    assert first.events == full[: len(first.events)]
+    # a workload is restored only on the strength of a durable
+    # `completed` record in that prefix
+    for name in first.completed:
+        assert {"event": "completed", "workload": name,
+                "payload": "key-" + name} in first.events

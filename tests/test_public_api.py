@@ -7,6 +7,7 @@ import repro
 PUBLIC_API = [
     "ArtifactCache",
     "DEFAULT_CONFIG",
+    "EXIT_DRAINED",
     "FaultPlan",
     "FaultSpec",
     "NeedlePipeline",
@@ -15,7 +16,9 @@ PUBLIC_API = [
     "PipelineOptions",
     "Pool",
     "ProcessPool",
+    "RunJournal",
     "SerialPool",
+    "SweepDrained",
     "SystemConfig",
     "ThreadPool",
     "Workload",
@@ -106,7 +109,9 @@ def test_internal_modules_declare_all():
     import repro.profiling.path_profile
     import repro.resilience
     import repro.resilience.faults
+    import repro.resilience.journal
     import repro.resilience.runner
+    import repro.resilience.shutdown
     import repro.sim.offload
     import repro.workloads.base
 
@@ -122,7 +127,9 @@ def test_internal_modules_declare_all():
         repro.profiling.path_profile,
         repro.resilience,
         repro.resilience.faults,
+        repro.resilience.journal,
         repro.resilience.runner,
+        repro.resilience.shutdown,
         repro.sim.offload,
         repro.workloads.base,
     ):
