@@ -69,6 +69,24 @@ def runs_to_columns(runs: Iterable[Tuple[int, int]]):
     return cols[:, 0], cols[:, 1]
 
 
+def ragged_to_matrix(rows, np, dtype=None):
+    """Pad ragged integer rows into a dense zero-filled 2-D array.
+
+    The shared substrate of the lane-batched OOO tiers: operand source
+    slots per micro-op position have varying fan-in, and both the
+    lockstep batch (:class:`repro.sim.core_ooo._Lane`) and the columnar
+    path programs (:mod:`repro.sim.ooo_columns`) pad them to a dense
+    ``rows × max-fan-in`` matrix whose zero padding is the ground slot.
+    """
+    rows = list(rows)
+    width = max(map(len, rows), default=0)
+    out = np.zeros((len(rows), width), dtype=dtype or np.int64)
+    for i, row in enumerate(rows):
+        if row:
+            out[i, : len(row)] = row
+    return out
+
+
 def _targets_column(targets: Set[int], np):
     if not targets:
         return np.empty(0, dtype=np.int64)
@@ -175,5 +193,6 @@ __all__ = [
     "backend_name",
     "census_from_segments_array",
     "get_numpy",
+    "ragged_to_matrix",
     "runs_to_columns",
 ]

@@ -360,14 +360,13 @@ class _Lane:
                     if writes:
                         slot_of[inst] = len(kinds)  # 1-based finish slot
                 prev_block = block
+        from .array_kernels import ragged_to_matrix
+
         n_walked = len(kinds)
         width = max(map(len, srcs), default=0)
         kind_cols = np.asarray(kinds, dtype=np.int8)
         lat_cols = np.asarray(lats, dtype=np.float64)
-        src_cols = np.zeros((n_walked, width), dtype=np.int64)
-        for pos, operands in enumerate(srcs):
-            if operands:
-                src_cols[pos, : len(operands)] = operands
+        src_cols = ragged_to_matrix(srcs, np)
         if reps > walked:
             # replicate rep 1 for reps 2..reps-1, shifting real slots
             stride = n_walked // 2
@@ -448,6 +447,59 @@ def _path_records(model: OOOModel, block: BasicBlock):
     return entry
 
 
+def resolved_path_steps(
+    model: OOOModel, blocks
+) -> Tuple[List[tuple], List[tuple], int]:
+    """Bind one repetition of ``blocks`` into per-position walk records.
+
+    Returns ``(steps_first, steps_wrap, real_per_rep)``.  Both step lists
+    hold one record per micro-op position: real micro-ops as ``(kind,
+    inst, latency, writes, ops)`` with operands pre-filtered to
+    Instruction values (see :func:`_path_records`), φs as ``(_UOP_PHI,
+    inst, src)`` with the source bound for this path position —
+    ``steps_first`` resolves the first block's φs as path entry (no
+    predecessor, ground), ``steps_wrap`` as the wraparound from the last
+    block, which is what every repetition after the first sees.  Shared
+    by the scalar steady-state walk (:func:`simulate_path_reps`) and the
+    columnar path compiler (:mod:`repro.sim.ooo_columns`), so both tiers
+    replay exactly the same resolved micro-op stream.
+    """
+    blocks = tuple(blocks)
+    per_block = []  # (records-with-φ-placeholders, φ slots, real count)
+    real_per_rep = 0
+    for block in blocks:
+        entry = _path_records(model, block)
+        per_block.append(entry)
+        real_per_rep += entry[2]
+
+    def resolve(recs, phi_slots, prev):
+        """Per-position copy of a block's records with φ sources bound."""
+        if not phi_slots:
+            return recs
+        out = list(recs)
+        for idx, inst in phi_slots:
+            src = inst.incoming_for(prev) if prev is not None else None
+            if not isinstance(src, Instruction):
+                src = None  # non-Instruction sources always miss: ground
+            out[idx] = (_UOP_PHI, inst, src)
+        return out
+
+    steps_wrap: List[tuple] = []
+    for i, block in enumerate(blocks):
+        recs, phi_slots, _ = per_block[i]
+        steps_wrap.extend(
+            resolve(recs, phi_slots, blocks[i - 1] if i else blocks[-1])
+        )
+    recs0, phi_slots0, _ = per_block[0]
+    if phi_slots0:
+        steps_first = (
+            resolve(recs0, phi_slots0, None) + steps_wrap[len(recs0):]
+        )
+    else:
+        steps_first = steps_wrap
+    return steps_first, steps_wrap, real_per_rep
+
+
 def simulate_path_reps(model: OOOModel, blocks, reps: int) -> OOOResult:
     """``model.simulate(list(blocks) × reps)`` with steady-state closure.
 
@@ -514,39 +566,8 @@ def simulate_path_reps(model: OOOModel, blocks, reps: int) -> OOOResult:
     # φ records carry their source pre-resolved for this path position
     # (``None`` ⇒ ground, finish time 0.0).  Both rewrites change no
     # lookup's outcome, only skip lookups that always miss.
-    per_block = []  # (records-with-φ-placeholders, φ slots, real count)
-    real_per_rep = 0
-    for block in blocks:
-        entry = _path_records(model, block)
-        per_block.append(entry)
-        real_per_rep += entry[2]
+    steps_first, steps_wrap, real_per_rep = resolved_path_steps(model, blocks)
     rob_can_fill = reps * real_per_rep > rob_entries
-
-    def resolve(recs, phi_slots, prev):
-        """Per-position copy of a block's records with φ sources bound."""
-        if not phi_slots:
-            return recs
-        out = list(recs)
-        for idx, inst in phi_slots:
-            src = inst.incoming_for(prev) if prev is not None else None
-            if not isinstance(src, Instruction):
-                src = None  # non-Instruction sources always miss: ground
-            out[idx] = (_UOP_PHI, inst, src)
-        return out
-
-    steps_wrap: List[tuple] = []
-    for i, block in enumerate(blocks):
-        recs, phi_slots, _ = per_block[i]
-        steps_wrap.extend(
-            resolve(recs, phi_slots, blocks[i - 1] if i else blocks[-1])
-        )
-    recs0, phi_slots0, _ = per_block[0]
-    if phi_slots0:
-        steps_first = (
-            resolve(recs0, phi_slots0, None) + steps_wrap[len(recs0):]
-        )
-    else:
-        steps_first = steps_wrap
 
     stale = float("-inf")
 
@@ -692,7 +713,9 @@ def simulate_path_reps(model: OOOModel, blocks, reps: int) -> OOOResult:
     return result
 
 
-def simulate_paths_batch(model: OOOModel, traces) -> Dict[object, OOOResult]:
+def simulate_paths_batch(
+    model: OOOModel, traces, gate: bool = True
+) -> Dict[object, OOOResult]:
     """Replay many repeated block traces through the OOO model in lockstep.
 
     ``traces`` is an iterable of ``(key, blocks, reps)``; the result maps
@@ -714,6 +737,10 @@ def simulate_paths_batch(model: OOOModel, traces) -> Dict[object, OOOResult]:
     heaps maintain (only the minimum is ever observable), so every
     max/+ float is IEEE-identical to the scalar loop.  Otherwise the
     scalar loop — already the per-event oracle — runs per lane.
+
+    ``gate=False`` skips the geometry gate (the caller — normally the
+    memoized tier selector in :mod:`repro.sim.ooo_columns` — has already
+    decided this tier applies); the numpy-availability fallback remains.
     """
     if model.memory_system is not None:
         raise ValueError("simulate_paths_batch requires a fixed-latency model")
@@ -733,13 +760,14 @@ def simulate_paths_batch(model: OOOModel, traces) -> Dict[object, OOOResult]:
 
     if np is None or not traces:
         return scalar()
-    total_uops, longest, walked_uops = _batch_geometry(traces)
-    if (
-        longest == 0
-        or total_uops // longest < BATCH_MIN_EFFECTIVE_LANES
-        or total_uops // max(1, walked_uops) < BATCH_MIN_REP_AMORTISATION
-    ):
-        return scalar()
+    if gate:
+        total_uops, longest, walked_uops = _batch_geometry(traces)
+        if (
+            longest == 0
+            or total_uops // longest < BATCH_MIN_EFFECTIVE_LANES
+            or total_uops // max(1, walked_uops) < BATCH_MIN_REP_AMORTISATION
+        ):
+            return scalar()
 
     cfg = model.config
     lanes = [

@@ -24,7 +24,14 @@ Two keying tiers:
   attempt already computed.
 * **identity keys** — with no artifact cache the memo falls back to
   keying by object identity (the trace / profile / frame instance), which
-  still gives full cross-strategy sharing within a pipeline.
+  still gives full cross-strategy sharing within a pipeline.  The
+  vectorized OOO walk keeps two identity-only tables of its own, both
+  anchored on the profile: ``"ooo_columns"`` (compiled
+  :class:`~repro.sim.ooo_columns.CompiledPath` programs, keyed by the
+  host config and rounded fixed latency — rep counts deliberately
+  excluded, programs are rep-count independent) and ``"lane_tier"``
+  (the memoized walk-tier decision, so geometry heuristics are derived
+  once per (workload, config) rather than per call).
 
 The memo is picklable via :meth:`snapshot`/:meth:`merge` (content entries
 only), and pool workers ship their snapshots back with each result the

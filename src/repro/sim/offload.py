@@ -67,7 +67,8 @@ from ..profiling.path_profile import PathProfile
 from .array_kernels import backend_name, census_from_segments_array
 from .cache import profile_stream_dual, profile_stream_dual_array
 from .config import DEFAULT_CONFIG, SystemConfig
-from .core_ooo import OOOModel, OOOResult, simulate_paths_batch
+from .core_ooo import OOOModel, OOOResult
+from .ooo_columns import simulate_paths_tiered
 from .energy import EnergyModel
 from .memo import Calibration, SimulationMemo, content_key
 from .trace_kernels import (
@@ -285,8 +286,18 @@ class OffloadSimulator:
         averaged.  Memoized per (profile, host config, rounded load
         latency) — the OOO model only sees the rounded integer latency,
         so sweep points that round alike share one table.
+
+        Under the array kernel tier the replay dispatches through
+        :func:`~repro.sim.ooo_columns.simulate_paths_tiered`: the
+        vectorized columnar walk, the lockstep batch or the scalar
+        record walk, picked once per (profile, config) by
+        :func:`~repro.sim.ooo_columns.select_lane_tier` and recorded in
+        the ``sim.lane_tier`` obs counter (per simulated path, with the
+        tier, executing backend and heuristic rejection reason).  Every
+        tier returns the same bits, so the choice only moves time.
         """
         fixed_latency = max(1, int(round(host_load_latency)))
+        host_cfg = repr(self.config.host)
 
         def compute() -> Dict[int, PathCost]:
             model = OOOModel(self.config.host, fixed_load_latency=fixed_latency)
@@ -299,9 +310,25 @@ class OffloadSimulator:
                 for pid, count in profile.counts.items()
             ]
             if self.trace_kernels == KERNELS_ARRAY:
-                # lane-batched replay; falls back to the scalar loop
-                # (bit-identical either way) on unfavourable geometry
-                results = simulate_paths_batch(model, plan)
+                stats: Dict[str, object] = {}
+                results = simulate_paths_tiered(
+                    model, plan,
+                    memo=self.memo, anchor=profile,
+                    anchor_extra=(host_cfg, fixed_latency),
+                    stats=stats,
+                )
+                decision = stats.get("decision")
+                if decision is not None and _obs_enabled():
+                    _obs_counter(
+                        "sim.lane_tier", max(len(plan), 1),
+                        help="simulated paths per OOO walk tier "
+                             "(vector/batch/scalar), labelled with the "
+                             "executing backend and the heuristic "
+                             "rejection reason",
+                        tier=decision.tier,
+                        backend=decision.backend,
+                        reason=decision.reason,
+                    )
             else:
                 results = {
                     pid: model.simulate(list(blocks) * reps)
@@ -318,7 +345,6 @@ class OffloadSimulator:
 
         if self.memo is None:
             return compute()
-        host_cfg = repr(self.config.host)
         if artifact_key:
             key = content_key(
                 artifact_key, host_cfg, fixed_latency, amortise_reps

@@ -1,0 +1,1019 @@
+"""Vectorized max-plus OOO timing walk (perf layer 6).
+
+The out-of-order replay of a repeated path is a *max-plus recurrence*:
+every micro-op's issue time is a ``max`` over operand finish times, pool
+free times and the allocation front, followed by constant additions.
+After the array kernel tier landed, this walk was the Amdahl bottleneck
+of the simulate stage (~80% of the array-tier residual): the trace
+accounting had become columnar while every path cost still came from
+the sequential per-micro-op Python loop in
+:func:`~repro.sim.core_ooo.simulate_path_reps`.
+
+This module compiles each profiled path **once** into dense micro-op
+columns and replays many paths ("lanes") through the recurrence at once:
+
+* **compilation** (:func:`compile_path`) resolves every operand — φs
+  included, chained φs included — to a definition slot in a
+  two-repetition space: ``0`` = the never-written ground (finish time
+  0.0), ``1..stride`` = the previous repetition's real-uop position,
+  ``stride+1..2·stride`` = the current repetition's.  A slot is
+  directly an index into the walk's finish buffer.  Because every
+  repetition
+  of a path writes the same values, repetition ``r ≥ 2`` is repetition
+  2 with slots shifted — so the *wraparound* program (φs of the first
+  block bound to the last block) covers any repetition, and a two-rep
+  finish buffer ``[ground | previous rep | current rep]`` carries all
+  live values.  The first repetition needs no program of its own: its
+  previous-rep region starts out all zeros, and 0.0 *is* the ground
+  finish time, so a previous-rep slot read during repetition 1 yields
+  exactly the ground value the entry-resolved program would have used.
+* **the vectorized walk** (:func:`simulate_paths_vectorized`) holds
+  fetch slots, the ROB ring, the retire ring, the ALU/FPU pools and the
+  finish buffer as per-lane columns and advances all active lanes one
+  micro-op position per step as whole-column numpy operations: a
+  finish-time gather plus max-reduce per operand column, argmin-replace
+  pool allocation (which preserves the free-time multiset the scalar
+  heaps maintain — only the minimum is ever observable), and per-lane
+  ring gathers for retire/ROB state.  All times are integers carried in
+  float64, so every max/+ is IEEE-exact and the walk is **bitwise
+  identical** to :meth:`OOOModel.simulate` — the scalar loop stays the
+  oracle, property-tested against this tier.
+* **steady-state closure composes on top**: at each repetition boundary
+  the walk snapshots every candidate lane's machine state relative to
+  its retire front (dead values clamped to a ``-inf`` sentinel, exactly
+  the :func:`simulate_path_reps` canonicalisation), closes lanes whose
+  two consecutive boundary snapshots match by exact extrapolation, and
+  compacts the closed/finished lanes away.  The ROB ring's filling
+  phase stays explicit per lane: a lane whose ring can fill is not
+  comparable until the ring has been full at two consecutive boundaries
+  — the 458.sjeng transient that defeats periodicity inside the
+  production ``amortise_reps=4`` window is thereby walked explicitly,
+  bit for bit, while every periodic lane still closes early.
+
+numpy is optional and plans can be tiny: :func:`select_lane_tier` picks
+per (workload, config) — once, memoized in ``SimulationMemo`` — between
+the numpy lane-lockstep walk (enough effective lanes to amortise the
+per-step dispatch), the compiled per-lane pure-Python walk
+(:func:`_walk_lane_python`, same columns, same closure, list-indexed
+state — faster than the record walk and the no-numpy parity tier), the
+legacy lockstep batch, and the scalar record walk.  The decision and
+its rejection reason feed the ``sim.lane_tier`` obs counter.  Compiled
+column programs are memoized identity-keyed on the profile (like
+schedules and RLE views), so the three strategies and fail-safe retries
+share one compilation.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass, field
+from heapq import heapify, heapreplace
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.instructions import Instruction
+from .array_kernels import (
+    BACKEND_NUMPY,
+    BACKEND_PYTHON,
+    get_numpy,
+    ragged_to_matrix,
+)
+from .core_ooo import (
+    _UOP_BRANCH,
+    _UOP_FP,
+    _UOP_INT,
+    _UOP_LOAD,
+    _UOP_PHI,
+    _UOP_STORE,
+    OOOModel,
+    OOOResult,
+    _batch_geometry,
+    _path_records,
+    simulate_path_reps,
+    simulate_paths_batch,
+)
+
+log = logging.getLogger(__name__)
+
+#: lane-tier labels (the ``sim.lane_tier`` counter's ``tier`` values)
+LANE_TIER_SCALAR = "scalar"
+LANE_TIER_BATCH = "batch"
+LANE_TIER_VECTOR = "vector"
+LANE_TIERS = (LANE_TIER_SCALAR, LANE_TIER_BATCH, LANE_TIER_VECTOR)
+
+#: environment override forcing one tier (test/bench hook; the forced
+#: tier still falls back bit-identically when numpy is unavailable)
+LANE_TIER_ENV = "REPRO_LANE_TIER"
+
+#: minimum effective lane parallelism (total micro-ops / longest lane)
+#: for the numpy lockstep recurrence to beat the compiled per-lane
+#: walk: each step costs a fixed ~15 numpy dispatches regardless of
+#: width, so the recurrence only wins on wide plans.  Measured on the
+#: 29-workload suite (see docs/performance.md layer 6): at ~60
+#: effective lanes (186.crafty) the per-lane walk still wins, at ~200
+#: (458.sjeng) the lockstep walk does — the threshold sits between.
+VECTOR_MIN_EFFECTIVE_LANES = 100
+
+#: below this many total micro-ops the whole plan is too small for any
+#: compiled tier to matter; the scalar record walk keeps the code path
+#: trivially warm (and is what a one-path probe costs anyway)
+VECTOR_MIN_UOPS = 64
+
+_STALE = float("-inf")
+
+
+# -- columnar path programs ---------------------------------------------------
+
+
+@dataclass
+class CompiledPath:
+    """One path compiled to rep-relative micro-op columns.
+
+    ``srcs`` holds one slot tuple per real micro-op position, resolved
+    for the wraparound repetition over a two-repetition slot space:
+    ``0`` is ground, ``1..stride`` the previous repetition's real
+    micro-op (1-based), ``stride+1..2·stride`` the current
+    repetition's.  A slot is therefore *directly* an index into the
+    walk's ``[ground | prev | cur]`` finish buffer — no per-element
+    decode anywhere.  The same program is exact for the **first**
+    repetition too, because the previous-rep finish region starts out
+    all zeros and 0.0 is the ground finish time — a previous-rep read
+    during repetition 1 yields precisely the ground value that
+    entry-resolved slots would have named.  ``counts`` is the per-kind
+    census of
+    **one** repetition — repetitions are structurally identical, so any
+    census is ``counts × reps`` with no accumulation during the walk.
+    """
+
+    stride: int  # real micro-ops per repetition
+    width: int  # maximum operand fan-in
+    kinds: Tuple[int, ...]
+    lats: Tuple[int, ...]
+    srcs: Tuple[Tuple[int, ...], ...]
+    counts: Tuple[int, ...]  # per _UOP_* kind, one repetition
+    _np_cols: Optional[tuple] = field(default=None, repr=False)
+    _py_progs: Optional[dict] = field(default=None, repr=False)
+
+    def census(self, reps: int) -> OOOResult:
+        c = self.counts
+        return OOOResult(
+            instructions=self.stride * reps,
+            int_ops=c[_UOP_INT] * reps,
+            fp_ops=c[_UOP_FP] * reps,
+            loads=c[_UOP_LOAD] * reps,
+            stores=c[_UOP_STORE] * reps,
+            branches=c[_UOP_BRANCH] * reps,
+            phis=c[_UOP_PHI] * reps,
+        )
+
+    def np_columns(self, np) -> tuple:
+        """(kinds int8, lats float64, rel-slot matrix)."""
+        if self._np_cols is None:
+            self._np_cols = (
+                np.asarray(self.kinds, dtype=np.int8),
+                np.asarray(self.lats, dtype=np.float64),
+                ragged_to_matrix(self.srcs, np),
+            )
+        return self._np_cols
+
+    def py_program(self, rob_entries: int, retire_width: int) -> tuple:
+        """Step list for the per-lane Python walk.
+
+        Each step is ``(kind, latency, buffer indices, write index,
+        ROB column, retire column)``.  The source slots need no
+        remapping at all: a raw slot *is* its index into the lane's
+        ``[ground | prev 1..S | cur S+1..2S]`` finish buffer, and the
+        write index of position ``k`` is its own slot ``S+1+k``.  Only
+        the physical ring columns are computed here, baked in under the
+        boundary-rolled ring convention (position ``k`` always lands on
+        column ``k mod size`` — see :func:`_walk_lane_python`).  Cached
+        per ring geometry.
+        """
+        if self._py_progs is None:
+            self._py_progs = {}
+        cached = self._py_progs.get((rob_entries, retire_width))
+        if cached is None:
+            S = self.stride
+            cached = tuple(zip(
+                self.kinds,
+                [float(lat) for lat in self.lats],  # float+float fast path
+                self.srcs,
+                range(S + 1, 2 * S + 1),
+                [k % rob_entries for k in range(S)],
+                [k % retire_width for k in range(S)],
+            ))
+            self._py_progs[(rob_entries, retire_width)] = cached
+        return cached
+
+
+_NO_SRCS = ()
+
+
+def _block_fragment(model: OOOModel, block) -> tuple:
+    """Path-independent compile fragment of one block, memoized.
+
+    ``(kinds, lats, counts, items, binds, n_real)``: the kind/latency
+    columns and the per-kind census of the block's real micro-ops —
+    identical in every path and repetition, so they concatenate per
+    path at C speed — plus two ordered slot-pass views.  ``items``
+    drives the full operand-resolving pass: ``(None, inst)`` for a φ
+    (source bound per path position), ``(ops, inst-or-None)`` for a
+    real micro-op (the written value, or ``None`` for non-writing ops).
+    ``binds`` drives the definition-only pass: just the φs (``(inst,
+    None)``) and the writers (``(inst, block-local 1-based position)``),
+    in walk order — non-writing micro-ops don't appear at all.
+    """
+    cache = model.__dict__.setdefault("_ooo_fragment_cache", {})
+    frag = cache.get(block)
+    if frag is None:
+        recs, _phi_slots, _n_real = _path_records(model, block)
+        kinds: List[int] = []
+        lats: List[int] = []
+        counts = [0] * 6
+        items = []
+        binds = []
+        pos = 0
+        for rec in recs:
+            if rec[0] == _UOP_PHI:
+                counts[_UOP_PHI] += 1
+                items.append((None, rec[1]))
+                binds.append((rec[1], None))
+            else:
+                kind, inst, latency, writes, ops = rec
+                counts[kind] += 1
+                kinds.append(kind)
+                lats.append(latency)
+                pos += 1
+                items.append((ops, inst if writes else None))
+                if writes:
+                    binds.append((inst, pos))
+        frag = (
+            tuple(kinds),
+            tuple(lats),
+            tuple(counts),
+            tuple(items),
+            tuple(binds),
+            pos,
+        )
+        cache[block] = frag
+    return frag
+
+
+def _phi_sources(model: OOOModel, block, prev) -> tuple:
+    """φ sources of ``block`` for predecessor ``prev``, memoized.
+
+    One Instruction-or-None per φ item of :func:`_block_fragment`, in
+    item order; ``prev is None`` (path entry) grounds every φ.
+    """
+    cache = model.__dict__.setdefault("_ooo_phi_cache", {})
+    key = (block, prev)
+    srcs = cache.get(key)
+    if srcs is None:
+        _recs, phi_slots, _n_real = _path_records(model, block)
+        if prev is None:
+            srcs = (None,) * len(phi_slots)
+        else:
+            srcs = tuple(
+                src if isinstance(src := inst.incoming_for(prev), Instruction)
+                else None
+                for _idx, inst in phi_slots
+            )
+        cache[key] = srcs
+    return srcs
+
+
+def compile_path(model: OOOModel, blocks) -> CompiledPath:
+    """Compile ``blocks`` (one path body) into rep-relative columns.
+
+    Two passes over the per-block fragments.  The first assigns each
+    written value its 1-based real-uop position and binds φs with path
+    **entry** sources (φs copy their source's slot, so chains resolve
+    transitively and the emitted program is φ-free); the second walks
+    the wraparound repetition on top of that state, re-assigning each
+    definition the *second*-repetition slot ``stride + position``, so
+    every operand lookup lands on a raw two-repetition slot: at or
+    below ``stride`` means previous repetition (or ground at 0), above
+    means current.  The single wraparound program is exact for the
+    first repetition too (see :class:`CompiledPath`), so no first-rep
+    operand resolution happens at all.
+    """
+    blocks = tuple(blocks)
+    frags = [_block_fragment(model, b) for b in blocks]
+    kinds: List[int] = []
+    lats: List[int] = []
+    counts = [0] * 6
+    for frag in frags:
+        kinds.extend(frag[0])
+        lats.extend(frag[1])
+        cc = frag[2]
+        for kind in range(6):
+            counts[kind] += cc[kind]
+    stride = len(kinds)
+    slot_of: Dict[object, int] = {}
+    get = slot_of.get
+    phi_cache = model.__dict__.setdefault("_ooo_phi_cache", {})
+    phi_get = phi_cache.get
+    # pass 1: first repetition, definition slots and entry-φ bindings
+    # only — no operand resolution (the wraparound program covers rep 1)
+    base = 0
+    for i, block in enumerate(blocks):
+        frag = frags[i]
+        binds = frag[4]
+        if binds:
+            prev = blocks[i - 1] if i else None
+            phis = phi_get((block, prev))
+            if phis is None:
+                phis = _phi_sources(model, block, prev)
+            phis = iter(phis)
+            for inst, lp in binds:
+                if lp is None:  # φ
+                    src = next(phis)
+                    slot_of[inst] = get(src, 0) if src is not None else 0
+                else:
+                    slot_of[inst] = base + lp
+        base += frag[5]
+    # pass 2: wraparound repetition — resolve operands against the
+    # carried-over state and re-encode relative to this repetition
+    srcs: List[Tuple[int, ...]] = []
+    append = srcs.append
+    width = 0
+    pos = stride
+    for i, block in enumerate(blocks):
+        prev = blocks[i - 1] if i else blocks[-1]
+        phis = phi_get((block, prev))
+        if phis is None:
+            phis = _phi_sources(model, block, prev)
+        phis = iter(phis)
+        for ops, winst in frags[i][3]:
+            if ops is None:  # φ
+                src = next(phis)
+                slot_of[winst] = get(src, 0) if src is not None else 0
+                continue
+            pos += 1
+            if ops:
+                append(tuple([get(op, 0) for op in ops]))
+                if len(ops) > width:
+                    width = len(ops)
+            else:
+                append(_NO_SRCS)
+            if winst is not None:
+                slot_of[winst] = pos
+    return CompiledPath(
+        stride=stride,
+        width=width,
+        kinds=tuple(kinds),
+        lats=tuple(lats),
+        srcs=tuple(srcs),
+        counts=tuple(counts),
+    )
+
+
+def compile_paths(
+    model: OOOModel, traces, memo=None, anchor=None, anchor_extra=None
+) -> Dict[object, CompiledPath]:
+    """Compiled programs for a ``(key, blocks, reps)`` plan, memoized.
+
+    With a :class:`~repro.sim.memo.SimulationMemo` and an anchor object
+    (the profile), the compiled table is identity-keyed like schedules
+    and RLE views — the three strategies, retries and repeated
+    ``amortise_reps`` sweeps share one compilation.  ``anchor_extra``
+    must carry everything the columns depend on besides the profile:
+    the host config and the rounded fixed latencies (repetition counts
+    deliberately excluded — programs are rep-count independent).
+    """
+
+    def compute() -> Dict[object, CompiledPath]:
+        return {
+            key: compile_path(model, blocks) for key, blocks, _reps in traces
+        }
+
+    if memo is None or anchor is None:
+        return compute()
+    table = memo.identity("ooo_columns", anchor, anchor_extra, compute)
+    missing = [t for t in traces if t[0] not in table]
+    for key, blocks, _reps in missing:  # pragma: no cover - defensive
+        table[key] = compile_path(model, blocks)
+    return table
+
+
+# -- per-lane compiled Python walk (no-numpy parity + narrow plans) -----------
+
+
+def _lane_boundary_equal(
+    S, rob_can_fill,
+    ai, ac, lr, alu, fpu, ring, rob, buf,
+    p_ai, p_ac, p_lr, p_alu, p_fpu, p_ring, p_rob,
+) -> bool:
+    """Compare two rep-boundary machine states, canonicalised.
+
+    Semantically identical to comparing two
+    :func:`simulate_path_reps`-style snapshots — times relative to each
+    boundary's ``last_retire``, dead values (at or below the boundary's
+    ``alloc_cycle``; retire-ring slots below ``last_retire``) treated as
+    one stale class, pools as sorted multisets, rings head-aligned — but
+    computed by early-exit comparison against saved raw state instead of
+    materialising canonical tuples, which keeps the per-boundary cost
+    far below one repetition's walk.  Rings arrive already head-aligned
+    (the boundary roll parks both heads at index 0), and the previous
+    boundary's finish column needs no save at all: the buffer rotation
+    already parked it in the ``prev`` region, which the walk only reads.
+    """
+    if ai != p_ai or ac - lr != p_ac - p_lr:
+        return False
+    for a, b in zip(sorted(alu), p_alu):
+        al = a > ac
+        if al != (b > p_ac) or (al and a - lr != b - p_lr):
+            return False
+    for a, b in zip(sorted(fpu), p_fpu):
+        al = a > ac
+        if al != (b > p_ac) or (al and a - lr != b - p_lr):
+            return False
+    for a, b in zip(ring, p_ring):
+        al = a >= lr
+        if al != (b >= p_lr) or (al and a - lr != b - p_lr):
+            return False
+    if rob_can_fill:
+        for a, b in zip(rob, p_rob):
+            al = a > ac
+            if al != (b > p_ac) or (al and a - lr != b - p_lr):
+                return False
+    for i in range(1, S + 1):
+        a = buf[S + i]  # this boundary's finish column
+        b = buf[i]  # previous boundary's, parked by the rotation
+        al = a > ac
+        if al != (b > p_ac) or (al and a - lr != b - p_lr):
+            return False
+    return True
+
+
+def _walk_lane_python(cfg, cp: CompiledPath, reps: int) -> Tuple[float, bool]:
+    """Replay one compiled lane; returns ``(last_retire, closed)``.
+
+    The same arithmetic as :func:`simulate_path_reps` step for step —
+    max/+ on integer-valued floats, heap pools, rings — but driven by
+    the φ-free compiled program (list-indexed finish buffer instead of
+    the finish dict), with the identical rep-boundary closure rules.
+    Bitwise-identical by construction; property-tested.
+
+    Two structural tricks strip per-micro-op bookkeeping out of the hot
+    loop.  The ROB/retire rings are *rolled* left by ``stride mod size``
+    at every repetition boundary, so the physical ring column of
+    position ``k`` is always ``k mod size`` — baked into the program
+    steps — and both ring heads sit at index 0 at every boundary.  And
+    each repetition is walked as two segments split at the position
+    where the ROB ring fills (``max(0, rob_entries - rep·stride)``): the
+    first segment needs no occupancy check at all, the second always
+    stalls on the ring slot it is about to overwrite.
+    """
+    S = cp.stride
+    E = cfg.rob_entries
+    W = cfg.retire_width
+    fw = cfg.fetch_width
+    steps = cp.py_program(E, W)
+    buf = [0.0] * (2 * S + 1)
+    rob = [0.0] * E
+    ring = [0.0] * W
+    alu = [0.0] * cfg.int_alus
+    fpu = [0.0] * cfg.fp_units
+    heapify(alu)
+    heapify(fpu)
+    heapreplace_ = heapreplace
+    ac = 0.0  # alloc cycle
+    ai = 0  # allocs in cycle
+    lr = 0.0  # last retire
+    roll_e = S % E
+    roll_w = S % W
+    rob_can_fill = reps * S > E
+    check = reps >= 3
+    p_valid = False
+    p_ai = p_ac = p_lr = 0.0
+    p_alu = p_fpu = p_ring = p_rob = ()
+    for rep in range(reps):
+        # ROB fills at this position (clamped); before it no occupancy
+        # check can fire, from it the ring is full every step
+        split = E - rep * S
+        if split < 0:
+            split = 0
+        elif split > S:
+            split = S
+        for seg, stalls in ((steps[:split], False), (steps[split:], True)):
+            for kind, lat, srcs, wi, ce, cw in seg:
+                if ai >= fw:
+                    ac += 1.0
+                    ai = 0
+                if stalls:
+                    t = rob[ce]
+                    if t > ac:
+                        ac = t
+                        ai = 0
+                ai += 1
+                ready = ac
+                for i in srcs:
+                    t = buf[i]
+                    if t > ready:
+                        ready = t
+                if kind == 4:  # _UOP_INT
+                    u = alu[0]
+                    if ready > u:
+                        u = ready
+                    heapreplace_(alu, u + 1.0)
+                    done = u + lat
+                elif kind == 5:  # _UOP_FP
+                    u = fpu[0]
+                    if ready > u:
+                        u = ready
+                    heapreplace_(fpu, u + 1.0)
+                    done = u + lat
+                else:  # load / store / branch: no pool, fixed latency
+                    done = ready + lat
+                buf[wi] = done
+                t = ring[cw] + 1.0
+                if done > t:
+                    t = done
+                if lr > t:
+                    t = lr
+                ring[cw] = lr = rob[ce] = t
+        if rep + 1 == reps:
+            break
+        # roll the rings: next repetition's physical column for position
+        # k stays k mod size, and both heads land at index 0
+        if roll_e:
+            rob = rob[roll_e:] + rob[:roll_e]
+        if roll_w:
+            ring = ring[roll_w:] + ring[:roll_w]
+        if check:
+            comparable = not rob_can_fill or (rep + 1) * S >= E
+            if (
+                comparable
+                and p_valid
+                and _lane_boundary_equal(
+                    S, rob_can_fill,
+                    ai, ac, lr, alu, fpu, ring, rob, buf,
+                    p_ai, p_ac, p_lr, p_alu, p_fpu, p_ring, p_rob,
+                )
+            ):
+                remaining = reps - (rep + 1)
+                return lr + remaining * (lr - p_lr), True
+            p_valid = comparable
+            if comparable:
+                p_ai = ai
+                p_ac = ac
+                p_lr = lr
+                p_alu = sorted(alu)
+                p_fpu = sorted(fpu)
+                p_ring = ring.copy()
+                if rob_can_fill:
+                    p_rob = rob.copy()
+        buf[1 : S + 1] = buf[S + 1 :]
+    return lr, False
+
+
+# -- numpy lane-lockstep walk -------------------------------------------------
+
+
+def _walk_lanes_numpy(cfg, lanes, out, stats, np) -> None:
+    """Advance all lanes through the recurrence, one position per step.
+
+    ``lanes`` is a list of ``(key, cp, reps)`` with ``stride > 0``.
+    Lanes are sorted longest-stride first so the set still running at
+    position ``k`` of a repetition is always an array prefix; finished
+    and closed lanes are compacted away at repetition boundaries (which
+    preserves the ordering invariant).
+
+    Per-lane ring phases (``kt = rep·stride + k`` differs across lanes
+    from the second repetition on) are handled by **rolling**: at every
+    repetition boundary each lane's ROB and retire ring rotate left by
+    ``stride mod size``, so that (a) inside a repetition the physical
+    column for position ``k`` is the same scalar ``k mod size`` for
+    every lane — basic column views instead of per-lane index gathers
+    in the hot loop — and (b) every ring's head sits at physical index
+    0 at every boundary, so the closure snapshot clamps the rolled
+    arrays directly.  ROB-full detection is likewise structural: with
+    strides sorted descending, the lanes whose ring is already full at
+    position ``k`` always form a lane prefix, precomputed per
+    repetition as one ``searchsorted``.
+    """
+    lanes.sort(key=lambda lane: lane[1].stride, reverse=True)
+    P = len(lanes)
+    Smax = lanes[0][1].stride
+    M = max(lane[1].width for lane in lanes)
+    Wbuf = 2 * Smax + 1
+    E = cfg.rob_entries
+    Wd = cfg.retire_width
+    fw = cfg.fetch_width
+
+    KIND = np.full((Smax, P), -1, dtype=np.int8)
+    LAT = np.zeros((Smax, P))
+    SRC = np.zeros((Smax, M, P), dtype=np.int64)
+    LEN = np.zeros((Smax, P), dtype=np.int32)
+    strides = np.empty(P, dtype=np.int64)
+    reps_arr = np.empty(P, dtype=np.int64)
+    keys: List[object] = []
+    for i, (key, cp, reps) in enumerate(lanes):
+        keys.append(key)
+        n = cp.stride
+        strides[i] = n
+        reps_arr[i] = reps
+        kc, lc, sw = cp.np_columns(np)
+        KIND[:n, i] = kc
+        LAT[:n, i] = lc
+        if cp.width:
+            # map the lane's 2·stride slot space onto the shared
+            # [ground|prev|cur] layout: current-rep slots (> stride)
+            # shift up so the cur region starts at Smax+1 for every
+            # lane; previous-rep and ground slots are already indices
+            SRC[:n, : sw.shape[1], i] = np.where(sw > n, sw + (Smax - n), sw)
+            LEN[:n, i] = np.fromiter(map(len, cp.srcs), np.int32, n)
+
+    ac = np.zeros(P)
+    ai = np.zeros(P, dtype=np.int64)
+    lr = np.zeros(P)
+    rob = np.zeros((P, E))
+    ring = np.zeros((P, Wd))
+    alu = np.zeros((P, cfg.int_alus))
+    fpu = np.zeros((P, cfg.fp_units))
+    FIN = np.zeros((P, Wbuf))
+
+    maximum = np.maximum
+    where = np.where
+    copyto = np.copyto
+    ar_S = np.arange(Smax, dtype=np.int64)
+    ar_E = np.arange(E, dtype=np.int64)
+    ar_W = np.arange(Wd, dtype=np.int64)
+
+    # per-phase constants: recomputed whenever the lane set compacts
+    rows = flat = SRC_b = EROLL = WROLL = None
+    IS_INT = IS_FP = ANY_INT = ANY_FP = None
+    top = 0
+    j_list = cols_e = cols_w = MW = None
+
+    def phase_setup():
+        nonlocal rows, flat, SRC_b, EROLL, WROLL
+        nonlocal IS_INT, IS_FP, ANY_INT, ANY_FP
+        nonlocal top, j_list, cols_e, cols_w, MW
+        rows = np.arange(P)
+        flat = FIN.reshape(-1)  # FIN is contiguous: reshape is a view
+        base = rows * Wbuf
+        # bake each lane's row offset into its source slots: operand
+        # gathers against the flat finish buffer become single take()s
+        SRC_b = SRC + base[None, None, :]
+        top = int(strides[0])
+        # active-lane prefix, physical ring columns and effective
+        # operand fan-in per position — plain ints, hoisted out of the
+        # hot loop
+        j_list = np.searchsorted(
+            -strides, -ar_S[:top], side="left"
+        ).tolist()
+        cols_e = (ar_S[:top] % E).tolist()
+        cols_w = (ar_S[:top] % Wd).tolist()
+        MW = LEN.max(axis=1).tolist()
+        IS_INT = KIND == _UOP_INT
+        IS_FP = KIND == _UOP_FP
+        ANY_INT = IS_INT.any(axis=1)
+        ANY_FP = IS_FP.any(axis=1)
+        # boundary ring rolls: left by stride mod size, accumulated
+        EROLL = (strides[:, None] + ar_E[None, :]) % E
+        WROLL = (strides[:, None] + ar_W[None, :]) % Wd
+
+    phase_setup()
+    prev_snap = None
+    prev_comparable = np.zeros(P, dtype=bool)
+    prev_lr = lr.copy()
+    rep = 0
+    while True:
+        # ROB-full lane prefix per position for this repetition: lane i
+        # is full at position k iff rep·stride_i + k ≥ E
+        thresh = np.maximum(E - rep * strides, 0)
+        jf_list = np.searchsorted(thresh, ar_S[:top], side="right").tolist()
+        for k in range(top):
+            j = j_list[k]
+            col_e = cols_e[k]
+            acv = ac[:j]
+            aiv = ai[:j]
+
+            # -- allocate (fetch bandwidth, then ROB occupancy) ------------
+            over = aiv >= fw
+            acv += over
+            aiv *= ~over
+            jj = jf_list[k]
+            if jj > j:
+                jj = j
+            if jj:
+                oldest = rob[:jj, col_e]
+                bump = oldest > ac[:jj]
+                copyto(ac[:jj], oldest, where=bump)
+                ai[:jj] *= ~bump
+            aiv += 1
+
+            # -- operand readiness -----------------------------------------
+            ready = acv.copy()
+            src = SRC_b[k]
+            for m in range(MW[k]):
+                maximum(ready, flat.take(src[m, :j]), out=ready)
+
+            # -- issue / execute -------------------------------------------
+            start = ready
+            if ANY_INT[k]:
+                is_int = IS_INT[k, :j]
+                rj = rows[:j]
+                av = alu[:j]
+                ia = av.argmin(axis=1)
+                iu = av[rj, ia]
+                int_start = maximum(ready, iu)
+                av[rj, ia] = where(is_int, int_start + 1.0, iu)
+                start = where(is_int, int_start, start)
+            if ANY_FP[k]:
+                is_fp = IS_FP[k, :j]
+                rj = rows[:j]
+                fv = fpu[:j]
+                fa = fv.argmin(axis=1)
+                fu = fv[rj, fa]
+                fp_start = maximum(ready, fu)
+                fv[rj, fa] = where(is_fp, fp_start + 1.0, fu)
+                start = where(is_fp, fp_start, start)
+            done = start + LAT[k, :j]
+            FIN[:j, Smax + 1 + k] = done
+
+            # -- retire (in order, retire_width per cycle) -----------------
+            slot = ring[:j, cols_w[k]]
+            slot += 1.0
+            retire = maximum(done, lr[:j], out=done)
+            maximum(retire, slot, out=retire)
+            copyto(slot, retire)
+            lr[:j] = retire
+            rob[:j, col_e] = retire
+
+        # -- repetition boundary: roll / finalize / close / compact --------
+        rep += 1
+        # roll the rings: next repetition's physical column for position
+        # k is k mod size for every lane, and both heads land at 0
+        rob = rob[rows[:, None], EROLL]
+        ring = ring[rows[:, None], WROLL]
+        finished = reps_arr == rep
+        candidates = (reps_arr > rep) & (reps_arr >= 3)
+        close = np.zeros(P, dtype=bool)
+        comparable = np.zeros(P, dtype=bool)
+        snap = None
+        if candidates.any():
+            can_fill = reps_arr * strides > E
+            # a fillable ROB ring is only comparable once full — the
+            # filling-phase transient (458.sjeng) stays explicit; a ring
+            # that can never fill is never read, so it compares trivially
+            comparable = (~can_fill) | (rep * strides >= E)
+            acl = ac[:, None]
+            lrl = lr[:, None]
+            alu_s = np.sort(where(alu > acl, alu - lrl, _STALE), axis=1)
+            fpu_s = np.sort(where(fpu > acl, fpu - lrl, _STALE), axis=1)
+            ring_s = where(ring >= lrl, ring - lrl, _STALE)
+            rob_s = where(rob > acl, rob - lrl, _STALE)
+            rob_s[~can_fill] = 0.0  # never read: exclude from comparison
+            cur = FIN[:, Smax + 1 :]
+            fin_s = where(cur > acl, cur - lrl, _STALE)
+            snap = (ai.copy(), ac - lr, alu_s, fpu_s, ring_s, rob_s, fin_s)
+            if prev_snap is not None:
+                eq = candidates & comparable & prev_comparable
+                eq &= snap[0] == prev_snap[0]
+                eq &= snap[1] == prev_snap[1]
+                for a, b in zip(snap[2:], prev_snap[2:]):
+                    eq &= (a == b).all(axis=1)
+                close = eq
+        if finished.any():
+            for i in np.flatnonzero(finished):
+                out[keys[i]].cycles = int(lr[i])
+        if close.any():
+            d = lr - prev_lr
+            for i in np.flatnonzero(close):
+                remaining = int(reps_arr[i]) - rep
+                out[keys[i]].cycles = int(lr[i] + remaining * d[i])
+            stats["closed"] += int(close.sum())
+        keep = ~finished & ~close
+        if not keep.all():
+            idx = np.flatnonzero(keep)
+            P = len(idx)
+            if not P:
+                return
+            keys = [keys[i] for i in idx]
+            strides = strides[idx]
+            reps_arr = reps_arr[idx]
+            ac = ac[idx]
+            ai = ai[idx]
+            lr = lr[idx]
+            rob = rob[idx]
+            ring = ring[idx]
+            alu = alu[idx]
+            fpu = fpu[idx]
+            FIN = FIN[idx]
+            KIND = KIND[:, idx]
+            LAT = LAT[:, idx]
+            SRC = SRC[:, :, idx]
+            LEN = LEN[:, idx]
+            comparable = comparable[idx]
+            if snap is not None:
+                snap = tuple(a[idx] for a in snap)
+            phase_setup()
+        prev_snap = snap
+        prev_comparable = comparable
+        prev_lr = lr.copy()
+        # rotate: this repetition's finishes become the previous rep's
+        FIN[:, 1 : Smax + 1] = FIN[:, Smax + 1 :]
+
+
+def simulate_paths_vectorized(
+    model: OOOModel,
+    traces,
+    memo=None,
+    anchor=None,
+    anchor_extra=None,
+    stats: Optional[dict] = None,
+    backend: Optional[str] = None,
+) -> Dict[object, OOOResult]:
+    """Columnar replay of a ``(key, blocks, reps)`` plan.
+
+    Bitwise-equal to ``{key: model.simulate(list(blocks) × reps)}`` for
+    fixed-latency models.  Uses the numpy lane-lockstep walk when numpy
+    is available, the compiled per-lane Python walk otherwise — both
+    driven by the same memoized :class:`CompiledPath` programs.
+    ``backend`` (a :data:`BACKEND_NUMPY`/:data:`BACKEND_PYTHON` label,
+    normally :attr:`LaneTierDecision.backend`) pins the walker:
+    narrow plans run the per-lane walk even when numpy is importable,
+    because numpy's fixed per-step dispatch cost needs lane width to
+    amortise.  ``stats`` (optional dict) receives ``lanes``/``closed``
+    counts for the obs layer.
+    """
+    if model.memory_system is not None:
+        raise ValueError(
+            "simulate_paths_vectorized requires a fixed-latency model"
+        )
+    traces = list(traces)
+    if stats is None:
+        stats = {}
+    stats.setdefault("lanes", len(traces))
+    stats.setdefault("closed", 0)
+    programs = compile_paths(
+        model, traces, memo=memo, anchor=anchor, anchor_extra=anchor_extra
+    )
+    out: Dict[object, OOOResult] = {}
+    lanes = []
+    for key, _blocks, reps in traces:
+        cp = programs[key]
+        out[key] = cp.census(reps)
+        if cp.stride and reps > 0:
+            lanes.append((key, cp, reps))
+    if not lanes:
+        return out
+    np = None if backend == BACKEND_PYTHON else get_numpy()
+    if np is None:
+        cfg = model.config
+        for key, cp, reps in lanes:
+            last_retire, closed = _walk_lane_python(cfg, cp, reps)
+            out[key].cycles = int(last_retire)
+            stats["closed"] += closed
+        return out
+    _walk_lanes_numpy(model.config, lanes, out, stats, np)
+    return out
+
+
+# -- tier selection -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LaneTierDecision:
+    """One memoized (workload, config) lane-tier choice.
+
+    ``backend`` names the backend that will actually execute the walk
+    (``few-lanes`` plans run the compiled per-lane Python walk even when
+    numpy is importable).  ``reason`` explains heuristic fallbacks
+    (``"ok"`` when the preferred tier was taken): ``few-lanes`` (not
+    enough effective lanes for the numpy lockstep), ``tiny-plan`` (plan
+    below :data:`VECTOR_MIN_UOPS`), ``no-numpy`` (python backend
+    pinned/absent), ``empty-plan``, or ``forced-env``
+    (:data:`LANE_TIER_ENV`).
+    """
+
+    tier: str
+    backend: str
+    reason: str
+    lanes: int
+    total_uops: int
+    effective_lanes: int
+
+
+def select_lane_tier(
+    model: OOOModel, traces, memo=None, anchor=None, anchor_extra=None
+) -> LaneTierDecision:
+    """Pick the walk tier for a plan — once per (workload, config).
+
+    The geometry thresholds (:data:`VECTOR_MIN_EFFECTIVE_LANES`,
+    :data:`VECTOR_MIN_UOPS`) are measured constants, not per-call
+    heuristics: with a memo and anchor the decision is identity-keyed on
+    the profile plus the config slice, so repeated ``path_costs`` calls
+    (three strategies, retries, sweeps) reuse it instead of re-deriving
+    the geometry, and the chosen thresholds are logged once at debug
+    level.  Every tier is bitwise-identical — this is a speed choice.
+    """
+
+    def compute() -> LaneTierDecision:
+        plan = list(traces)
+        total, longest, _walked = _batch_geometry(plan)
+        eff = total // longest if longest else 0
+        np = get_numpy()
+        backend = BACKEND_NUMPY if np is not None else BACKEND_PYTHON
+        forced = os.environ.get(LANE_TIER_ENV, "")
+        if forced in LANE_TIERS:
+            tier, reason = forced, "forced-env"
+            if tier == LANE_TIER_SCALAR:
+                backend = BACKEND_PYTHON  # the record walk is pure Python
+        elif not plan or longest == 0:
+            tier, backend, reason = LANE_TIER_SCALAR, BACKEND_PYTHON, (
+                "empty-plan"
+            )
+        elif total < VECTOR_MIN_UOPS:
+            # too small for any compiled tier to matter, numpy or not
+            tier, backend, reason = LANE_TIER_SCALAR, BACKEND_PYTHON, (
+                "tiny-plan"
+            )
+        elif np is None:
+            # compiled per-lane walk: still beats the record walk, and
+            # it keeps the compile/closure path exercised without numpy
+            tier, reason = LANE_TIER_VECTOR, "no-numpy"
+        elif eff < VECTOR_MIN_EFFECTIVE_LANES:
+            # numpy's fixed per-step dispatch outweighs the lane
+            # parallelism: run the compiled walk per lane instead
+            tier, backend, reason = LANE_TIER_VECTOR, BACKEND_PYTHON, (
+                "few-lanes"
+            )
+        else:
+            tier, reason = LANE_TIER_VECTOR, "ok"
+        decision = LaneTierDecision(
+            tier=tier,
+            backend=backend,
+            reason=reason,
+            lanes=len(plan),
+            total_uops=total,
+            effective_lanes=eff,
+        )
+        log.debug(
+            "lane tier %s (backend=%s, reason=%s): %d lanes, %d uops, "
+            "%d effective lanes; thresholds: effective_lanes>=%d, "
+            "total_uops>=%d",
+            tier, backend, reason, decision.lanes, total, eff,
+            VECTOR_MIN_EFFECTIVE_LANES, VECTOR_MIN_UOPS,
+        )
+        return decision
+
+    if memo is None or anchor is None:
+        return compute()
+    return memo.identity("lane_tier", anchor, anchor_extra, compute)
+
+
+def simulate_paths_tiered(
+    model: OOOModel,
+    traces,
+    decision: Optional[LaneTierDecision] = None,
+    memo=None,
+    anchor=None,
+    anchor_extra=None,
+    stats: Optional[dict] = None,
+) -> Dict[object, OOOResult]:
+    """Replay a plan through the tier :func:`select_lane_tier` picked.
+
+    The single dispatch point :meth:`OffloadSimulator.path_costs` calls:
+    every tier returns the same bits, so the decision only moves time.
+    """
+    traces = list(traces)
+    if decision is None:
+        decision = select_lane_tier(
+            model, traces, memo=memo, anchor=anchor, anchor_extra=anchor_extra
+        )
+    if stats is not None:
+        stats["decision"] = decision
+    if decision.tier == LANE_TIER_VECTOR:
+        return simulate_paths_vectorized(
+            model, traces, memo=memo, anchor=anchor,
+            anchor_extra=anchor_extra, stats=stats,
+            backend=decision.backend,
+        )
+    if decision.tier == LANE_TIER_BATCH:
+        return simulate_paths_batch(model, traces, gate=False)
+    return {
+        key: simulate_path_reps(model, blocks, reps)
+        for key, blocks, reps in traces
+    }
+
+
+__all__ = [
+    "CompiledPath",
+    "LANE_TIERS",
+    "LANE_TIER_BATCH",
+    "LANE_TIER_ENV",
+    "LANE_TIER_SCALAR",
+    "LANE_TIER_VECTOR",
+    "LaneTierDecision",
+    "VECTOR_MIN_EFFECTIVE_LANES",
+    "VECTOR_MIN_UOPS",
+    "compile_path",
+    "compile_paths",
+    "select_lane_tier",
+    "simulate_paths_tiered",
+    "simulate_paths_vectorized",
+]

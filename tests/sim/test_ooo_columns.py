@@ -1,0 +1,328 @@
+"""Vectorized OOO walk: bitwise parity, tier selection, memoization.
+
+The contract under test is strict: for fixed-latency models the
+columnar walk (numpy lane-lockstep and compiled per-lane Python alike)
+must reproduce ``model.simulate(blocks × reps)`` **bit for bit** —
+including the steady-state closure and the ROB-ring filling transient
+(the 458.sjeng shape) that defeats periodicity inside the production
+amortisation window.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import F64, I32, IRBuilder, Module
+from repro.sim import HostConfig, MemorySystem, OOOModel, SimulationMemo
+from repro.sim.array_kernels import (
+    BACKEND_NUMPY,
+    BACKEND_PYTHON,
+    FORCE_PYTHON_ENV,
+    get_numpy,
+)
+from repro.sim import ooo_columns
+from repro.sim.ooo_columns import (
+    LANE_TIER_ENV,
+    LANE_TIER_SCALAR,
+    LANE_TIER_VECTOR,
+    compile_paths,
+    select_lane_tier,
+    simulate_paths_tiered,
+    simulate_paths_vectorized,
+)
+from repro.workloads import get as get_workload
+from repro.workloads.base import profile_workload
+
+
+def _bits(res):
+    return vars(res).copy()
+
+
+def _backends():
+    out = [BACKEND_PYTHON]
+    if get_numpy() is not None:
+        out.append(BACKEND_NUMPY)
+    return out
+
+
+def _assert_plan_matches_oracle(model, plan, **kwargs):
+    ref = OOOModel(model.config, fixed_load_latency=model.fixed_load_latency)
+    oracle = {
+        key: ref.simulate(list(blocks) * reps) for key, blocks, reps in plan
+    }
+    for backend in _backends():
+        got = simulate_paths_vectorized(model, plan, backend=backend, **kwargs)
+        for key, blocks, reps in plan:
+            assert _bits(got[key]) == _bits(oracle[key]), (key, backend)
+
+
+# -- real-workload parity ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def real_plan():
+    """(key, blocks, reps) lanes from two structurally different workloads."""
+    plan = []
+    for name in ("dwt53", "429.mcf"):
+        prof = profile_workload(get_workload(name)).paths
+        for pid in prof.counts:
+            blocks = tuple(prof.decode(pid))
+            for reps in (1, 4, 7):
+                plan.append(((name, pid, reps), blocks, reps))
+    return plan
+
+
+def test_vectorized_matches_oracle_on_real_paths(real_plan):
+    _assert_plan_matches_oracle(OOOModel(), real_plan)
+
+
+def test_tiered_matches_oracle_for_every_forced_tier(real_plan, monkeypatch):
+    ref = OOOModel()
+    oracle = {
+        key: ref.simulate(list(blocks) * reps)
+        for key, blocks, reps in real_plan
+    }
+    for tier in ("scalar", "batch", "vector"):
+        monkeypatch.setenv(LANE_TIER_ENV, tier)
+        stats = {}
+        got = simulate_paths_tiered(OOOModel(), real_plan, stats=stats)
+        assert stats["decision"].tier == tier
+        assert stats["decision"].reason == "forced-env"
+        for key in oracle:
+            assert _bits(got[key]) == _bits(oracle[key]), (key, tier)
+
+
+# -- random path geometries (hypothesis) ---------------------------------------
+
+_geometries = st.fixed_dictionaries(
+    {
+        # per block: op specs (is_fp, two operand back-references)
+        "blocks": st.lists(
+            st.lists(
+                st.tuples(
+                    st.booleans(),
+                    st.integers(0, 40),
+                    st.integers(0, 40),
+                ),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        # per block: φ source back-references into the whole value list,
+        # resolved after construction — later-block sources become
+        # previous-repetition reads (use-before-def in path order)
+        "phis": st.lists(
+            st.lists(st.integers(0, 60), min_size=0, max_size=2),
+            min_size=3,
+            max_size=3,
+        ),
+        "reps": st.sampled_from([1, 2, 3, 4, 7]),
+        # small ROBs force the filling-phase transient mid-walk
+        "rob": st.sampled_from([8, 12, 32, 96]),
+        "alus": st.sampled_from([1, 2, 6]),
+        "fetch": st.sampled_from([2, 4]),
+    }
+)
+
+
+def _build_path(spec):
+    """Materialise a drawn geometry as IR blocks forming a cyclic path."""
+    module = Module()
+    fn = module.add_function("g", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    blocks = [b.add_block("b%d" % i) for i in range(len(spec["blocks"]))]
+    vals = []
+    phi_nodes = []
+    for i, ops in enumerate(spec["blocks"]):
+        b.set_block(blocks[i])
+        for refs in spec["phis"][i % len(spec["phis"])]:
+            node = b.phi(I32)
+            phi_nodes.append((node, refs, i))
+            vals.append(node)
+        for is_fp, r1, r2 in ops:
+            pool = vals or [fn.arg("a")]
+            lhs = pool[r1 % len(pool)]
+            rhs = pool[r2 % len(pool)]
+            if is_fp:
+                inst = b.binop("fmul", b.unop("sitofp", lhs, F64), 2.0)
+            else:
+                inst = b.binop("add", lhs, rhs)
+            vals.append(inst)
+        b.br(blocks[(i + 1) % len(blocks)])
+    # bind φ sources now that every value exists: the path predecessor of
+    # block i is block i-1, and of block 0 the last block (wraparound)
+    for node, refs, i in phi_nodes:
+        pred = blocks[i - 1] if i else blocks[-1]
+        node.add_incoming(pred, vals[refs % len(vals)])
+    return module, tuple(blocks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=_geometries)
+def test_vectorized_matches_oracle_on_random_geometry(spec):
+    module, blocks = _build_path(spec)
+    cfg = HostConfig(
+        rob_entries=spec["rob"],
+        int_alus=spec["alus"],
+        fetch_width=spec["fetch"],
+    )
+    model = OOOModel(cfg)
+    plan = [(0, blocks, spec["reps"])]
+    _assert_plan_matches_oracle(model, plan)
+    del module  # keep-alive until here: blocks reference the IR
+
+
+def test_sjeng_shaped_rob_filling_transient():
+    """Pinned regression: a lane whose ROB ring only fills mid-walk.
+
+    458.sjeng's longest path has stride ≈ 36 < rob_entries = 96: the
+    ring is not full until the third repetition, so inside the
+    production ``amortise_reps=4`` window there are never two
+    comparable consecutive boundaries and the walk must stay explicit —
+    closure would extrapolate from pre-transient state and diverge.
+    """
+    module = Module()
+    fn = module.add_function("s", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    blk = b.add_block("body")
+    b.set_block(blk)
+    phi = b.phi(I32)
+    cur = phi
+    for i in range(35):
+        cur = b.binop("add", cur, 1) if i % 3 else b.binop("add", cur, cur)
+    b.br(blk)
+    phi.add_incoming(blk, cur)
+    blocks = (blk,)
+    model = OOOModel()  # rob_entries=96 > stride=36, 4·36 = 144 > 96
+    plan = [(0, blocks, 4)]
+    ref = OOOModel()
+    oracle = _bits(ref.simulate(list(blocks) * 4))
+    for backend in _backends():
+        stats = {}
+        got = simulate_paths_vectorized(
+            model, plan, backend=backend, stats=stats
+        )
+        assert _bits(got[0]) == oracle, backend
+        # the filling transient defeats closure inside the window
+        assert stats["closed"] == 0, backend
+    del module
+
+
+def test_closure_engages_on_periodic_lane():
+    module = Module()
+    fn = module.add_function("p", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    blk = b.add_block("body")
+    b.set_block(blk)
+    phi = b.phi(I32)
+    cur = b.binop("add", phi, 1)
+    b.br(blk)
+    phi.add_incoming(blk, cur)
+    model = OOOModel(HostConfig(rob_entries=2))  # ring fills immediately
+    plan = [(0, (blk,), 40)]
+    for backend in _backends():
+        stats = {}
+        got = simulate_paths_vectorized(
+            model, plan, backend=backend, stats=stats
+        )
+        ref = OOOModel(HostConfig(rob_entries=2))
+        assert _bits(got[0]) == _bits(ref.simulate([blk] * 40))
+        assert stats["closed"] == 1, backend
+    del module
+
+
+def test_vectorized_refuses_memory_model():
+    model = OOOModel(memory_system=MemorySystem())
+    with pytest.raises(ValueError):
+        simulate_paths_vectorized(model, [])
+
+
+def test_empty_and_zero_rep_lanes(real_plan):
+    key, blocks, _ = real_plan[0]
+    model = OOOModel()
+    ref = OOOModel()
+    plan = [("zero", blocks, 0), ("one", blocks, 1)]
+    for backend in _backends():
+        got = simulate_paths_vectorized(model, plan, backend=backend)
+        assert _bits(got["zero"]) == _bits(ref.simulate([]))
+        assert _bits(got["one"]) == _bits(ref.simulate(list(blocks)))
+
+
+# -- tier selection and memoization --------------------------------------------
+
+
+def test_tier_decision_is_memoized_per_profile(real_plan):
+    memo = SimulationMemo()
+    model = OOOModel()
+    anchor = object()
+    d1 = select_lane_tier(
+        model, real_plan, memo=memo, anchor=anchor, anchor_extra=("cfg", 2)
+    )
+    d2 = select_lane_tier(
+        model, real_plan, memo=memo, anchor=anchor, anchor_extra=("cfg", 2)
+    )
+    assert d1 is d2  # same decision object: derived once, reused
+
+
+def test_compiled_programs_are_memoized(real_plan):
+    memo = SimulationMemo()
+    model = OOOModel()
+    anchor = object()
+    t1 = compile_paths(
+        model, real_plan, memo=memo, anchor=anchor, anchor_extra=("cfg", 2)
+    )
+    t2 = compile_paths(
+        model, real_plan, memo=memo, anchor=anchor, anchor_extra=("cfg", 2)
+    )
+    assert t1 is t2
+
+
+def test_tier_selection_reasons(real_plan, monkeypatch):
+    model = OOOModel()
+    # a one-lane plan is below the uop floor -> scalar record walk
+    small_key, small_blocks, _ = min(
+        real_plan, key=lambda t: sum(len(b.instructions) for b in t[1])
+    )
+    tiny = [(small_key, small_blocks, 1)]
+    d = select_lane_tier(model, tiny)
+    if d.total_uops < ooo_columns.VECTOR_MIN_UOPS:
+        assert d.tier == LANE_TIER_SCALAR
+        assert d.reason == "tiny-plan"
+        assert d.backend == BACKEND_PYTHON
+    # production-suite geometries are narrower than the lockstep
+    # threshold -> vector tier on the compiled per-lane Python walk
+    d = select_lane_tier(model, real_plan)
+    assert d.tier == LANE_TIER_VECTOR
+    if get_numpy() is None:
+        assert d.reason == "no-numpy"
+        assert d.backend == BACKEND_PYTHON
+    elif d.effective_lanes < ooo_columns.VECTOR_MIN_EFFECTIVE_LANES:
+        assert d.reason == "few-lanes"
+        assert d.backend == BACKEND_PYTHON
+    # pinned python backend (the no-numpy CI leg) keeps the vector tier
+    monkeypatch.setenv(FORCE_PYTHON_ENV, "1")
+    d = select_lane_tier(model, real_plan)
+    assert d.tier == LANE_TIER_VECTOR
+    assert d.backend == BACKEND_PYTHON
+    assert d.reason == "no-numpy"
+    monkeypatch.delenv(FORCE_PYTHON_ENV)
+    # forced scalar pins the pure-Python record walk
+    monkeypatch.setenv(LANE_TIER_ENV, LANE_TIER_SCALAR)
+    d = select_lane_tier(model, real_plan)
+    assert d.tier == LANE_TIER_SCALAR
+    assert d.backend == BACKEND_PYTHON
+    assert d.reason == "forced-env"
+
+
+def test_pure_python_backend_matches_numpy_backend(real_plan):
+    """Three-way: oracle == numpy walk == pure-Python walk, same bits."""
+    if get_numpy() is None:
+        pytest.skip("numpy unavailable: the two backends coincide")
+    model = OOOModel()
+    a = simulate_paths_vectorized(model, real_plan, backend=BACKEND_NUMPY)
+    b = simulate_paths_vectorized(model, real_plan, backend=BACKEND_PYTHON)
+    for key, _blocks, _reps in real_plan:
+        assert _bits(a[key]) == _bits(b[key])
