@@ -12,6 +12,10 @@ Times cold serial evaluation of the full suite twice in one process:
 * **instrumented** — ``obs`` enabled: counters, gauges and span trees
   collected for the whole run.  Fault injection stays off: chaos plans
   are a test-time tool, never part of the measured production modes.
+* **bus-enabled** — live telemetry on (``obs`` still disabled): ambient
+  event bus with a JSONL sink, progress aggregation and an atomic
+  progress file, exactly what ``--events-out``/``--progress-out``
+  switch on.  Gated against no-op at ``--bus-budget`` (default 3%).
 
 Run as a script (CI does)::
 
@@ -55,13 +59,19 @@ def recorded_cold_serial():
     return float(match.group(1)) if match else None
 
 
-def time_suite(enabled: bool, repeats: int) -> float:
-    """Best-of-``repeats`` cold serial evaluation of the full suite."""
+def time_suite(enabled: bool, repeats: int, telemetry_dir=None) -> float:
+    """Best-of-``repeats`` cold serial evaluation of the full suite.
+
+    ``telemetry_dir`` turns the live-telemetry stack on for the run —
+    ambient event bus, JSONL sink and progress-file aggregation — via
+    the same options surface the CLI flags use.
+    """
     from repro import NeedlePipeline, obs, suite
+    from repro.options import PipelineOptions
     from repro.resilience import faults
     from repro.workloads.base import clear_profile_cache
 
-    # both modes must measure the *disabled* fault-injection path: a
+    # all modes must measure the *disabled* fault-injection path: a
     # stray ambient plan would turn this benchmark into a chaos run
     assert not faults.enabled() and faults.active() is None
 
@@ -73,7 +83,15 @@ def time_suite(enabled: bool, repeats: int) -> float:
             obs.enable(reset=True)
         else:
             obs.disable()
-        pipeline = NeedlePipeline()  # no artifact cache: every run is cold
+        if telemetry_dir is None:
+            pipeline = NeedlePipeline()  # no artifact cache: always cold
+        else:
+            opts = PipelineOptions(
+                no_cache=True,
+                events_out=os.path.join(telemetry_dir, "events.jsonl"),
+                progress_out=os.path.join(telemetry_dir, "progress.json"),
+            )
+            pipeline = opts.build_pipeline()
         t0 = time.perf_counter()
         pipeline.evaluate_all(workloads)
         best = min(best, time.perf_counter() - t0)
@@ -97,17 +115,28 @@ def main(argv=None) -> int:
         help="allowed instrumented-vs-no-op overhead (default 0.25 = 25%%)",
     )
     parser.add_argument(
+        "--bus-budget", type=float, default=0.03,
+        help="allowed bus-enabled-vs-no-op overhead for live telemetry "
+        "(default 0.03 = 3%%)",
+    )
+    parser.add_argument(
         "--check-baseline", action="store_true",
         help="fail if the no-op run exceeds the recorded baseline by more "
         "than --budget (same-machine comparisons only)",
     )
     args = parser.parse_args(argv)
 
+    import tempfile
+
     noop = time_suite(enabled=False, repeats=args.repeats)
     instrumented = time_suite(enabled=True, repeats=args.repeats)
+    with tempfile.TemporaryDirectory(prefix="bench-obs-bus-") as tmp:
+        bus = time_suite(enabled=False, repeats=args.repeats,
+                         telemetry_dir=tmp)
     baseline = recorded_cold_serial()
 
     enabled_overhead = instrumented / noop - 1.0
+    bus_overhead = bus / noop - 1.0
     lines = [
         "observability overhead over the cold serial suite "
         "(best of %d runs)" % args.repeats,
@@ -115,12 +144,19 @@ def main(argv=None) -> int:
         "no-op (obs disabled) : %7.2f s" % noop,
         "instrumented         : %7.2f s  (%+.1f%% vs no-op)"
         % (instrumented, enabled_overhead * 100),
+        "bus-enabled          : %7.2f s  (%+.1f%% vs no-op; budget %.0f%%)"
+        % (bus, bus_overhead * 100, args.bus_budget * 100),
     ]
     failures = []
     if enabled_overhead > args.enabled_budget:
         failures.append(
             "instrumented run overhead %.1f%% exceeds the %.0f%% budget"
             % (enabled_overhead * 100, args.enabled_budget * 100)
+        )
+    if bus_overhead > args.bus_budget:
+        failures.append(
+            "bus-enabled run overhead %.1f%% exceeds the %.0f%% budget"
+            % (bus_overhead * 100, args.bus_budget * 100)
         )
     if baseline is not None:
         noop_overhead = noop / baseline - 1.0

@@ -37,6 +37,7 @@ import tempfile
 from typing import Optional, Tuple
 
 from .obs import counter as _obs_counter, enabled as _obs_enabled
+from .obs import events as _bus_events
 from .resilience.faults import (
     SITE_CACHE_TRUNCATE,
     consult as _flt_consult,
@@ -142,6 +143,7 @@ class ArtifactCache:
             if _obs_enabled():
                 _obs_counter("artifacts.misses", 1,
                              help="artifact cache misses", kind=kind)
+            _bus_events.publish(_bus_events.CACHE_MISS, kind)
             return None
         old_limit = sys.getrecursionlimit()
         try:
@@ -159,6 +161,7 @@ class ArtifactCache:
                 os.unlink(path)
             except OSError:
                 pass
+            _bus_events.publish(_bus_events.CACHE_MISS, kind)
             return None
         finally:
             sys.setrecursionlimit(old_limit)
@@ -166,6 +169,7 @@ class ArtifactCache:
         if _obs_enabled():
             _obs_counter("artifacts.hits", 1,
                          help="artifact cache hits", kind=kind)
+        _bus_events.publish(_bus_events.CACHE_HIT, kind)
         return obj
 
     def put(self, kind: str, key: str, obj) -> bool:

@@ -11,6 +11,8 @@ trace [WORKLOAD]     evaluate with instrumentation on; print the span tree
                      (or --format chrome for a Perfetto-loadable trace)
 report table [W]     paper-style cycle/energy attribution tables (ledger)
 report diff A B      compare two metric snapshots; exit 1 on regression
+top SOURCE           live one-screen view of a running sweep (reads a
+                     --serve-metrics endpoint or a --progress-out file)
 
 ``analyze`` and ``evaluate`` persist profiles and evaluation results in a
 content-addressed artifact cache (default ``~/.cache/repro-needle``, or
@@ -40,6 +42,17 @@ journaled sweep drains in-flight work (bounded by ``--drain-timeout``),
 prints the resume command, and exits with code 75; the
 ``--max-total-failures`` / ``--max-consecutive-failures`` circuit
 breaker aborts a doomed suite early (docs/resilience.md).
+
+Suite sweeps can carry *live telemetry* (docs/observability.md): a
+typed event bus with worker heartbeats and stall detection, exposed via
+``--serve-metrics [HOST:]PORT`` (Prometheus ``/metrics`` + JSON
+``/progress`` + ``/healthz``, loopback-bound by default),
+``--progress-out progress.json`` (atomic snapshots), ``--events-out``
+(gapless JSONL event log) and ``--live`` (in-terminal view).  ``repro
+top SOURCE`` renders the same view from a running sweep's endpoint or
+progress file.  All of it is wall-clock-only: semantic output is
+byte-identical with telemetry on or off.  The global ``--log-level``
+flag (or ``$REPRO_LOG_LEVEL``) configures logging in one place.
 """
 
 from __future__ import annotations
@@ -56,6 +69,32 @@ from .pipeline import NeedlePipeline, WorkloadEvaluation
 from .resilience import WorkloadFailure
 from .resilience.journal import JournalError, RunJournal, resolve_journal_dir
 from .resilience.shutdown import EXIT_DRAINED, SweepDrained
+
+
+def _load_metrics_file(path: str) -> dict:
+    """Load a saved metrics/snapshot JSON file for ``--from`` style flags.
+
+    A missing, unreadable or corrupt file is an *expected* operator
+    error: it exits with a clean one-line message on stderr (exit code
+    1 via :class:`SystemExit`), never a traceback.
+    """
+    import json as _json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = _json.load(fh)
+    except OSError as exc:
+        raise SystemExit(
+            "error: cannot read metrics file %s: %s"
+            % (path, exc.strerror or exc))
+    except ValueError as exc:
+        raise SystemExit(
+            "error: metrics file %s is not valid JSON: %s" % (path, exc))
+    if not isinstance(data, dict):
+        raise SystemExit(
+            "error: metrics file %s is not a metrics snapshot "
+            "(expected a JSON object)" % path)
+    return data
 
 
 def _options_from_args(args) -> PipelineOptions:
@@ -251,6 +290,15 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_metrics(args) -> int:
+    if args.snapshot is not None:
+        data = _load_metrics_file(args.snapshot)
+        if args.format == "json":
+            print(obs_export.to_json(data))
+        elif args.format == "prom":
+            print(obs_export.to_prometheus(data))
+        else:
+            print(obs_export.render_metrics(data))
+        return 0
     opts = _options_from_args(args)
     obs.enable(reset=True)
     names, _evaluations, pipeline = _run_evaluations(args, opts)
@@ -280,8 +328,28 @@ def _cmd_trace(args) -> int:
     chrome`` prints a Chrome trace-event document (wall-clock spans plus
     simulated-cycle tracks) for Perfetto.  When no span data was
     recorded the command prints a clean message to stderr and exits 1 —
-    never a traceback.
+    never a traceback.  ``--from PATH`` renders a saved snapshot
+    (``tree``/``json`` formats) instead of re-evaluating.
     """
+    if args.snapshot is not None:
+        data = _load_metrics_file(args.snapshot)
+        spans = data.get("spans") or []
+        if args.format == "chrome":
+            print("--from renders saved wall-clock spans only; the chrome "
+                  "format needs a live run (use --format tree or json)",
+                  file=sys.stderr)
+            return 1
+        if not spans:
+            print("no span data in %s — nothing to trace" % args.snapshot,
+                  file=sys.stderr)
+            return 1
+        if args.format == "json":
+            import json as _json
+
+            print(_json.dumps(spans, indent=2, sort_keys=True))
+        else:
+            print(obs_export.render_trace(data))
+        return 0
     opts = _options_from_args(args)
     obs.enable(reset=True)
     names, _evaluations, pipeline = _run_evaluations(args, opts)
@@ -331,10 +399,7 @@ def _cmd_report_table(args) -> int:
     from .reporting import render_attribution
 
     if args.snapshot is not None:
-        import json as _json
-
-        with open(args.snapshot) as fh:
-            data = _json.load(fh)
+        data = _load_metrics_file(args.snapshot)
         ledger = AttributionLedger()
         ledger.merge_snapshot(data.get("ledger"))
         print(render_attribution(ledger, args.workload))
@@ -373,16 +438,42 @@ def _cmd_report_diff(args) -> int:
         overrides=_parse_threshold_overrides(args.threshold),
         ignore=list(args.ignore or ()),
     )
-    result = diff_snapshots(
-        load_snapshot(args.old), load_snapshot(args.new), thresholds
-    )
+    def _load(path):
+        try:
+            return load_snapshot(path)
+        except OSError as exc:
+            raise SystemExit(
+                "error: cannot read snapshot %s: %s"
+                % (path, exc.strerror or exc))
+        except ValueError as exc:
+            raise SystemExit(
+                "error: snapshot %s is not valid JSON: %s" % (path, exc))
+
+    result = diff_snapshots(_load(args.old), _load(args.new), thresholds)
     print(render_diff(result, verbose=args.verbose))
     return result.exit_code
+
+
+def _cmd_top(args) -> int:
+    """Render the live sweep view from an endpoint or progress file."""
+    from .obs.top import run_top
+
+    try:
+        return run_top(args.source, interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Needle (HPCA 2017) reproduction CLI"
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="logging level for every repro.* logger (DEBUG, INFO, "
+        "WARNING, ERROR; default: $REPRO_LOG_LEVEL or WARNING)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -418,6 +509,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="output format (human table, JSON, or Prometheus text)",
     )
+    p.add_argument(
+        "--from",
+        dest="snapshot",
+        default=None,
+        metavar="PATH",
+        help="render a saved --metrics-out JSON snapshot instead of "
+        "re-evaluating",
+    )
     PipelineOptions.add_cli_arguments(p)
     p.set_defaults(func=_cmd_metrics)
 
@@ -434,6 +533,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="tree: indented wall-clock spans (default); chrome: "
         "trace-event JSON with simulated-cycle tracks (Perfetto); "
         "json: raw span forest",
+    )
+    p.add_argument(
+        "--from",
+        dest="snapshot",
+        default=None,
+        metavar="PATH",
+        help="render spans from a saved --metrics-out JSON snapshot "
+        "instead of re-evaluating (tree/json formats)",
     )
     PipelineOptions.add_cli_arguments(p)
     p.set_defaults(func=_cmd_trace)
@@ -491,11 +598,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="show every metric, not just changed ones",
     )
     p.set_defaults(func=_cmd_report_diff)
+
+    p = sub.add_parser(
+        "top",
+        help="live one-screen view of a running sweep",
+    )
+    p.add_argument(
+        "source",
+        help="progress source: a --serve-metrics PORT / HOST:PORT / URL, "
+        "or a --progress-out progress.json path",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="refresh period in seconds (default: 1.0)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit",
+    )
+    p.set_defaults(func=_cmd_top)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        obs.logging_setup(getattr(args, "log_level", None))
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     try:
         return args.func(args)
     except SweepDrained as exc:

@@ -136,6 +136,9 @@ class Pool:
         self.jobs = max(1, int(jobs) if jobs is not None else 1)
         self._tickets = itertools.count()
         self._started: Dict[int, float] = {}
+        #: seconds between worker heartbeats; None = heartbeats off
+        self.heartbeat_period: Optional[float] = None
+        self._heartbeats: Dict[int, tuple] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -169,6 +172,28 @@ class Pool:
 
     def reset(self) -> None:
         raise NotImplementedError
+
+    # -- heartbeats --------------------------------------------------------
+
+    def set_heartbeat(self, period: Optional[float]) -> None:
+        """Ask workers to report (task, phase, elapsed) every ``period``
+        seconds.  Call before :meth:`start`.  Silently ignored on
+        non-preemptive backends — a serial "worker" is the caller, so
+        there is nobody to hear the beat (and nothing to do about a
+        stall anyway).
+        """
+        if period and period > 0 and self.preemptive:
+            self.heartbeat_period = float(period)
+
+    def heartbeats(self) -> Dict[int, tuple]:
+        """Latest heartbeat per running ticket:
+        ``{ticket: (seen_monotonic, payload, worker_name)}``.
+
+        ``payload`` is the worker's report — ``{"elapsed": s, "phase":
+        name}``.  Entries disappear when their task completes or its
+        worker is retired, so a ticket present here is believed alive.
+        """
+        return dict(self._heartbeats)
 
     # -- shared helpers ----------------------------------------------------
 
@@ -235,23 +260,97 @@ class SerialPool(Pool):
         self._started.clear()
 
 
+# -- worker-side heartbeat reporter ------------------------------------------
+
+
+class _Beat:
+    """Worker-side heartbeat: a daemon thread beside the task loop.
+
+    The loop marks the running ticket with :meth:`begin`/:meth:`end`;
+    every ``period`` seconds the beat thread emits ``(ticket,
+    {"elapsed", "phase"})`` through the pool's normal result channel.
+    ``phase`` is whatever the task last declared via
+    :func:`repro.exec.worker.set_phase` ("run" until it says
+    otherwise).  Emission failures stop the beat silently — a broken
+    channel means the parent is gone and the worker is about to die
+    anyway.
+    """
+
+    def __init__(self, period: float, emit) -> None:
+        self._period = period
+        self._emit = emit
+        self._lock = threading.Lock()
+        self._ticket: Optional[int] = None
+        self._since = 0.0
+        self.phase = "run"
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-pool-beat", daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def begin(self, ticket: int) -> None:
+        with self._lock:
+            self._ticket = ticket
+            self._since = time.monotonic()
+            self.phase = "run"
+        worker_context.attach_beat(self)
+
+    def end(self) -> None:
+        worker_context.attach_beat(None)
+        with self._lock:
+            self._ticket = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._period):
+            with self._lock:
+                ticket = self._ticket
+                if ticket is None:
+                    continue
+                payload = {
+                    "elapsed": round(time.monotonic() - self._since, 3),
+                    "phase": self.phase,
+                }
+            try:
+                self._emit(ticket, payload)
+            except Exception:
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
 # -- threads -----------------------------------------------------------------
 
 
-def _thread_worker_main(name: str, inbox, results) -> None:
+def _thread_worker_main(name: str, inbox, results,
+                        heartbeat: Optional[float] = None) -> None:
     worker_context.enter("thread", can_preempt=True)
+    beat = None
+    if heartbeat:
+        beat = _Beat(heartbeat, lambda ticket, payload: results.put(
+            ("heartbeat", name, ticket, payload)))
+        beat.start()
     while True:
         msg = inbox.get()
         if msg is None:
+            if beat is not None:
+                beat.stop()
             return
         ticket, fn, args = msg
         results.put(("start", name, ticket, None))
+        if beat is not None:
+            beat.begin(ticket)
         try:
             value = fn(*args)
         except Exception as exc:
             results.put(("error", name, ticket, exc))
         else:
             results.put(("ok", name, ticket, value))
+        finally:
+            if beat is not None:
+                beat.end()
 
 
 class _ThreadWorker:
@@ -291,7 +390,7 @@ class ThreadPool(Pool):
         w.current = None
         w.thread = threading.Thread(
             target=_thread_worker_main,
-            args=(w.name, w.inbox, self._results),
+            args=(w.name, w.inbox, self._results, self.heartbeat_period),
             name="repro-pool-%s" % w.name,
             daemon=True,
         )
@@ -355,11 +454,15 @@ class ThreadPool(Pool):
             w.current = ticket
             self._started[ticket] = time.monotonic()
             return 1
+        if kind == "heartbeat":
+            self._heartbeats[ticket] = (time.monotonic(), payload, name)
+            return 0
         w.assigned.pop(ticket, None)
         if w.current == ticket:
             w.current = None
         self._started.pop(ticket, None)
         self._owner.pop(ticket, None)
+        self._heartbeats.pop(ticket, None)
         if kind == "ok":
             comps.append(Completion(ticket, result=payload, worker=name))
         else:
@@ -381,6 +484,7 @@ class ThreadPool(Pool):
         for ticket, item in w.assigned.items():
             self._owner.pop(ticket, None)
             self._started.pop(ticket, None)
+            self._heartbeats.pop(ticket, None)
             if ticket != drop:
                 requeue.append(item)
         self._backlog.extendleft(reversed(requeue))
@@ -401,6 +505,7 @@ class ThreadPool(Pool):
         self._backlog.clear()
         self._owner.clear()
         self._started.clear()
+        self._heartbeats.clear()
         self.start()
 
     def close(self, graceful: bool = True) -> None:
@@ -420,23 +525,39 @@ class ThreadPool(Pool):
         self._backlog.clear()
         self._owner.clear()
         self._started.clear()
+        self._heartbeats.clear()
 
 
 # -- processes ---------------------------------------------------------------
 
 
-def _send_safe(conn, kind: str, ticket: int, payload) -> None:
+def _send_safe(send, kind: str, ticket: int, payload) -> None:
     try:
-        conn.send((kind, ticket, payload))
+        send((kind, ticket, payload))
     except (BrokenPipeError, OSError):
         raise
     except Exception as exc:  # unpicklable result/exception
-        conn.send(("error", ticket, RuntimeError(
+        send(("error", ticket, RuntimeError(
             "unpicklable task %s payload: %r" % (kind, exc))))
 
 
-def _process_worker_main(conn, name: str) -> None:
+def _process_worker_main(conn, name: str,
+                         heartbeat: Optional[float] = None) -> None:
     worker_context.enter("process", can_preempt=True)
+    # once heartbeats exist the pipe is written from two threads (the
+    # task loop and the beat thread); Connection.send is not atomic
+    # across threads, so all writes go through one lock
+    send_lock = threading.Lock()
+
+    def send(msg) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    beat = None
+    if heartbeat:
+        beat = _Beat(heartbeat, lambda ticket, payload: send(
+            ("heartbeat", ticket, payload)))
+        beat.start()
     while True:
         try:
             msg = conn.recv()
@@ -446,17 +567,22 @@ def _process_worker_main(conn, name: str) -> None:
             return
         for ticket, fn, args in msg:
             try:
-                conn.send(("start", ticket))
+                send(("start", ticket))
             except (BrokenPipeError, OSError):
                 return
+            if beat is not None:
+                beat.begin(ticket)
             try:
                 value = fn(*args)
             except Exception as exc:
                 payload, kind = exc, "error"
             else:
                 payload, kind = value, "ok"
+            finally:
+                if beat is not None:
+                    beat.end()
             try:
-                _send_safe(conn, kind, ticket, payload)
+                _send_safe(send, kind, ticket, payload)
             except (BrokenPipeError, OSError):
                 return
 
@@ -507,7 +633,7 @@ class ProcessPool(Pool):
             w.conn = parent_conn
             w.proc = self._ctx.Process(
                 target=_process_worker_main,
-                args=(child_conn, w.name),
+                args=(child_conn, w.name, self.heartbeat_period),
                 name="repro-pool-%s" % w.name,
                 daemon=True,
             )
@@ -597,11 +723,15 @@ class ProcessPool(Pool):
             w.current = ticket
             self._started[ticket] = time.monotonic()
             return 1
+        if kind == "heartbeat":
+            self._heartbeats[ticket] = (time.monotonic(), msg[2], w.name)
+            return 0
         w.assigned.pop(ticket, None)
         if w.current == ticket:
             w.current = None
         self._started.pop(ticket, None)
         self._owner.pop(ticket, None)
+        self._heartbeats.pop(ticket, None)
         payload = msg[2]
         if kind == "ok":
             comps.append(Completion(ticket, result=payload, worker=w.name))
@@ -637,6 +767,7 @@ class ProcessPool(Pool):
         for ticket, item in w.assigned.items():
             self._owner.pop(ticket, None)
             self._started.pop(ticket, None)
+            self._heartbeats.pop(ticket, None)
             if ticket == drop:
                 continue
             if ticket == blame and not w.killing:
@@ -683,6 +814,7 @@ class ProcessPool(Pool):
         self._backlog.clear()
         self._owner.clear()
         self._started.clear()
+        self._heartbeats.clear()
         self._spill = []
         self.start()
 
@@ -714,6 +846,7 @@ class ProcessPool(Pool):
         self._backlog.clear()
         self._owner.clear()
         self._started.clear()
+        self._heartbeats.clear()
         self._spill = []
 
 

@@ -35,8 +35,9 @@ import threading
 from contextlib import contextmanager
 from typing import Iterable, Optional
 
-from . import export
+from . import events, export
 from .ledger import CHARGE_CLASSES, AttributionLedger
+from .logconfig import logging_setup
 from .metrics import (
     Counter,
     Gauge,
@@ -191,10 +192,12 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "events",
     "export",
     "gauge",
     "label_key",
     "ledger",
+    "logging_setup",
     "merge",
     "observe",
     "registry",

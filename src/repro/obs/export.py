@@ -88,16 +88,30 @@ def _format_value(value) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _series_sort_key(series) -> list:
+    return sorted((str(k), str(v))
+                  for k, v in (series.get("labels") or {}).items())
+
+
 def to_prometheus(source=None) -> str:
-    """Prometheus exposition text (``# HELP`` / ``# TYPE`` + samples)."""
+    """Prometheus exposition text (``# HELP`` / ``# TYPE`` + samples).
+
+    Families are emitted sorted by metric name and series sorted by
+    their label sets *here*, independent of snapshot ordering — raw
+    worker snapshots arrive in registration order, and two scrapes of
+    the same values must be byte-identical regardless of which order
+    the registering code ran in.
+    """
     snap = _coerce(source)
     lines: List[str] = []
-    for metric in snap.get("metrics", ()):
+    families = sorted(snap.get("metrics", ()),
+                      key=lambda m: str(m.get("name", "")))
+    for metric in families:
         name = _prom_name(metric["name"])
         if metric.get("help"):
             lines.append("# HELP %s %s" % (name, metric["help"]))
         lines.append("# TYPE %s %s" % (name, metric["kind"]))
-        for series in metric.get("series", ()):
+        for series in sorted(metric.get("series", ()), key=_series_sort_key):
             labels = series.get("labels", {})
             if metric["kind"] == "histogram":
                 buckets, total, count = series["value"]
@@ -129,6 +143,12 @@ def to_prometheus(source=None) -> str:
                        _format_value(series["value"]))
                 )
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: canonical name for the scrape-facing exporter (the HTTP endpoint and
+#: CLI call this); kept alongside ``to_prometheus`` for symmetry with
+#: ``to_json``
+render_prometheus = to_prometheus
 
 
 # -- human views ------------------------------------------------------------
@@ -197,6 +217,7 @@ def render_trace(source=None) -> str:
 
 __all__ = [
     "render_metrics",
+    "render_prometheus",
     "render_trace",
     "semantic_json",
     "to_json",

@@ -1,0 +1,154 @@
+"""Opt-in background HTTP endpoint for live metrics and progress.
+
+A stdlib-only (``http.server``) daemon-threaded server started by
+``--serve-metrics [HOST:]PORT`` and owned by
+:class:`repro.obs.live.TelemetrySession`.  Three routes:
+
+* ``/metrics``  — the existing Prometheus exporter over the ambient
+  metrics registry (deterministically sorted; see
+  :func:`repro.obs.export.render_prometheus`);
+* ``/progress`` — the live :class:`~repro.obs.live.ProgressModel`
+  snapshot as JSON;
+* ``/healthz``  — liveness probe, always ``ok``.
+
+Security posture: binds ``127.0.0.1`` unless the user spells out a host
+explicitly — the endpoint exposes workload names and machine progress,
+so it is loopback-only by default.  The server is read-only and carries
+no authentication; anyone who can reach the port can scrape it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+log = logging.getLogger(__name__)
+
+#: loopback unless the user explicitly binds wider
+DEFAULT_HOST = "127.0.0.1"
+
+
+def parse_serve_address(spec: str, default_host: str = DEFAULT_HOST
+                        ) -> Tuple[str, int]:
+    """Parse ``--serve-metrics``'s ``[HOST:]PORT`` argument.
+
+    ``"9100"`` → ``("127.0.0.1", 9100)``; ``"0.0.0.0:9100"`` →
+    ``("0.0.0.0", 9100)``.  Port 0 is allowed (ephemeral; tests use it)
+    — the bound port is reported on :attr:`MetricsServer.port`.
+    """
+    spec = str(spec).strip()
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        host, port_text = default_host, spec
+    host = host.strip() or default_host
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            "invalid --serve-metrics address %r (expected [HOST:]PORT)"
+            % spec) from None
+    if not 0 <= port <= 65535:
+        raise ValueError("port %d out of range in --serve-metrics %r"
+                         % (port, spec))
+    return host, port
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # set per-server via the factory in MetricsServer
+    progress_model = None
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                self._send(200, "text/plain; charset=utf-8", b"ok\n")
+            elif path == "/metrics":
+                self._send(200, "text/plain; version=0.0.4; charset=utf-8",
+                           self._render_metrics())
+            elif path in ("/progress", "/progress.json"):
+                self._send(200, "application/json; charset=utf-8",
+                           self._render_progress())
+            else:
+                self._send(404, "text/plain; charset=utf-8", b"not found\n")
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # the endpoint must never kill the sweep
+            log.debug("metrics endpoint error on %s: %s", path, exc)
+            try:
+                self._send(500, "text/plain; charset=utf-8",
+                           b"internal error\n")
+            except OSError:
+                pass
+
+    def _render_metrics(self) -> bytes:
+        from .export import render_prometheus
+        # the driver mutates the registry concurrently; a snapshot taken
+        # mid-update can be retried once before giving up
+        for attempt in (0, 1):
+            try:
+                return render_prometheus(None).encode("utf-8")
+            except RuntimeError:
+                if attempt:
+                    raise
+        raise RuntimeError("unreachable")
+
+    def _render_progress(self) -> bytes:
+        model = self.progress_model
+        snapshot = model.snapshot() if model is not None else {}
+        return (json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+                ).encode("utf-8")
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        log.debug("metrics endpoint: " + format, *args)
+
+
+class MetricsServer:
+    """Daemon-threaded HTTP server for ``/metrics`` + ``/progress``.
+
+    ``progress`` is the live :class:`~repro.obs.live.ProgressModel` (or
+    anything with a ``snapshot() -> dict``).  ``start()`` binds and
+    spawns the serving thread; ``close()`` shuts it down and joins —
+    called by :class:`~repro.obs.live.TelemetrySession` on every sweep
+    exit path, including drain.
+    """
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = 0,
+                 progress=None):
+        handler = type("_BoundHandler", (_Handler,),
+                       {"progress_model": progress})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-metrics-http",
+                                        kwargs={"poll_interval": 0.25},
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+__all__ = ["DEFAULT_HOST", "MetricsServer", "parse_serve_address"]

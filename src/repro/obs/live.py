@@ -1,0 +1,455 @@
+"""Driver-side live-progress aggregation over the event bus.
+
+:class:`ProgressModel` folds the typed event stream from
+:mod:`repro.obs.events` into a small JSON-able progress model —
+done/running/queued/quarantined counts, per-worker status with stall
+flags, cache hit rates, throughput and an EWMA-smoothed ETA.
+:class:`LiveAggregator` subscribes a model to a bus and snapshots it
+atomically to ``progress.json`` (write-to-temp + ``os.replace``, so a
+concurrent ``repro top`` never reads a torn file).
+
+:class:`TelemetrySession` is the one-stop context manager the pipeline
+enters around a sweep when any live-telemetry option is set: it builds
+the bus, attaches the JSONL sink, wires the aggregator, optionally
+starts the HTTP endpoint and the in-terminal ``--live`` renderer, and
+tears everything down — publishing the terminal ``run_finished`` event
+with the right status — on every exit path including drain.
+
+Everything here is wall-clock-only bookkeeping.  Nothing in this module
+feeds back into evaluation records, semantic metrics or the ledger;
+byte-identity of semantic output with telemetry on vs off is enforced
+by tests on every pool backend.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from typing import Optional
+
+from . import events as ev
+
+log = logging.getLogger(__name__)
+
+#: EWMA smoothing factor for the per-task completion rate (higher =
+#: snappier ETA, lower = steadier; 0.3 tracks mid-sweep speedups within
+#: a few completions without whipsawing on one outlier)
+EWMA_ALPHA = 0.3
+
+#: minimum seconds between progress-file rewrites (forced writes on
+#: run_finished bypass the throttle)
+DEFAULT_WRITE_INTERVAL = 0.5
+
+
+class ProgressModel:
+    """Fold of the event stream into current sweep status.
+
+    Thread-safe: the bus delivers events from whatever thread publishes
+    them, and HTTP/`--live` readers snapshot concurrently.
+    """
+
+    def __init__(self, clock=time.time):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.run_id = ""
+        self.stage = ""
+        self.state = "idle"  # idle -> running -> finished|drained|aborted
+        self.total = 0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.done = 0
+        self.resumed = 0
+        self.failed = 0
+        self.quarantined = 0
+        self.retries = 0
+        self.stalls = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.last_seq = -1
+        self._queued = set()
+        self._running = {}     # key -> {worker, attempt, phase, started}
+        self._quarantined = set()
+        self._workers = {}     # worker -> {task, phase, last_seen, stalled}
+        self._ewma_rate = None  # tasks/second, EWMA-smoothed
+        self._last_done_ts = None
+
+    # -- folding -------------------------------------------------------------
+
+    def apply(self, event: ev.Event) -> None:
+        with self._lock:
+            self.last_seq = event.seq
+            handler = getattr(self, "_on_" + event.kind, None)
+            if handler is not None:
+                handler(event)
+
+    def _on_run_started(self, event: ev.Event) -> None:
+        self.run_id = event.data.get("run_id", event.key) or self.run_id
+        self.stage = event.data.get("stage", self.stage)
+        self.total = int(event.data.get("total", self.total))
+        self.state = "running"
+        self.started_at = event.ts
+
+    def _on_run_resumed(self, event: ev.Event) -> None:
+        # a resumed workload is finished work inherited from the prior
+        # run: counted as done (the acceptance criterion: cumulative
+        # progress, not just this process's share) but kept out of the
+        # ETA rate estimate, which should reflect live throughput only
+        key = event.key
+        self._queued.discard(key)
+        self._running.pop(key, None)
+        self.done += 1
+        self.resumed += 1
+
+    def _on_task_scheduled(self, event: ev.Event) -> None:
+        key = event.key
+        if key not in self._running and key not in self._quarantined:
+            self._queued.add(key)
+
+    def _on_task_started(self, event: ev.Event) -> None:
+        key = event.key
+        self._queued.discard(key)
+        self._running[key] = {
+            "worker": event.data.get("worker", ""),
+            "attempt": int(event.data.get("attempt", 1)),
+            "phase": event.data.get("phase", "run"),
+            "started": event.ts,
+        }
+        worker = event.data.get("worker")
+        if worker:
+            self._workers[worker] = {
+                "task": key,
+                "phase": event.data.get("phase", "run"),
+                "last_seen": event.ts,
+                "stalled": False,
+            }
+
+    def _on_task_finished(self, event: ev.Event) -> None:
+        key = event.key
+        self._queued.discard(key)
+        entry = self._running.pop(key, None)
+        self.done += 1
+        if not event.data.get("ok", True):
+            self.failed += 1
+        if entry and entry.get("worker"):
+            state = self._workers.get(entry["worker"])
+            if state is not None and state.get("task") == key:
+                state.update(task="", phase="idle", last_seen=event.ts,
+                             stalled=False)
+        # EWMA over inter-completion gaps -> live tasks/second
+        now = event.ts
+        if self._last_done_ts is not None:
+            gap = max(now - self._last_done_ts, 1e-9)
+            rate = 1.0 / gap
+            if self._ewma_rate is None:
+                self._ewma_rate = rate
+            else:
+                self._ewma_rate += EWMA_ALPHA * (rate - self._ewma_rate)
+        self._last_done_ts = now
+
+    def _on_retry(self, event: ev.Event) -> None:
+        self.retries += 1
+        key = event.key
+        self._running.pop(key, None)
+        self._queued.add(key)
+
+    def _on_quarantined(self, event: ev.Event) -> None:
+        key = event.key
+        self._queued.discard(key)
+        self._running.pop(key, None)
+        self._quarantined.add(key)
+        self.quarantined = len(self._quarantined)
+
+    def _on_worker_heartbeat(self, event: ev.Event) -> None:
+        worker = event.data.get("worker", event.key)
+        if not worker:
+            return
+        self._workers[worker] = {
+            "task": event.data.get("task", ""),
+            "phase": event.data.get("phase", "run"),
+            "last_seen": event.ts,
+            "stalled": False,
+        }
+        task = event.data.get("task")
+        entry = self._running.get(task)
+        if entry is not None:
+            entry["phase"] = event.data.get("phase", entry["phase"])
+            entry["worker"] = worker
+
+    def _on_worker_stalled(self, event: ev.Event) -> None:
+        self.stalls += 1
+        worker = event.data.get("worker", event.key)
+        state = self._workers.get(worker)
+        if state is not None:
+            state["stalled"] = True
+
+    def _on_cache_hit(self, event: ev.Event) -> None:
+        self.cache_hits += 1
+
+    def _on_cache_miss(self, event: ev.Event) -> None:
+        self.cache_misses += 1
+
+    def _on_run_finished(self, event: ev.Event) -> None:
+        self.state = event.data.get("status", "finished")
+        self.finished_at = event.ts
+        self._running.clear()
+        self._queued.clear()
+        for state in self._workers.values():
+            state.update(task="", phase="done")
+
+    # -- reading -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One JSON-able view of the model, lists sorted for stability."""
+        with self._lock:
+            now = self._clock()
+            elapsed = (now - self.started_at) if self.started_at else 0.0
+            if self.finished_at and self.started_at:
+                elapsed = self.finished_at - self.started_at
+            remaining = max(self.total - self.done - self.quarantined, 0)
+            eta = None
+            if (self.state == "running" and remaining > 0
+                    and self._ewma_rate and self._ewma_rate > 0):
+                eta = remaining / self._ewma_rate
+            lookups = self.cache_hits + self.cache_misses
+            running = [
+                dict(sorted(entry.items()), task=key,
+                     elapsed=round(max(now - entry["started"], 0.0), 3))
+                for key, entry in sorted(self._running.items())
+            ]
+            workers = [
+                dict(sorted(state.items()), worker=name,
+                     idle_for=round(max(now - state["last_seen"], 0.0), 3))
+                for name, state in sorted(self._workers.items())
+            ]
+            return {
+                "run_id": self.run_id,
+                "stage": self.stage,
+                "state": self.state,
+                "total": self.total,
+                "done": self.done,
+                "resumed": self.resumed,
+                "failed": self.failed,
+                "queued": len(self._queued),
+                "running": running,
+                "quarantined": sorted(self._quarantined),
+                "retries": self.retries,
+                "stalls": self.stalls,
+                "workers": workers,
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": (self.cache_hits / lookups) if lookups else None,
+                },
+                "elapsed_seconds": round(elapsed, 3),
+                "eta_seconds": round(eta, 3) if eta is not None else None,
+                "rate_per_second": (round(self._ewma_rate, 6)
+                                    if self._ewma_rate else None),
+                "last_seq": self.last_seq,
+                "generated_at": now,
+            }
+
+
+def write_progress(path: str, snapshot: dict) -> None:
+    """Atomically replace ``path`` with ``snapshot`` as JSON.
+
+    Temp-file + ``os.replace`` in the destination directory, so readers
+    (``repro top``, the HTTP endpoint's file fallback) always see a
+    complete document.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(directory, ".%s.tmp.%d" % (os.path.basename(path),
+                                                  os.getpid()))
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+class LiveAggregator:
+    """Subscribe a :class:`ProgressModel` to a bus; persist snapshots.
+
+    Progress-file writes are throttled to ``write_interval`` seconds so
+    a chatty sweep does not turn into an fsync storm; terminal events
+    force a final write.
+    """
+
+    def __init__(self, bus: ev.EventBus, progress_path: Optional[str] = None,
+                 write_interval: float = DEFAULT_WRITE_INTERVAL):
+        self.model = ProgressModel()
+        self.progress_path = progress_path
+        self.write_interval = write_interval
+        self._bus = bus
+        self._last_write = 0.0
+        self._write_lock = threading.Lock()
+        bus.subscribe(self._on_event)
+
+    def _on_event(self, event: ev.Event) -> None:
+        self.model.apply(event)
+        if self.progress_path is None:
+            return
+        force = event.kind in (ev.RUN_FINISHED, ev.RUN_STARTED)
+        now = time.monotonic()
+        with self._write_lock:
+            if not force and now - self._last_write < self.write_interval:
+                return
+            self._last_write = now
+        self.flush()
+
+    def flush(self) -> None:
+        """Write the current snapshot out (no throttle)."""
+        if self.progress_path is None:
+            return
+        try:
+            write_progress(self.progress_path, self.model.snapshot())
+        except OSError as exc:
+            # progress persistence is best-effort; never fail the sweep
+            log.warning("could not write progress file %s: %s",
+                        self.progress_path, exc)
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self._on_event)
+        self.flush()
+
+
+class _LiveRenderer:
+    """Background thread repainting ``repro top``'s view on stderr."""
+
+    def __init__(self, model: ProgressModel, interval: float = 1.0,
+                 stream=None):
+        import sys
+        self._model = model
+        self._interval = interval
+        self._stream = stream if stream is not None else sys.stderr
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-live-render",
+                                        daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _paint(self) -> None:
+        from .top import render_top
+        try:
+            text = render_top(self._model.snapshot())
+            if getattr(self._stream, "isatty", lambda: False)():
+                self._stream.write("\x1b[2J\x1b[H")
+            self._stream.write(text + "\n")
+            self._stream.flush()
+        except (OSError, ValueError):
+            pass
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._paint()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._paint()  # leave the final state on screen
+
+
+class TelemetrySession:
+    """Everything live telemetry needs for one sweep, as a context.
+
+    Owns the bus (installed as process-ambient on entry), the JSONL
+    events sink, the aggregator + progress file, the optional HTTP
+    endpoint and the optional terminal renderer.  On exit it publishes
+    ``run_finished`` with a status derived from how the sweep ended —
+    ``finished`` on clean return, ``drained`` on a graceful-shutdown
+    interrupt (SweepDrained subclasses KeyboardInterrupt), ``aborted``
+    on any other exception — then tears everything down in reverse
+    order.
+    """
+
+    def __init__(self, run_id: str = "", progress_out: Optional[str] = None,
+                 events_out: Optional[str] = None,
+                 serve_metrics: Optional[str] = None,
+                 live: bool = False, capacity: int = ev.DEFAULT_CAPACITY):
+        self.run_id = run_id
+        self.bus = ev.EventBus(capacity=capacity, run_id=run_id)
+        if events_out:
+            self.bus.attach_jsonl(events_out)
+        self.aggregator = LiveAggregator(self.bus, progress_path=progress_out)
+        self.server = None
+        self._serve_metrics = serve_metrics
+        self._live = live
+        self._renderer = None
+        self._previous_bus = None
+        self._entered = False
+
+    @classmethod
+    def from_options(cls, options, run_id: str = "") -> "TelemetrySession":
+        """Build a session from a :class:`repro.options.PipelineOptions`."""
+        return cls(
+            run_id=run_id or (options.run_id or ""),
+            progress_out=options.progress_out,
+            events_out=options.events_out,
+            serve_metrics=options.serve_metrics,
+            live=options.live,
+        )
+
+    # -- context -------------------------------------------------------------
+
+    def __enter__(self) -> "TelemetrySession":
+        self._previous_bus = ev.install(self.bus)
+        if self._serve_metrics:
+            from .http import MetricsServer, parse_serve_address
+            host, port = parse_serve_address(self._serve_metrics)
+            try:
+                self.server = MetricsServer(host, port,
+                                            progress=self.aggregator.model)
+                self.server.start()
+                log.info("serving live metrics on http://%s:%d",
+                         self.server.host, self.server.port)
+            except OSError as exc:
+                self.server = None
+                log.warning("could not start metrics endpoint on %s:%s: %s",
+                            host, port, exc)
+        if self._live:
+            self._renderer = _LiveRenderer(self.aggregator.model)
+            self._renderer.start()
+        self._entered = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            status = "finished"
+        elif issubclass(exc_type, KeyboardInterrupt):
+            # covers SweepDrained (graceful drain) without importing the
+            # resilience layer from obs
+            status = "drained"
+        else:
+            status = "aborted"
+        try:
+            self.bus.publish(ev.RUN_FINISHED, self.run_id, status=status)
+        except Exception:
+            pass
+        self.close()
+        return False
+
+    def close(self) -> None:
+        if self._renderer is not None:
+            self._renderer.close()
+            self._renderer = None
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+        self.aggregator.close()
+        if self._entered:
+            ev.uninstall(self._previous_bus)
+            self._entered = False
+        self.bus.close()
+
+
+__all__ = [
+    "DEFAULT_WRITE_INTERVAL",
+    "EWMA_ALPHA",
+    "LiveAggregator",
+    "ProgressModel",
+    "TelemetrySession",
+    "write_progress",
+]

@@ -1,0 +1,107 @@
+"""Central logging configuration for the `repro` package.
+
+Every module in the tree does ``log = logging.getLogger(__name__)`` and
+nothing else — configuration is deliberately *not* scattered across
+modules.  :func:`logging_setup` is the one place handlers and levels
+are decided, wired to the CLI's global ``--log-level`` flag and the
+``$REPRO_LOG_LEVEL`` environment variable.
+
+Idempotent by construction: repeated calls re-level the existing
+handler instead of stacking new ones, so tests and embedded callers can
+invoke it freely.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+#: environment override consulted when no explicit level is passed
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: default when neither the flag nor the environment says otherwise
+DEFAULT_LEVEL = "WARNING"
+
+_HANDLER_NAME = "repro-obs-log-handler"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+class _StderrHandler(logging.StreamHandler):
+    """StreamHandler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream at setup time would capture whatever stderr
+    happened to be then (a pytest capture buffer, a since-redirected
+    pipe) and keep writing to it after it is gone; looking it up per
+    record follows redirections the way ``logging.lastResort`` does.
+    An explicit ``stream`` pins a fixed target instead.
+    """
+
+    def __init__(self):
+        super().__init__(stream=None)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore
+        pass
+
+
+def _resolve_level(level: Optional[str]) -> int:
+    """Explicit argument beats ``$REPRO_LOG_LEVEL`` beats WARNING."""
+    raw = level if level is not None else os.environ.get(LOG_LEVEL_ENV)
+    if raw is None or str(raw).strip() == "":
+        raw = DEFAULT_LEVEL
+    raw = str(raw).strip().upper()
+    if raw.isdigit():
+        return int(raw)
+    resolved = logging.getLevelName(raw)
+    if not isinstance(resolved, int):
+        raise ValueError(
+            "unknown log level %r (use DEBUG, INFO, WARNING, ERROR, "
+            "CRITICAL or a numeric level)" % (level if level is not None
+                                              else raw))
+    return resolved
+
+
+def logging_setup(level: Optional[str] = None, stream=None) -> int:
+    """Configure the ``repro`` logger tree; returns the resolved level.
+
+    ``level`` is a name ("DEBUG", "info", …) or numeric string; when
+    ``None`` the ``$REPRO_LOG_LEVEL`` environment variable is consulted
+    and WARNING is the fallback.  Output goes to ``stream`` (default
+    stderr) through a single named handler owned by this function —
+    repeated calls adjust it in place rather than duplicating it.
+    """
+    resolved = _resolve_level(level)
+    root = logging.getLogger("repro")
+    handler = None
+    for existing in root.handlers:
+        if existing.get_name() == _HANDLER_NAME:
+            handler = existing
+            break
+    if handler is not None and (
+            (stream is None) != isinstance(handler, _StderrHandler)):
+        root.removeHandler(handler)
+        handler = None
+    if handler is None:
+        handler = (_StderrHandler() if stream is None
+                   else logging.StreamHandler(stream))
+        handler.set_name(_HANDLER_NAME)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(resolved)
+    root.setLevel(resolved)
+    # propagation stays on: the root logger normally has no handlers so
+    # nothing double-prints, and capturing tools (pytest caplog) keep
+    # seeing repro.* records
+    return resolved
+
+
+__all__ = ["DEFAULT_LEVEL", "LOG_LEVEL_ENV", "logging_setup"]

@@ -1,0 +1,201 @@
+"""`repro top`: a one-screen live view of a running sweep.
+
+Reads the progress model either from a live endpoint
+(``http://host:port`` started with ``--serve-metrics``) or from the
+``progress.json`` file written by ``--progress-out``, and repaints a
+compact status screen on an interval — done/queued/running counts, a
+progress bar with ETA, per-worker status with stall markers, and cache
+hit rates.  Stops by itself once the run reaches a terminal state.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+#: states after which the sweep will publish no further progress
+TERMINAL_STATES = frozenset(("finished", "drained", "aborted"))
+
+
+class ProgressUnavailable(RuntimeError):
+    """The progress source could not be read (yet)."""
+
+
+def normalize_source(source: str) -> str:
+    """Map CLI shorthand onto a concrete progress source.
+
+    ``9100`` and ``host:9100`` become live-endpoint URLs (loopback when
+    no host is given); http(s) URLs and file paths pass through.
+    """
+    text = str(source).strip()
+    if text.startswith(("http://", "https://")):
+        return text.rstrip("/")
+    if text.isdigit():
+        return "http://127.0.0.1:%d" % int(text)
+    host, sep, port = text.rpartition(":")
+    if sep and host and port.isdigit() and "/" not in host:
+        return "http://%s:%s" % (host, port)
+    return text  # a progress.json path
+
+
+def fetch_progress(source: str, timeout: float = 2.0) -> dict:
+    """Fetch one progress snapshot from a URL or file source."""
+    normalized = normalize_source(source)
+    if normalized.startswith(("http://", "https://")):
+        url = normalized + "/progress"
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise ProgressUnavailable(
+                "cannot reach live endpoint %s (%s)" % (url, exc)) from None
+    try:
+        with open(normalized, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise ProgressUnavailable(
+            "cannot read progress file %s (%s)"
+            % (normalized, exc.strerror or exc)) from None
+    except ValueError as exc:
+        raise ProgressUnavailable(
+            "progress file %s is not valid JSON (%s)"
+            % (normalized, exc)) from None
+
+
+def _format_duration(seconds) -> str:
+    if seconds is None:
+        return "--"
+    seconds = max(int(seconds), 0)
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return "%dh%02dm%02ds" % (hours, minutes, secs)
+    if minutes:
+        return "%dm%02ds" % (minutes, secs)
+    return "%ds" % secs
+
+
+def _bar(done: int, total: int, width: int = 32) -> str:
+    if total <= 0:
+        return "-" * width
+    filled = int(round(width * min(done / total, 1.0)))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render_top(progress: dict) -> str:
+    """Render one progress snapshot as a fixed-width text screen."""
+    lines = []
+    run_id = progress.get("run_id") or "(unjournaled)"
+    state = progress.get("state", "unknown")
+    stage = progress.get("stage", "")
+    total = int(progress.get("total") or 0)
+    done = int(progress.get("done") or 0)
+    queued = int(progress.get("queued") or 0)
+    running = progress.get("running") or []
+    quarantined = progress.get("quarantined") or []
+    header = "repro top — run %s [%s]" % (run_id, state)
+    if stage:
+        header += " stage=%s" % stage
+    lines.append(header)
+    lines.append("=" * max(len(header), 44))
+
+    pct = (100.0 * done / total) if total else 0.0
+    lines.append("  [%s] %d/%d (%.0f%%)"
+                 % (_bar(done, total), done, total, pct))
+    lines.append(
+        "  elapsed %-9s eta %-9s rate %s/s"
+        % (_format_duration(progress.get("elapsed_seconds")),
+           _format_duration(progress.get("eta_seconds")),
+           ("%.2f" % progress["rate_per_second"])
+           if progress.get("rate_per_second") else "--"))
+    lines.append(
+        "  running %-4d queued %-4d quarantined %-4d retries %-4d stalls %d"
+        % (len(running), queued, len(quarantined),
+           int(progress.get("retries") or 0),
+           int(progress.get("stalls") or 0)))
+    resumed = int(progress.get("resumed") or 0)
+    if resumed:
+        lines.append("  resumed from journal: %d workload%s"
+                     % (resumed, "s" if resumed != 1 else ""))
+    cache = progress.get("cache") or {}
+    if (cache.get("hits") or 0) + (cache.get("misses") or 0):
+        rate = cache.get("hit_rate")
+        lines.append("  cache   hits %-5d misses %-5d hit-rate %s"
+                     % (cache.get("hits", 0), cache.get("misses", 0),
+                        ("%.0f%%" % (100 * rate)) if rate is not None
+                        else "--"))
+
+    if running:
+        lines.append("")
+        lines.append("  %-24s %-10s %-8s %-9s %s"
+                     % ("TASK", "WORKER", "PHASE", "ELAPSED", "ATTEMPT"))
+        for entry in running:
+            lines.append("  %-24s %-10s %-8s %-9s %s"
+                         % (entry.get("task", "?")[:24],
+                            entry.get("worker", "-")[:10],
+                            entry.get("phase", "-")[:8],
+                            _format_duration(entry.get("elapsed")),
+                            entry.get("attempt", 1)))
+
+    workers = progress.get("workers") or []
+    if workers:
+        lines.append("")
+        lines.append("  %-12s %-24s %-8s %-9s %s"
+                     % ("WORKER", "TASK", "PHASE", "IDLE", "STATUS"))
+        for state_row in workers:
+            status = "STALLED" if state_row.get("stalled") else "ok"
+            lines.append("  %-12s %-24s %-8s %-9s %s"
+                         % (state_row.get("worker", "?")[:12],
+                            (state_row.get("task") or "-")[:24],
+                            state_row.get("phase", "-")[:8],
+                            _format_duration(state_row.get("idle_for")),
+                            status))
+
+    if quarantined:
+        lines.append("")
+        lines.append("  quarantined: " + ", ".join(quarantined[:8])
+                     + (" …" if len(quarantined) > 8 else ""))
+    return "\n".join(lines)
+
+
+def run_top(source: str, interval: float = 1.0, once: bool = False,
+            stream=None, clear: bool = True) -> int:
+    """The `repro top` loop; returns a process exit code.
+
+    Repaints until the source reports a terminal state (or forever for
+    a file source that never finishes — ^C exits).  ``once`` renders a
+    single frame, which is also what CI smoke tests use.
+    """
+    out = stream if stream is not None else sys.stdout
+    misses = 0
+    while True:
+        try:
+            progress = fetch_progress(source)
+            misses = 0
+        except ProgressUnavailable as exc:
+            misses += 1
+            if once or misses >= 5:
+                print("repro top: %s" % exc, file=sys.stderr)
+                return 1
+            time.sleep(interval)
+            continue
+        if clear and getattr(out, "isatty", lambda: False)():
+            out.write("\x1b[2J\x1b[H")
+        out.write(render_top(progress) + "\n")
+        out.flush()
+        if once or progress.get("state") in TERMINAL_STATES:
+            return 0
+        time.sleep(interval)
+
+
+__all__ = [
+    "ProgressUnavailable",
+    "TERMINAL_STATES",
+    "fetch_progress",
+    "normalize_source",
+    "render_top",
+    "run_top",
+]

@@ -112,6 +112,26 @@ class PipelineOptions:
                      this many failed attempts in total (``None`` = off).
     ``max_consecutive_failures`` circuit breaker: abort after this many
                      consecutive failed attempts (``None`` = off).
+    ``serve_metrics`` serve ``/metrics`` (Prometheus), ``/progress``
+                     (JSON) and ``/healthz`` over HTTP while the sweep
+                     runs (``"[HOST:]PORT"``; binds 127.0.0.1 unless a
+                     host is given).
+    ``progress_out`` atomically rewrite a live ``progress.json``
+                     snapshot at this path during the sweep (what
+                     ``repro top`` reads without the endpoint).
+    ``events_out``   append every telemetry event to this JSONL file
+                     (complete, gapless, replayable).
+    ``live``         repaint a one-screen live progress view on stderr
+                     while the sweep runs.
+    ``heartbeat``    worker heartbeat period in seconds for live
+                     telemetry (preemptive pools only).
+    ``stall_after``  flag a worker silent this long as stalled
+                     (``None`` = 5x the heartbeat period).
+
+    The ``serve_metrics``/``progress_out``/``events_out``/``live`` group
+    is wall-clock-only telemetry: semantic output — evaluation records,
+    semantic metrics, the attribution ledger — is byte-identical with it
+    on or off.
     """
 
     config: Optional[SystemConfig] = None
@@ -134,17 +154,47 @@ class PipelineOptions:
     drain_timeout: float = 10.0
     max_total_failures: Optional[int] = None
     max_consecutive_failures: Optional[int] = None
+    serve_metrics: Optional[str] = None
+    progress_out: Optional[str] = None
+    events_out: Optional[str] = None
+    live: bool = False
+    heartbeat: float = 1.0
+    stall_after: Optional[float] = None
 
     # -- derived views -----------------------------------------------------
 
     @property
     def wants_metrics(self) -> bool:
-        """Does this run need instrumentation turned on?"""
+        """Does this run need instrumentation turned on?
+
+        The live endpoint implies it: ``/metrics`` scrapes the registry,
+        so serving without collecting would expose an empty page.
+        """
         return (
             self.metrics
             or self.metrics_out is not None
             or self.timeline_out is not None
+            or self.serve_metrics is not None
         )
+
+    @property
+    def wants_telemetry(self) -> bool:
+        """Should sweeps run inside a live telemetry session?"""
+        return (
+            self.serve_metrics is not None
+            or self.progress_out is not None
+            or self.events_out is not None
+            or self.live
+        )
+
+    @property
+    def heartbeat_period(self) -> Optional[float]:
+        """Heartbeat period to arm on the pool, or ``None`` when live
+        telemetry is off (heartbeats only exist to feed the bus)."""
+        if not self.wants_telemetry:
+            return None
+        period = float(self.heartbeat)
+        return period if period > 0 else None
 
     def normalized_jobs(self) -> Optional[int]:
         """``jobs`` validated for pool use (warns + serial on bad input)."""
@@ -277,6 +327,50 @@ class PipelineOptions:
                 metavar="N",
                 help="circuit breaker: abort after N consecutive failed "
                 "attempts with no success in between",
+            )
+            parser.add_argument(
+                "--serve-metrics",
+                default=None,
+                metavar="[HOST:]PORT",
+                help="serve /metrics (Prometheus), /progress (JSON) and "
+                "/healthz over HTTP while the sweep runs; binds "
+                "127.0.0.1 unless HOST is given",
+            )
+            parser.add_argument(
+                "--progress-out",
+                default=None,
+                metavar="PATH",
+                help="atomically rewrite a live progress.json snapshot "
+                "at PATH during the sweep (readable by 'repro top')",
+            )
+            parser.add_argument(
+                "--events-out",
+                default=None,
+                metavar="PATH",
+                help="append every telemetry event to PATH as JSONL "
+                "(complete and gapless; replayable)",
+            )
+            parser.add_argument(
+                "--live",
+                action="store_true",
+                help="repaint a one-screen live progress view on stderr "
+                "while the sweep runs",
+            )
+            parser.add_argument(
+                "--heartbeat",
+                type=float,
+                default=cls.heartbeat,
+                metavar="SEC",
+                help="worker heartbeat period for live telemetry "
+                "(default: %gs; preemptive pools only)" % cls.heartbeat,
+            )
+            parser.add_argument(
+                "--stall-after",
+                type=float,
+                default=None,
+                metavar="SEC",
+                help="flag a worker silent for SEC seconds as stalled "
+                "(default: 5x the heartbeat period)",
             )
         parser.add_argument(
             "--cache-dir",

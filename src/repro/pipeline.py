@@ -554,18 +554,46 @@ class NeedlePipeline:
             journal.scheduled([w.name for w in todo])
             drain = DrainController(timeout=self.options.drain_timeout)
             signal_scope = drain_on_signals(drain)
+        # live telemetry rides alongside the sweep: a bus + aggregator
+        # (+ optional HTTP endpoint / terminal view) that observe
+        # scheduling without touching it — semantic output is
+        # byte-identical with the session on or off
+        telemetry = contextlib.nullcontext()
+        if self.options.wants_telemetry:
+            from .obs.live import TelemetrySession
+
+            telemetry = TelemetrySession.from_options(
+                self.options,
+                run_id=journal.run_id if journal is not None
+                else (self.options.run_id or ""))
         try:
-            with signal_scope:
-                if backend == "serial":
-                    fresh = self._run_serial(
-                        method, todo, journal=journal, drain=drain)
-                else:
-                    with obs.span(
-                        method + "_all", jobs=width, workloads=len(workloads)
-                    ):
-                        fresh = self._fan_out(
-                            worker_fn, todo, backend, width,
-                            journal=journal, drain=drain)
+            with telemetry as session:
+                if session is not None:
+                    session.bus.publish(
+                        obs.events.RUN_STARTED, key=session.run_id,
+                        run_id=session.run_id, stage=method,
+                        total=len(workloads), todo=len(todo),
+                        backend=backend, jobs=width)
+                    # workloads already memoised (journal resume or a
+                    # prior in-process sweep) count as completed from
+                    # the start — cumulative progress, not this
+                    # process's share
+                    for w in workloads:
+                        if w.name in memo:
+                            session.bus.publish(
+                                obs.events.RUN_RESUMED, key=w.name)
+                with signal_scope:
+                    if backend == "serial":
+                        fresh = self._run_serial(
+                            method, todo, journal=journal, drain=drain)
+                    else:
+                        with obs.span(
+                            method + "_all", jobs=width,
+                            workloads=len(workloads)
+                        ):
+                            fresh = self._fan_out(
+                                worker_fn, todo, backend, width,
+                                journal=journal, drain=drain)
         except SweepDrained as exc:
             if journal is not None:
                 exc.run_id = journal.run_id
@@ -703,6 +731,8 @@ class NeedlePipeline:
             on_result=on_result,
             on_event=journal.lifecycle if journal is not None else None,
             drain=drain,
+            heartbeat=self.options.heartbeat_period,
+            stall_after=self.options.stall_after,
         )
 
     def _fan_out(self, worker, workloads, backend: str, width: int,
@@ -741,6 +771,8 @@ class NeedlePipeline:
             on_result=_absorb,
             on_event=journal.lifecycle if journal is not None else None,
             drain=drain,
+            heartbeat=self.options.heartbeat_period,
+            stall_after=self.options.stall_after,
         )
         return [
             row if isinstance(row, WorkloadFailure) else row[0] for row in rows

@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .. import obs
+from ..obs import events as bus_events
 from .faults import SITE_JOURNAL_CRASH, FaultInjector, FaultPlan
 
 log = logging.getLogger(__name__)
@@ -315,6 +316,13 @@ class RunJournal:
             obs.counter("resilience.journal_records", 1,
                         help="records appended to the run journal",
                         event=event)
+        # live telemetry: surface journal activity on the ambient event
+        # bus (no-op without one); key prefers the workload a record is
+        # about, falling back to the run itself
+        bus_events.publish(
+            bus_events.JOURNAL_RECORD,
+            key=str(data.get("workload", "") or self.run_id),
+            record=event)
 
     # lifecycle helpers — the vocabulary `_sweep`/`run_failsafe` speak
 

@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..exec.pools import Pool, PoolBroken, WorkerCrashed, make_pool
+from ..obs import events as bus
 from . import faults as _faults
 from .faults import FaultPlan, _unit
 from .shutdown import DrainController, SweepDrained
@@ -182,6 +183,8 @@ def run_failsafe(
     on_result: Optional[Callable] = None,
     on_event: Optional[Callable] = None,
     drain: Optional[DrainController] = None,
+    heartbeat: Optional[float] = None,
+    stall_after: Optional[float] = None,
 ) -> List:
     """Run ``task(item, *task_args, plan, attempt)`` for every item.
 
@@ -209,6 +212,17 @@ def run_failsafe(
     outstanding keys.  On every exit path — clean, drained, interrupted
     — the pool is closed and the caller thread's ambient fault injector
     is restored.
+
+    ``heartbeat`` (seconds) turns on worker heartbeats where the
+    backend supports them (preemptive pools): each worker reports its
+    running (task, phase, elapsed) on that period, surfaced as
+    ``worker_heartbeat`` events on the ambient event bus.  A worker
+    silent for longer than ``stall_after`` seconds (default 5x the
+    heartbeat period) is flagged once per attempt with a
+    ``worker_stalled`` event and an ``obs.worker_stalled`` counter —
+    advisory visibility that *complements* the hang-deadline eviction
+    above, never replaces it.  All of it is wall-clock telemetry with
+    no influence on scheduling, retries or results.
     """
     items = list(items)
     policy = policy or FailurePolicy()
@@ -271,12 +285,15 @@ def run_failsafe(
             del incomplete[t.index]
             emit("quarantined", t.key, kind=kind, attempts=t.attempt,
                  error_type=type(exc).__name__ if exc is not None else "")
+            bus.publish(bus.QUARANTINED, t.key, kind=kind,
+                        attempts=t.attempt)
             if obs.enabled():
                 obs.counter("resilience.quarantined", 1,
                             help="tasks that exhausted their retry budget",
                             kind=kind)
         else:
             t.not_before = time.monotonic() + policy.backoff(t.attempt, t.key)
+            bus.publish(bus.RETRY, t.key, kind=kind, attempt=t.attempt)
             if obs.enabled():
                 obs.counter("resilience.retries", 1,
                             help="failed attempts scheduled for retry",
@@ -286,6 +303,70 @@ def run_failsafe(
                 total_failures, consecutive_failures)
 
     deadlines = policy.timeout is not None and backend.preemptive
+
+    # -- live telemetry (advisory; publish() no-ops without a bus) ---------
+    beats_on = bool(heartbeat) and backend.preemptive \
+        and hasattr(backend, "set_heartbeat")
+    if beats_on:
+        backend.set_heartbeat(heartbeat)
+        beats_on = backend.heartbeat_period is not None
+    stall_deadline = None
+    if beats_on:
+        stall_deadline = (float(stall_after) if stall_after
+                          else 5.0 * float(heartbeat))
+    started_pub: set = set()   # tickets whose task_started went out
+    last_beats: Dict[int, float] = {}
+    stalled: set = set()
+
+    def fold_telemetry(now: float) -> None:
+        """Publish task_started / worker_heartbeat / worker_stalled."""
+        running = backend.running()
+        for ticket, started in running.items():
+            t = pending.get(ticket)
+            if t is None or ticket in started_pub:
+                continue
+            started_pub.add(ticket)
+            bus.publish(bus.TASK_STARTED, t.key, attempt=t.attempt + 1)
+        if not beats_on:
+            return
+        hb = backend.heartbeats()
+        for ticket, (seen, payload, worker_name) in hb.items():
+            t = pending.get(ticket)
+            if t is None:
+                continue
+            if last_beats.get(ticket) != seen:
+                last_beats[ticket] = seen
+                stalled.discard(ticket)  # a fresh beat clears the flag
+                bus.publish(
+                    bus.WORKER_HEARTBEAT, t.key, worker=worker_name,
+                    task=t.key, phase=payload.get("phase", "run"),
+                    elapsed=payload.get("elapsed", 0.0))
+        for ticket, started in running.items():
+            t = pending.get(ticket)
+            if t is None or ticket in stalled:
+                continue
+            last = max(last_beats.get(ticket, started), started)
+            silent = now - last
+            if silent > stall_deadline:
+                stalled.add(ticket)
+                worker_name = hb[ticket][2] if ticket in hb else ""
+                bus.publish(bus.WORKER_STALLED, t.key, worker=worker_name,
+                            silent_for=round(silent, 3),
+                            attempt=t.attempt + 1)
+                if obs.enabled():
+                    obs.counter("obs.worker_stalled", 1,
+                                help="workers silent past the heartbeat "
+                                     "stall threshold (advisory)")
+                log.warning(
+                    "worker %s silent for %.1fs under task %r "
+                    "(heartbeat %.3gs, stall threshold %.3gs)",
+                    worker_name or "?", silent, t.key,
+                    backend.heartbeat_period, stall_deadline)
+
+    def drop_telemetry(ticket: int) -> None:
+        started_pub.discard(ticket)
+        last_beats.pop(ticket, None)
+        stalled.discard(ticket)
 
     ambient = _faults.active()
     backend.start()
@@ -318,6 +399,8 @@ def run_failsafe(
                         if careful and pending:
                             break
                         emit("attempt_started", t.key, attempt=t.attempt)
+                        bus.publish(bus.TASK_SCHEDULED, t.key,
+                                    attempt=t.attempt + 1)
                         t.ticket = backend.submit(
                             task,
                             (t.item,) + tuple(task_args) + (plan, t.attempt),
@@ -356,6 +439,12 @@ def run_failsafe(
                 if t.ticket is None and t.not_before > now
             ]
             wait_for = max(0.01, min(horizon) - now) if horizon else None
+            if beats_on:
+                # wake at least once per beat period so heartbeats fold
+                # and stalls surface even when nothing completes
+                period = backend.heartbeat_period
+                wait_for = period if wait_for is None \
+                    else min(wait_for, period)
             if drain is not None:
                 # blocking waits are PEP 475-restarted after a signal
                 # handler returns, so an unbounded wait would never
@@ -369,6 +458,8 @@ def run_failsafe(
                 enter_careful(exc)
                 continue
             now = time.monotonic()
+            if bus.active() is not None:
+                fold_telemetry(now)
 
             if not completions:
                 if not deadlines:
@@ -386,6 +477,7 @@ def run_failsafe(
                     for t in expired:
                         ticket, t.ticket = t.ticket, None
                         pending.pop(ticket, None)
+                        drop_telemetry(ticket)
                         # only the wedged task's worker dies; its queued
                         # neighbours are requeued by the pool, uncharged
                         backend.evict(ticket)
@@ -401,12 +493,15 @@ def run_failsafe(
                 if t is None:
                     continue  # stale: lost a race with a timeout charge
                 t.ticket = None
+                drop_telemetry(c.ticket)
                 if c.error is None:
                     results[t.index] = c.result
                     del incomplete[t.index]
                     consecutive_failures = 0
                     if on_result is not None:
                         on_result(t.item, results[t.index])
+                    bus.publish(bus.TASK_FINISHED, t.key, ok=True,
+                                attempts=t.attempt + 1, worker=c.worker)
                 elif isinstance(c.error, WorkerCrashed):
                     log.warning(
                         "worker crash blamed on workload %r "

@@ -133,3 +133,64 @@ def test_render_trace_indents_children():
     assert lines[0].startswith("outer (workload=x)")
     assert lines[1].startswith("  inner")
     assert "ms" in lines[0]
+
+
+def test_prometheus_output_is_order_independent():
+    """Registration order must never leak into the exposition text.
+
+    Two registries record the same facts with families and label sets
+    interleaved in opposite orders; a scrape of either must be
+    byte-identical — sorted families, sorted series within a family.
+    """
+
+    def _forward():
+        reg = MetricsRegistry()
+        a = reg.counter("zz.last", help="last family")
+        b = reg.counter("aa.first", help="first family")
+        a.inc(1, workload="dwt53", strategy="braid")
+        a.inc(2, workload="164.gzip", strategy="path")
+        b.inc(3, pool="thread")
+        b.inc(4, pool="process")
+        reg.gauge("mm.middle").set(0.5, shard="9")
+        reg.gauge("mm.middle").set(0.25, shard="10")
+        return reg
+
+    def _reversed():
+        reg = MetricsRegistry()
+        reg.gauge("mm.middle").set(0.25, shard="10")
+        reg.gauge("mm.middle").set(0.5, shard="9")
+        b = reg.counter("aa.first", help="first family")
+        b.inc(4, pool="process")
+        b.inc(3, pool="thread")
+        a = reg.counter("zz.last", help="last family")
+        a.inc(2, workload="164.gzip", strategy="path")
+        a.inc(1, workload="dwt53", strategy="braid")
+        return reg
+
+    forward = export.to_prometheus(_forward())
+    assert forward == export.to_prometheus(_reversed())
+    lines = forward.splitlines()
+    families = [l.split(" ")[2] for l in lines if l.startswith("# TYPE")]
+    assert families == sorted(families)
+    series = [l for l in lines if l.startswith("aa_first{")]
+    assert series == sorted(series)
+
+
+def test_prometheus_ordering_survives_snapshot_round_trip():
+    """Raw worker snapshots arrive in whatever order the worker
+    registered things; the exporter, not the snapshot, owns ordering."""
+    reg = MetricsRegistry()
+    c = reg.counter("fold.series", help="h")
+    c.inc(1, w="b")
+    c.inc(1, w="a")
+    snap = reg.snapshot()
+    # scramble the snapshot's own ordering to model a hostile source
+    snap["metrics"][0]["series"].reverse()
+    text = export.to_prometheus(snap)
+    idx_a = text.index('w="a"')
+    idx_b = text.index('w="b"')
+    assert idx_a < idx_b
+
+
+def test_render_prometheus_alias():
+    assert export.render_prometheus is export.to_prometheus

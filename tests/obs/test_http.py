@@ -1,0 +1,120 @@
+"""The opt-in metrics endpoint: address parsing and HTTP surface."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.http import DEFAULT_HOST, MetricsServer, parse_serve_address
+from repro.obs.live import ProgressModel
+
+
+# -- address parsing ----------------------------------------------------------
+
+
+def test_parse_serve_address_forms():
+    assert parse_serve_address("9100") == (DEFAULT_HOST, 9100)
+    assert parse_serve_address("0.0.0.0:9100") == ("0.0.0.0", 9100)
+    assert parse_serve_address("localhost:0") == ("localhost", 0)
+
+
+@pytest.mark.parametrize("bad", ["", "nine", "host:", ":9100x", "1:2:x", "70000"])
+def test_parse_serve_address_rejects_garbage(bad):
+    with pytest.raises(ValueError, match="serve-metrics"):
+        parse_serve_address(bad)
+
+
+# -- live server --------------------------------------------------------------
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.headers, response.read()
+
+
+@pytest.fixture
+def server():
+    model = ProgressModel()
+    srv = MetricsServer(port=0, progress=model).start()
+    try:
+        yield srv, model
+    finally:
+        srv.close()
+
+
+def test_healthz(server):
+    srv, _model = server
+    status, _headers, body = _get(srv.url + "/healthz")
+    assert status == 200
+    assert body == b"ok\n"
+
+
+def test_progress_endpoint_serves_model_snapshot(server):
+    srv, model = server
+    import repro.obs.events as ev
+
+    bus = ev.EventBus(run_id="http")
+    bus.subscribe(model.apply)
+    bus.publish(ev.RUN_STARTED, "http", run_id="http", total=2, todo=2)
+    bus.publish(ev.TASK_STARTED, "a", attempt=1)
+    for path in ("/progress", "/progress.json"):
+        status, headers, body = _get(srv.url + path)
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        snap = json.loads(body)
+        assert snap["run_id"] == "http"
+        assert [r["task"] for r in snap["running"]] == ["a"]
+
+
+def test_metrics_endpoint_serves_prometheus_text(server):
+    srv, _model = server
+    obs.enable(reset=True)
+    try:
+        obs.counter("obs.http_test_events", 3, help="test counter")
+        status, headers, body = _get(srv.url + "/metrics")
+    finally:
+        obs.disable()
+        obs.registry().clear()
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+    text = body.decode("utf-8")
+    assert "obs_http_test_events 3" in text
+    # well-formed exposition: every non-comment line is "name[{labels}] value"
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value = line.rpartition(" ")
+        assert name_part
+        float(value)  # parses as a number
+
+
+def test_unknown_path_is_404(server):
+    srv, _model = server
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(srv.url + "/nope")
+    assert excinfo.value.code == 404
+
+
+def test_server_binds_loopback_by_default():
+    model = ProgressModel()
+    srv = MetricsServer(port=0, progress=model).start()
+    try:
+        assert srv.host == "127.0.0.1"
+        assert srv.port > 0
+        assert srv.url == "http://127.0.0.1:%d" % srv.port
+    finally:
+        srv.close()
+
+
+def test_two_servers_on_ephemeral_ports_coexist():
+    a = MetricsServer(port=0, progress=ProgressModel()).start()
+    b = MetricsServer(port=0, progress=ProgressModel()).start()
+    try:
+        assert a.port != b.port
+        assert _get(a.url + "/healthz")[0] == 200
+        assert _get(b.url + "/healthz")[0] == 200
+    finally:
+        a.close()
+        b.close()

@@ -1,0 +1,66 @@
+"""Centralised logging configuration (`repro.obs.logging_setup`)."""
+
+import io
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs import logconfig
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    logger = logging.getLogger("repro")
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers[:], logger.level, logger.propagate = \
+        saved[0], saved[1], saved[2]
+
+
+def test_setup_is_exported_from_obs():
+    assert obs.logging_setup is logconfig.logging_setup
+
+
+def test_default_level_is_warning(monkeypatch):
+    monkeypatch.delenv(logconfig.LOG_LEVEL_ENV, raising=False)
+    assert logconfig.logging_setup() == logging.WARNING
+
+
+def test_explicit_level_and_numeric_forms():
+    assert logconfig.logging_setup("debug") == logging.DEBUG
+    assert logconfig.logging_setup("INFO") == logging.INFO
+    assert logconfig.logging_setup("15") == 15
+
+
+def test_env_var_is_the_fallback(monkeypatch):
+    monkeypatch.setenv(logconfig.LOG_LEVEL_ENV, "ERROR")
+    assert logconfig.logging_setup() == logging.ERROR
+    # an explicit argument beats the environment
+    assert logconfig.logging_setup("INFO") == logging.INFO
+
+
+def test_unknown_level_raises_value_error():
+    with pytest.raises(ValueError, match="unknown log level"):
+        logconfig.logging_setup("LOUD")
+
+
+def test_idempotent_single_handler():
+    logger = logging.getLogger("repro")
+    before = len(logger.handlers)
+    logconfig.logging_setup("INFO")
+    logconfig.logging_setup("DEBUG")
+    logconfig.logging_setup("WARNING")
+    named = [h for h in logger.handlers
+             if getattr(h, "name", "") == logconfig._HANDLER_NAME]
+    assert len(named) == 1
+    assert len(logger.handlers) <= before + 1
+
+
+def test_repro_loggers_route_through_the_handler():
+    stream = io.StringIO()
+    logconfig.logging_setup("INFO", stream=stream)
+    logging.getLogger("repro.obs.test_logconfig").info("wired %d", 7)
+    text = stream.getvalue()
+    assert "wired 7" in text
+    assert "repro.obs.test_logconfig" in text

@@ -1,0 +1,109 @@
+"""`repro top`: source normalisation, rendering, exit behaviour."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.top import (
+    ProgressUnavailable,
+    fetch_progress,
+    normalize_source,
+    render_top,
+    run_top,
+)
+
+
+def _progress(**overrides):
+    base = {
+        "run_id": "run-42",
+        "stage": "evaluate",
+        "state": "running",
+        "total": 10,
+        "done": 4,
+        "resumed": 2,
+        "failed": 0,
+        "queued": 3,
+        "running": [
+            {"task": "470.lbm", "worker": "proc-0", "phase": "simulate",
+             "elapsed": 12.0, "attempt": 1},
+        ],
+        "quarantined": ["bad.one"],
+        "retries": 1,
+        "stalls": 1,
+        "workers": [
+            {"worker": "proc-0", "task": "470.lbm", "phase": "simulate",
+             "idle_for": 0.2, "stalled": False},
+            {"worker": "proc-1", "task": "164.gzip", "phase": "run",
+             "idle_for": 9.0, "stalled": True},
+        ],
+        "cache": {"hits": 6, "misses": 2, "hit_rate": 0.75},
+        "elapsed_seconds": 65.0,
+        "eta_seconds": 90.0,
+        "rate_per_second": 0.07,
+        "last_seq": 99,
+    }
+    base.update(overrides)
+    return base
+
+
+def test_normalize_source_shorthands():
+    assert normalize_source("9100") == "http://127.0.0.1:9100"
+    assert normalize_source("box:9100") == "http://box:9100"
+    assert normalize_source("http://box:9100/") == "http://box:9100"
+    assert normalize_source("progress.json") == "progress.json"
+    assert normalize_source("/tmp/p.json") == "/tmp/p.json"
+
+
+def test_fetch_progress_from_file(tmp_path):
+    path = tmp_path / "p.json"
+    path.write_text(json.dumps(_progress()))
+    assert fetch_progress(str(path))["run_id"] == "run-42"
+
+
+def test_fetch_progress_raises_cleanly(tmp_path):
+    with pytest.raises(ProgressUnavailable, match="cannot read"):
+        fetch_progress(str(tmp_path / "absent.json"))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(ProgressUnavailable, match="not valid JSON"):
+        fetch_progress(str(bad))
+    with pytest.raises(ProgressUnavailable, match="cannot reach"):
+        fetch_progress("http://127.0.0.1:1/")  # port 1: nothing listens
+
+
+def test_render_top_one_screen():
+    text = render_top(_progress())
+    assert "run-42" in text and "[running]" in text
+    assert "4/10 (40%)" in text
+    assert "resumed from journal: 2 workloads" in text
+    assert "hit-rate 75%" in text
+    assert "470.lbm" in text and "simulate" in text
+    assert "STALLED" in text and "ok" in text
+    assert "quarantined: bad.one" in text
+    assert "eta" in text and "1m30s" in text
+
+
+def test_render_top_survives_minimal_snapshot():
+    text = render_top({})
+    assert "repro top" in text
+
+
+def test_run_top_once_renders_and_exits_zero(tmp_path):
+    path = tmp_path / "p.json"
+    path.write_text(json.dumps(_progress(state="finished", done=10)))
+    out = io.StringIO()
+    assert run_top(str(path), once=True, stream=out) == 0
+    assert "10/10" in out.getvalue()
+
+
+def test_run_top_stops_on_terminal_state(tmp_path):
+    path = tmp_path / "p.json"
+    path.write_text(json.dumps(_progress(state="drained")))
+    out = io.StringIO()
+    assert run_top(str(path), interval=0.01, stream=out) == 0
+
+
+def test_run_top_once_missing_source_exits_one(tmp_path, capsys):
+    assert run_top(str(tmp_path / "never.json"), once=True) == 1
+    assert "repro top:" in capsys.readouterr().err

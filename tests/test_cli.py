@@ -187,3 +187,88 @@ def test_cli_evaluate_with_cache_dir_and_jobs(tmp_path, capsys):
 
     assert main(["evaluate", "482.sphinx3", "--no-cache"]) == 0
     assert capsys.readouterr().out == cold
+
+
+# -- live telemetry surface ---------------------------------------------------
+
+
+def test_cli_metrics_from_saved_snapshot(tmp_path, capsys):
+    snap = tmp_path / "snap.json"
+    assert main(["metrics", "dwt53", "--no-cache",
+                 "--metrics-out", str(snap)]) == 0
+    capsys.readouterr()
+    assert main(["metrics", "--from", str(snap)]) == 0
+    table = capsys.readouterr().out
+    assert "interp.instructions_retired" in table
+    assert main(["metrics", "--from", str(snap), "--format", "prom"]) == 0
+    assert "interp_instructions_retired" in capsys.readouterr().out
+
+
+def test_cli_metrics_from_missing_file_is_clean(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["metrics", "--from", "/no/such/snapshot.json"])
+    message = str(excinfo.value)
+    assert message.startswith("error: cannot read metrics file")
+    assert "Traceback" not in message
+
+
+def test_cli_trace_from_corrupt_file_is_clean(tmp_path):
+    import pytest
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", "--from", str(bad)])
+    assert "not valid JSON" in str(excinfo.value)
+    not_a_dict = tmp_path / "list.json"
+    not_a_dict.write_text("[1, 2]")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["metrics", "--from", str(not_a_dict)])
+    assert "not a metrics snapshot" in str(excinfo.value)
+
+
+def test_cli_trace_from_saved_snapshot(tmp_path, capsys):
+    snap = tmp_path / "snap.json"
+    assert main(["trace", "dwt53", "--no-cache",
+                 "--metrics-out", str(snap)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "--from", str(snap)]) == 0
+    assert "evaluate (workload=dwt53)" in capsys.readouterr().out
+    # chrome needs the live pipeline for its simulated-cycle tracks
+    assert main(["trace", "--from", str(snap), "--format", "chrome"]) == 1
+    assert "needs a live run" in capsys.readouterr().err
+
+
+def test_cli_report_diff_missing_snapshot_is_clean(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["report", "diff", str(tmp_path / "a.json"),
+              str(tmp_path / "b.json")])
+    assert str(excinfo.value).startswith("error: cannot read snapshot")
+
+
+def test_cli_top_once_from_progress_file(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "progress.json"
+    path.write_text(json.dumps({
+        "run_id": "r", "state": "finished", "total": 2, "done": 2,
+        "stage": "evaluate",
+    }))
+    assert main(["top", str(path), "--once"]) == 0
+    assert "2/2 (100%)" in capsys.readouterr().out
+    assert main(["top", str(tmp_path / "gone.json"), "--once"]) == 1
+    assert "repro top:" in capsys.readouterr().err
+
+
+def test_cli_global_log_level(capsys):
+    import logging
+
+    assert main(["--log-level", "DEBUG", "list"]) == 0
+    assert logging.getLogger("repro").level == logging.DEBUG
+    assert main(["--log-level", "nope", "list"]) == 2
+    assert "unknown log level" in capsys.readouterr().err
+    main(["--log-level", "WARNING", "list"])  # restore the default
