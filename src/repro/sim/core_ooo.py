@@ -319,7 +319,12 @@ class _Lane:
     resolves either into its own rep or the one before — rep ``r ≥ 2``
     is rep 1 with every non-ground slot shifted by ``(r-1) × stride``.
     Only the first two reps are walked in Python; the rest replicate as
-    column arithmetic.
+    column arithmetic.  That shift invariance is exactly what
+    :func:`resolve_wraparound_slots` checks: back-edge φ chains whose
+    dependency recedes two or more repetitions per instance are still
+    *warming up* at rep 2 (their operands ground there but resolve to
+    real slots later), so the caller routes such traces to the scalar
+    walk instead of building a lane.
     """
 
     __slots__ = ("key", "kinds", "lats", "srcs", "n_real", "census")
@@ -498,6 +503,99 @@ def resolved_path_steps(
     else:
         steps_first = steps_wrap
     return steps_first, steps_wrap, real_per_rep
+
+
+class _WindowEscape(Exception):
+    """A resolved operand reaches past the two-repetition slot window."""
+
+
+def resolve_wraparound_slots(model: OOOModel, blocks):
+    """Exact two-repetition operand slots for one wraparound repetition.
+
+    Returns one slot tuple per real micro-op position — ``0`` the
+    never-written ground, ``1..stride`` the previous repetition's real
+    micro-op (1-based), ``stride+1..2·stride`` the current
+    repetition's — or ``None`` when the path cannot be expressed in
+    that window.  The subtlety is φ resolution: the per-event walk
+    resolves φs *sequentially*, so a φ reading a φ defined at or after
+    it in path order sees that φ's **previous-repetition** value, and
+    chained back-edge φs recede one repetition per hop.  A chain that
+    bottoms out two or more repetitions back has no slot here —
+    compiled tiers must replay such paths with the scalar walk, which
+    carries the finish map explicitly.  Pure-φ cycles ground (their
+    values recede to the trace head, where every φ reads 0.0), and a
+    path revisiting a block is declined outright (definition positions
+    are ambiguous).
+    """
+    blocks = tuple(blocks)
+    _first, steps_wrap, stride = resolved_path_steps(model, blocks)
+    # definition geometry: path-order ordinal of every defined value,
+    # 1-based real-uop positions, each φ's bound wraparound source
+    ordinal: Dict[Value, int] = {}
+    real_pos: Dict[Value, int] = {}
+    phi_src: Dict[Value, Optional[Instruction]] = {}
+    pos = 0
+    for o, rec in enumerate(steps_wrap):
+        if rec[0] == _UOP_PHI:
+            inst = rec[1]
+            if inst in ordinal:
+                return None  # revisited block
+            ordinal[inst] = o
+            phi_src[inst] = rec[2]
+        else:
+            pos += 1
+            if rec[3]:  # writes
+                inst = rec[1]
+                if inst in ordinal:
+                    return None
+                ordinal[inst] = o
+                real_pos[inst] = pos
+
+    phi_slot: Dict[Value, int] = {}  # φ value slot, own-instance coords
+    chasing: set = set()
+
+    def value_slot(inst, at_ord: int) -> int:
+        """Slot of ``inst``'s value as visible to a reader at ``at_ord``."""
+        o_def = ordinal.get(inst)
+        if o_def is None:
+            return 0  # defined outside the path: ground
+        p = real_pos.get(inst)
+        if p is not None:
+            # defined earlier in path order: this repetition's instance;
+            # otherwise the previous one (use before def via the back edge)
+            return stride + p if o_def < at_ord else p
+        slot = phi_slot.get(inst)
+        if slot is None:
+            if inst in chasing:
+                return 0  # pure-φ cycle: grounds at the trace head
+            src = phi_src[inst]
+            if src is None:
+                slot = 0
+            else:
+                chasing.add(inst)
+                slot = value_slot(src, o_def)
+                chasing.discard(inst)
+            phi_slot[inst] = slot
+        if o_def < at_ord:
+            return slot
+        # the previous repetition's instance of this φ: one more rep back
+        if slot == 0:
+            return 0
+        if slot <= stride:
+            raise _WindowEscape  # two or more repetitions back
+        return slot - stride
+
+    rows = []
+    append = rows.append
+    try:
+        for o, rec in enumerate(steps_wrap):
+            if rec[0] == _UOP_PHI:
+                continue
+            ops = rec[4]
+            append(tuple([value_slot(op, o) for op in ops]) if ops else ())
+    except _WindowEscape:
+        return None
+    return rows
 
 
 def simulate_path_reps(model: OOOModel, blocks, reps: int) -> OOOResult:
@@ -770,10 +868,17 @@ def simulate_paths_batch(
             return scalar()
 
     cfg = model.config
-    lanes = [
-        _Lane(key, model, blocks, reps, np) for key, blocks, reps in traces
-    ]
     out: Dict[object, OOOResult] = {}
+    lanes = []
+    for key, blocks, reps in traces:
+        if resolve_wraparound_slots(model, blocks) is None:
+            # deep back-edge φ chain (or revisited block): the rep
+            # replication below assumes every operand resolves within
+            # one repetition back, which such paths violate — the
+            # scalar walk carries the finish map explicitly instead
+            out[key] = simulate_path_reps(model, blocks, reps)
+        else:
+            lanes.append(_Lane(key, model, blocks, reps, np))
     active = []
     for lane in lanes:
         if lane.n_real:

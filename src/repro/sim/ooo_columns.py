@@ -27,6 +27,12 @@ columns and replays many paths ("lanes") through the recurrence at once:
   previous-rep region starts out all zeros, and 0.0 *is* the ground
   finish time, so a previous-rep slot read during repetition 1 yields
   exactly the ground value the entry-resolved program would have used.
+  Back-edge φ chains can reach **two or more** repetitions back (the
+  per-event walk resolves φs sequentially, so a φ reading a later φ
+  sees its previous-repetition value); such paths have no slot in the
+  window, compilation declines them (``None``), and the walk replays
+  those lanes through the scalar record walk — bitwise, just not
+  columnar (``fallback`` in the walk stats).
 * **the vectorized walk** (:func:`simulate_paths_vectorized`) holds
   fetch slots, the ROB ring, the retire ring, the ALU/FPU pools and the
   finish buffer as per-lane columns and advances all active lanes one
@@ -89,6 +95,7 @@ from .core_ooo import (
     OOOResult,
     _batch_geometry,
     _path_records,
+    resolve_wraparound_slots,
     simulate_path_reps,
     simulate_paths_batch,
 )
@@ -212,16 +219,11 @@ _NO_SRCS = ()
 def _block_fragment(model: OOOModel, block) -> tuple:
     """Path-independent compile fragment of one block, memoized.
 
-    ``(kinds, lats, counts, items, binds, n_real)``: the kind/latency
-    columns and the per-kind census of the block's real micro-ops —
-    identical in every path and repetition, so they concatenate per
-    path at C speed — plus two ordered slot-pass views.  ``items``
-    drives the full operand-resolving pass: ``(None, inst)`` for a φ
-    (source bound per path position), ``(ops, inst-or-None)`` for a
-    real micro-op (the written value, or ``None`` for non-writing ops).
-    ``binds`` drives the definition-only pass: just the φs (``(inst,
-    None)``) and the writers (``(inst, block-local 1-based position)``),
-    in walk order — non-writing micro-ops don't appear at all.
+    ``(kinds, lats, counts)``: the kind/latency columns and the
+    per-kind census of the block's real micro-ops — identical in every
+    path and repetition, so they concatenate per path at C speed.
+    Operand resolution is path-dependent and lives in
+    :func:`~repro.sim.core_ooo.resolve_wraparound_slots`.
     """
     cache = model.__dict__.setdefault("_ooo_fragment_cache", {})
     frag = cache.get(block)
@@ -230,74 +232,43 @@ def _block_fragment(model: OOOModel, block) -> tuple:
         kinds: List[int] = []
         lats: List[int] = []
         counts = [0] * 6
-        items = []
-        binds = []
-        pos = 0
         for rec in recs:
             if rec[0] == _UOP_PHI:
                 counts[_UOP_PHI] += 1
-                items.append((None, rec[1]))
-                binds.append((rec[1], None))
             else:
-                kind, inst, latency, writes, ops = rec
+                kind, _inst, latency, _writes, _ops = rec
                 counts[kind] += 1
                 kinds.append(kind)
                 lats.append(latency)
-                pos += 1
-                items.append((ops, inst if writes else None))
-                if writes:
-                    binds.append((inst, pos))
-        frag = (
-            tuple(kinds),
-            tuple(lats),
-            tuple(counts),
-            tuple(items),
-            tuple(binds),
-            pos,
-        )
+        frag = (tuple(kinds), tuple(lats), tuple(counts))
         cache[block] = frag
     return frag
 
 
-def _phi_sources(model: OOOModel, block, prev) -> tuple:
-    """φ sources of ``block`` for predecessor ``prev``, memoized.
-
-    One Instruction-or-None per φ item of :func:`_block_fragment`, in
-    item order; ``prev is None`` (path entry) grounds every φ.
-    """
-    cache = model.__dict__.setdefault("_ooo_phi_cache", {})
-    key = (block, prev)
-    srcs = cache.get(key)
-    if srcs is None:
-        _recs, phi_slots, _n_real = _path_records(model, block)
-        if prev is None:
-            srcs = (None,) * len(phi_slots)
-        else:
-            srcs = tuple(
-                src if isinstance(src := inst.incoming_for(prev), Instruction)
-                else None
-                for _idx, inst in phi_slots
-            )
-        cache[key] = srcs
-    return srcs
-
-
-def compile_path(model: OOOModel, blocks) -> CompiledPath:
+def compile_path(model: OOOModel, blocks) -> Optional[CompiledPath]:
     """Compile ``blocks`` (one path body) into rep-relative columns.
 
-    Two passes over the per-block fragments.  The first assigns each
-    written value its 1-based real-uop position and binds φs with path
-    **entry** sources (φs copy their source's slot, so chains resolve
-    transitively and the emitted program is φ-free); the second walks
-    the wraparound repetition on top of that state, re-assigning each
-    definition the *second*-repetition slot ``stride + position``, so
-    every operand lookup lands on a raw two-repetition slot: at or
-    below ``stride`` means previous repetition (or ground at 0), above
-    means current.  The single wraparound program is exact for the
-    first repetition too (see :class:`CompiledPath`), so no first-rep
-    operand resolution happens at all.
+    The kind/latency columns and the per-kind census concatenate from
+    memoized per-block fragments; the operand columns come from
+    :func:`~repro.sim.core_ooo.resolve_wraparound_slots`, which resolves
+    every operand — φs included, chained φs included — into the
+    two-repetition slot space :class:`CompiledPath` documents.  The
+    single wraparound program is exact for the first repetition too
+    (see :class:`CompiledPath`), so no first-rep operand resolution
+    happens at all.
+
+    Returns ``None`` when the path cannot be expressed in the
+    two-repetition window: a back-edge φ chain whose dependency reaches
+    two or more repetitions back (the per-event walk resolves φs
+    sequentially, so a φ reading a later φ sees its previous-repetition
+    value), or a path revisiting a block.  Callers replay such lanes
+    with the scalar record walk, which carries the finish map
+    explicitly and is the bitwise oracle.
     """
     blocks = tuple(blocks)
+    rows = resolve_wraparound_slots(model, blocks)
+    if rows is None:
+        return None
     frags = [_block_fragment(model, b) for b in blocks]
     kinds: List[int] = []
     lats: List[int] = []
@@ -308,58 +279,17 @@ def compile_path(model: OOOModel, blocks) -> CompiledPath:
         cc = frag[2]
         for kind in range(6):
             counts[kind] += cc[kind]
-    stride = len(kinds)
-    slot_of: Dict[object, int] = {}
-    get = slot_of.get
-    phi_cache = model.__dict__.setdefault("_ooo_phi_cache", {})
-    phi_get = phi_cache.get
-    # pass 1: first repetition, definition slots and entry-φ bindings
-    # only — no operand resolution (the wraparound program covers rep 1)
-    base = 0
-    for i, block in enumerate(blocks):
-        frag = frags[i]
-        binds = frag[4]
-        if binds:
-            prev = blocks[i - 1] if i else None
-            phis = phi_get((block, prev))
-            if phis is None:
-                phis = _phi_sources(model, block, prev)
-            phis = iter(phis)
-            for inst, lp in binds:
-                if lp is None:  # φ
-                    src = next(phis)
-                    slot_of[inst] = get(src, 0) if src is not None else 0
-                else:
-                    slot_of[inst] = base + lp
-        base += frag[5]
-    # pass 2: wraparound repetition — resolve operands against the
-    # carried-over state and re-encode relative to this repetition
-    srcs: List[Tuple[int, ...]] = []
-    append = srcs.append
     width = 0
-    pos = stride
-    for i, block in enumerate(blocks):
-        prev = blocks[i - 1] if i else blocks[-1]
-        phis = phi_get((block, prev))
-        if phis is None:
-            phis = _phi_sources(model, block, prev)
-        phis = iter(phis)
-        for ops, winst in frags[i][3]:
-            if ops is None:  # φ
-                src = next(phis)
-                slot_of[winst] = get(src, 0) if src is not None else 0
-                continue
-            pos += 1
-            if ops:
-                append(tuple([get(op, 0) for op in ops]))
-                if len(ops) > width:
-                    width = len(ops)
-            else:
-                append(_NO_SRCS)
-            if winst is not None:
-                slot_of[winst] = pos
+    srcs: List[Tuple[int, ...]] = []
+    for row in rows:
+        if row:
+            srcs.append(row)
+            if len(row) > width:
+                width = len(row)
+        else:
+            srcs.append(_NO_SRCS)
     return CompiledPath(
-        stride=stride,
+        stride=len(kinds),
         width=width,
         kinds=tuple(kinds),
         lats=tuple(lats),
@@ -370,7 +300,7 @@ def compile_path(model: OOOModel, blocks) -> CompiledPath:
 
 def compile_paths(
     model: OOOModel, traces, memo=None, anchor=None, anchor_extra=None
-) -> Dict[object, CompiledPath]:
+) -> Dict[object, Optional[CompiledPath]]:
     """Compiled programs for a ``(key, blocks, reps)`` plan, memoized.
 
     With a :class:`~repro.sim.memo.SimulationMemo` and an anchor object
@@ -380,9 +310,12 @@ def compile_paths(
     must carry everything the columns depend on besides the profile:
     the host config and the rounded fixed latencies (repetition counts
     deliberately excluded — programs are rep-count independent).
+    ``None`` entries (paths :func:`compile_path` declined) are memoized
+    like any program: the scalar-walk fallback decision is as stable
+    across strategies and retries as a compilation.
     """
 
-    def compute() -> Dict[object, CompiledPath]:
+    def compute() -> Dict[object, Optional[CompiledPath]]:
         return {
             key: compile_path(model, blocks) for key, blocks, _reps in traces
         }
@@ -837,8 +770,10 @@ def simulate_paths_vectorized(
     normally :attr:`LaneTierDecision.backend`) pins the walker:
     narrow plans run the per-lane walk even when numpy is importable,
     because numpy's fixed per-step dispatch cost needs lane width to
-    amortise.  ``stats`` (optional dict) receives ``lanes``/``closed``
-    counts for the obs layer.
+    amortise.  ``stats`` (optional dict) receives ``lanes``/``closed``/
+    ``fallback`` counts for the obs layer — ``fallback`` lanes are paths
+    :func:`compile_path` declined (window-escaping φ chains), replayed
+    through the scalar record walk instead.
     """
     if model.memory_system is not None:
         raise ValueError(
@@ -849,13 +784,21 @@ def simulate_paths_vectorized(
         stats = {}
     stats.setdefault("lanes", len(traces))
     stats.setdefault("closed", 0)
+    stats.setdefault("fallback", 0)
     programs = compile_paths(
         model, traces, memo=memo, anchor=anchor, anchor_extra=anchor_extra
     )
     out: Dict[object, OOOResult] = {}
     lanes = []
-    for key, _blocks, reps in traces:
+    for key, blocks, reps in traces:
         cp = programs[key]
+        if cp is None:
+            # the path escapes the two-repetition slot window (deep
+            # back-edge φ chain or revisited block): the scalar record
+            # walk carries the finish map explicitly and stays bitwise
+            out[key] = simulate_path_reps(model, blocks, reps)
+            stats["fallback"] += 1
+            continue
         out[key] = cp.census(reps)
         if cp.stride and reps > 0:
             lanes.append((key, cp, reps))

@@ -14,7 +14,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ir import F64, I32, IRBuilder, Module
-from repro.sim import HostConfig, MemorySystem, OOOModel, SimulationMemo
+from repro.sim import (
+    HostConfig,
+    MemorySystem,
+    OOOModel,
+    SimulationMemo,
+    simulate_paths_batch,
+)
 from repro.sim.array_kernels import (
     BACKEND_NUMPY,
     BACKEND_PYTHON,
@@ -26,6 +32,7 @@ from repro.sim.ooo_columns import (
     LANE_TIER_ENV,
     LANE_TIER_SCALAR,
     LANE_TIER_VECTOR,
+    compile_path,
     compile_paths,
     select_lane_tier,
     simulate_paths_tiered,
@@ -231,6 +238,81 @@ def test_closure_engages_on_periodic_lane():
         ref = OOOModel(HostConfig(rob_entries=2))
         assert _bits(got[0]) == _bits(ref.simulate([blk] * 40))
         assert stats["closed"] == 1, backend
+    del module
+
+
+def _phi_chain_block():
+    """Self-looping block whose φ chain recedes two repetitions back.
+
+    φ0 reads φ1 and φ1 reads the fmul: the per-event walk resolves φs
+    sequentially, so φ0's value in rep ``N`` is the fmul of rep ``N-2``
+    — a dependency the compiled two-repetition slot window cannot
+    express.  Pinned from a hypothesis falsifying example (cycles 11
+    vs the oracle's 14 at reps=3 before the scalar-walk fallback).
+    """
+    module = Module()
+    fn = module.add_function("g", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    blk = b.add_block("b0")
+    b.set_block(blk)
+    phi0 = b.phi(I32)
+    phi1 = b.phi(I32)
+    fmul = b.binop("fmul", b.unop("sitofp", phi0, F64), 2.0)
+    b.br(blk)
+    phi0.add_incoming(blk, phi1)
+    phi1.add_incoming(blk, fmul)
+    del fmul
+    return module, (blk,)
+
+
+def test_deep_phi_chain_falls_back_to_scalar_walk():
+    module, blocks = _phi_chain_block()
+    cfg = HostConfig(rob_entries=8, int_alus=1, fetch_width=2)
+    model = OOOModel(cfg)
+    assert compile_path(model, blocks) is None
+    for reps in (1, 2, 3, 4, 7, 12):
+        ref = OOOModel(cfg)
+        oracle = _bits(ref.simulate(list(blocks) * reps))
+        for backend in _backends():
+            stats = {}
+            got = simulate_paths_vectorized(
+                model, [(0, blocks, reps)], backend=backend, stats=stats
+            )
+            assert _bits(got[0]) == oracle, (reps, backend)
+            assert stats["fallback"] == 1, (reps, backend)
+        batch = simulate_paths_batch(model, [(0, blocks, reps)], gate=False)
+        assert _bits(batch[0]) == oracle, reps
+    del module
+
+
+def test_pure_phi_cycle_still_compiles():
+    # φa and φb feed each other through the back edge: their values
+    # recede to the trace head where every φ grounds at 0.0, so the
+    # window holds them and no fallback is needed
+    module = Module()
+    fn = module.add_function("c", [("a", I32)], I32)
+    b = IRBuilder(fn)
+    blk = b.add_block("b0")
+    b.set_block(blk)
+    phi_a = b.phi(I32)
+    phi_b = b.phi(I32)
+    add = b.binop("add", phi_a, phi_b)
+    b.br(blk)
+    phi_a.add_incoming(blk, phi_b)
+    phi_b.add_incoming(blk, phi_a)
+    del add
+    model = OOOModel()
+    assert compile_path(model, (blk,)) is not None
+    plan = [(0, (blk,), 5)]
+    ref = OOOModel()
+    oracle = _bits(ref.simulate([blk] * 5))
+    for backend in _backends():
+        stats = {}
+        got = simulate_paths_vectorized(
+            model, plan, backend=backend, stats=stats
+        )
+        assert _bits(got[0]) == oracle, backend
+        assert stats["fallback"] == 0, backend
     del module
 
 
